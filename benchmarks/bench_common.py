@@ -1,0 +1,145 @@
+"""Shared helpers and paper reference values for the benchmark harness.
+
+The ``PAPER_*`` dictionaries record the values printed in the paper's
+tables so every benchmark can show "paper vs. measured" side by side; the
+measured values come from scaled synthetic stand-ins, so only the *shape*
+(ordering, rough ratios, round counts) is expected to match — see
+EXPERIMENTS.md for the per-experiment discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graphs.datasets import available_datasets, load_dataset
+from repro.graphs.graph import Graph
+from repro.graphs.plrg import PLRGParameters, plrg_graph
+
+__all__ = [
+    "BETA_SWEEP",
+    "PAPER_TABLE2_RATIOS",
+    "PAPER_TABLE5_SIZES",
+    "PAPER_TABLE6_MEMORY_MB",
+    "PAPER_TABLE7_ROUNDS",
+    "PAPER_TABLE8_THREE_ROUND_RATIO",
+    "PAPER_TABLE9",
+    "PAPER_FIGURE10_SC_RATIO",
+    "BENCH_DATASETS",
+    "sweep_graph",
+    "dataset_standin",
+    "beta_sweep_graphs",
+]
+
+#: The beta values swept in Tables 2 and 9 and Figures 6, 8 and 10.
+BETA_SWEEP: Tuple[float, ...] = (1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6, 2.7)
+
+#: Table 2 — greedy performance ratio per beta (|V| = 10M in the paper).
+PAPER_TABLE2_RATIOS: Dict[float, float] = {
+    1.7: 0.987, 1.8: 0.986, 1.9: 0.987, 2.0: 0.983, 2.1: 0.983, 2.2: 0.984,
+    2.3: 0.986, 2.4: 0.986, 2.5: 0.986, 2.6: 0.988, 2.7: 0.988,
+}
+
+#: Table 5 — independent-set sizes of the six algorithms on the real datasets
+#: (columns: DynamicUpdate/STXXL, Baseline, One-k after Baseline,
+#: Two-k after Baseline, Greedy, One-k after Greedy, Two-k after Greedy).
+PAPER_TABLE5_SIZES: Dict[str, Tuple[object, ...]] = {
+    "astroph": (17_948, 18_772, 18_972, 19_036, 15_439, 16_954, 16_970),
+    "dblp": (260_984, 218_344, 258_850, 259_198, 260_872, 273_853, 273_853),
+    "youtube": (880_876, 760_318, 865_810, 877_905, 877_905, 881_948, 881_962),
+    "patent": (2_073_042, 1_964_735, 2_023_396, 2_107_487, 2_024_859, 2_085_404, 2_086_982),
+    "blog": (2_116_524, 1_693_937, 2_004_349, 2_063_290, 2_094_881, 2_151_552, 2_151_578),
+    "citeseerx": (5_750_794, 5_711_727, 5_747_513, 5_749_859, 5_726_927, 5_749_983, 5_750_026),
+    "uniport": (6_947_630, 5_840_371, 6_932_723, 6_938_038, 6_943_512, 6_947_592, 6_947_593),
+    "facebook": (None, 18_893_989, 57_269_875, 57_986_375, 58_226_290, 58_232_256, 58_232_269),
+    "twitter": (None, 36_072_163, 46_978_395, 48_059_663, 48_121_173, 48_742_356, 48_742_573),
+    "clueweb12": (None, 499_444_213, 703_485_927, 725_810_643, 606_465_512, 723_673_169,
+                  729_594_728),
+}
+
+#: Table 6 — memory cost (MB) of Greedy / One-k / Two-k in the paper.
+PAPER_TABLE6_MEMORY_MB: Dict[str, Tuple[float, float, float]] = {
+    "astroph": (0.0045, 0.149, 0.330),
+    "dblp": (0.052, 1.65, 3.55),
+    "youtube": (0.142, 4.59, 9.69),
+    "patent": (0.460, 14.9, 31.7),
+    "blog": (0.493, 15.9, 34.4),
+    "citeseerx": (0.798, 25.7, 52.4),
+    "uniport": (0.851, 27.5, 55.4),
+    "facebook": (7.06, 234.2, 468.9),
+    "twitter": (7.34, 242.2, 524.1),
+    "clueweb12": (116.6, 3_840.0, 5_867.5),
+}
+
+#: Table 7 — number of swap rounds per dataset (one-k, two-k).
+PAPER_TABLE7_ROUNDS: Dict[str, Tuple[int, int]] = {
+    "astroph": (6, 3), "dblp": (2, 2), "youtube": (4, 4), "patent": (7, 6),
+    "blog": (5, 8), "citeseerx": (9, 3), "uniport": (9, 4), "facebook": (3, 2),
+    "twitter": (6, 4), "clueweb12": (6, 8),
+}
+
+#: Table 8 — fraction of the one-k swap gain achieved after three rounds.
+PAPER_TABLE8_THREE_ROUND_RATIO: Dict[str, float] = {
+    "astroph": 0.9746, "dblp": 1.0, "youtube": 1.0, "patent": 0.9974,
+    "blog": 0.9999, "citeseerx": 0.9880, "uniport": 0.9892, "facebook": 1.0,
+    "twitter": 0.9878, "clueweb12": 0.9863,
+}
+
+#: Table 9 — estimation accuracy of Proposition 2 per beta (|V| = 10M).
+PAPER_TABLE9: Dict[float, Tuple[int, int, float]] = {
+    1.7: (8_102_389, 8_147_721, 0.994),
+    1.8: (7_896_164, 7_953_889, 0.993),
+    1.9: (7_650_663, 7_721_332, 0.991),
+    2.0: (7_394_070, 7_474_477, 0.989),
+    2.1: (7_147_342, 7_235_191, 0.988),
+    2.2: (6_922_329, 7_012_683, 0.987),
+    2.3: (6_723_585, 6_813_139, 0.987),
+    2.4: (6_550_682, 6_635_854, 0.987),
+    2.5: (6_400_913, 6_478_349, 0.988),
+    2.6: (6_270_900, 6_341_388, 0.989),
+    2.7: (6_157_404, 6_220_084, 0.990),
+}
+
+#: Figure 10 — |SC| / |V| stays around 0.13 across the beta sweep.
+PAPER_FIGURE10_SC_RATIO: Dict[float, float] = {
+    1.7: 0.14, 1.8: 0.13, 1.9: 0.12, 2.0: 0.12, 2.1: 0.13, 2.2: 0.13,
+    2.3: 0.13, 2.4: 0.13, 2.5: 0.13, 2.6: 0.13, 2.7: 0.13,
+}
+
+#: Datasets used by the benchmark harness (small stand-ins for the big ones
+#: so a full harness run finishes in minutes in pure Python).
+BENCH_DATASETS: Tuple[str, ...] = tuple(available_datasets())
+
+#: Per-dataset stand-in scales: proportional to the real vertex counts but
+#: capped so the biggest stand-ins stay around ten thousand vertices.
+_DATASET_SCALES: Dict[str, float] = {
+    "astroph": 0.05,
+    "dblp": 0.01,
+    "youtube": 0.004,
+    "patent": 0.0015,
+    "blog": 0.0012,
+    "citeseerx": 0.001,
+    "uniport": 0.001,
+    "facebook": 0.0001,
+    "twitter": 0.00004,
+    "clueweb12": 0.000003,
+}
+
+
+def sweep_graph(beta: float, num_vertices: int, seed: int) -> Graph:
+    """One synthetic PLRG graph of the beta sweep (Figures 6/8/10, Tables 2/9)."""
+
+    params = PLRGParameters.from_vertex_count(num_vertices, beta)
+    return plrg_graph(params, seed=seed)
+
+
+def beta_sweep_graphs(num_vertices: int, seed: int) -> List[Tuple[float, Graph]]:
+    """The full beta sweep as ``(beta, graph)`` pairs."""
+
+    return [(beta, sweep_graph(beta, num_vertices, seed)) for beta in BETA_SWEEP]
+
+
+def dataset_standin(name: str, scale_multiplier: float, seed: int) -> Graph:
+    """Scaled synthetic stand-in for one Table 4 dataset."""
+
+    scale = _DATASET_SCALES[name] * scale_multiplier
+    return load_dataset(name, scale=scale, seed=seed)

@@ -1,0 +1,65 @@
+"""Table 2 — theoretical performance ratio of the greedy algorithm.
+
+The paper fixes |V| = 10 million, varies beta from 1.7 to 2.7, evaluates
+the Proposition 2 estimate of the greedy independent-set size, and divides
+it by the averaged Algorithm-5 upper bound of ten sampled PLRG graphs.
+The ratio stays between 0.983 and 0.988.
+
+This benchmark replays the same protocol on scaled graphs (default ~6,000
+vertices, REPRO_BENCH_SCALE-adjustable) and prints paper vs. measured
+ratios per beta.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plrg_theory import greedy_expected_size
+from repro.analysis.upper_bound import independence_upper_bound
+from repro.graphs.plrg import PLRGParameters, plrg_graph
+from repro.reporting import format_table, print_experiment_header
+
+from bench_common import BETA_SWEEP, PAPER_TABLE2_RATIOS
+
+_BASE_VERTICES = 6_000
+_SAMPLES = 3
+
+
+def _greedy_theory_ratio(beta: float, num_vertices: int, seed: int) -> float:
+    """Proposition-2 estimate divided by the averaged Algorithm-5 bound."""
+
+    params = PLRGParameters.from_vertex_count(num_vertices, beta)
+    estimate = greedy_expected_size(params.alpha, params.beta)
+    bounds = [
+        independence_upper_bound(plrg_graph(params, seed=seed + sample))
+        for sample in range(_SAMPLES)
+    ]
+    return estimate / (sum(bounds) / len(bounds))
+
+
+def test_table2_greedy_theoretical_ratio(benchmark, bench_scale, bench_seed):
+    """Regenerate Table 2 and check the >0.9 ratio band across the sweep."""
+
+    num_vertices = int(_BASE_VERTICES * bench_scale)
+
+    def sweep():
+        return {
+            beta: _greedy_theory_ratio(beta, num_vertices, bench_seed)
+            for beta in BETA_SWEEP
+        }
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [beta, PAPER_TABLE2_RATIOS[beta], ratios[beta]]
+        for beta in BETA_SWEEP
+    ]
+    print_experiment_header(
+        "Table 2",
+        "Greedy performance ratio (Proposition 2 vs Algorithm-5 bound)",
+        f"synthetic P(alpha, beta) graphs with ~{num_vertices:,} vertices "
+        f"(paper: 10,000,000)",
+    )
+    print(format_table(["beta", "paper ratio", "measured ratio"], rows))
+
+    # Shape assertions: high ratios across the whole sweep.
+    for beta in BETA_SWEEP:
+        assert 0.9 <= ratios[beta] <= 1.05

@@ -1,0 +1,103 @@
+"""Table 5 — independent-set sizes of the six algorithms on every dataset.
+
+The paper's table compares DynamicUpdate/STXXL, Baseline, One-k-swap and
+Two-k-swap after Baseline, Greedy, and One-k/Two-k-swap after Greedy on
+the ten real datasets.  The key qualitative claims:
+
+* swap passes substantially enlarge the set produced by their starting
+  point (dramatically so after Baseline on skewed graphs);
+* the degree-ordered Greedy beats Baseline on most datasets;
+* the best column is always one of the swap pipelines.
+
+This benchmark replays all seven columns on the scaled synthetic
+stand-ins of the datasets and prints measured sizes next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines.dynamic_update import dynamic_update_mis
+from repro.baselines.external_mis import external_maximal_is
+from repro.core.greedy import greedy_mis
+from repro.core.one_k_swap import one_k_swap
+from repro.core.two_k_swap import two_k_swap
+from repro.graphs.graph import Graph
+from repro.reporting import format_table, print_experiment_header
+
+from bench_common import BENCH_DATASETS, PAPER_TABLE5_SIZES, dataset_standin
+
+#: Datasets where the paper reports the in-memory baseline as N/A
+#: (the graph did not fit in the testbed's 8 GB of RAM).
+_IN_MEMORY_NA = {"facebook", "twitter", "clueweb12"}
+
+
+def _run_all_algorithms(graph: Graph) -> Dict[str, int]:
+    """The seven Table 5 columns for one graph."""
+
+    baseline = greedy_mis(graph, order="id")
+    greedy = greedy_mis(graph, order="degree")
+    return {
+        "dynamic_update": dynamic_update_mis(graph).size,
+        "external_mis": external_maximal_is(graph).size,
+        "baseline": baseline.size,
+        "one_k_after_baseline": one_k_swap(graph, initial=baseline, order="id").size,
+        "two_k_after_baseline": two_k_swap(graph, initial=baseline, order="id").size,
+        "greedy": greedy.size,
+        "one_k_after_greedy": one_k_swap(graph, initial=greedy).size,
+        "two_k_after_greedy": two_k_swap(graph, initial=greedy).size,
+    }
+
+
+def test_table5_independent_set_sizes(benchmark, bench_scale, bench_seed):
+    """Regenerate Table 5 on the dataset stand-ins."""
+
+    graphs: Dict[str, Graph] = {
+        name: dataset_standin(name, bench_scale, bench_seed) for name in BENCH_DATASETS
+    }
+
+    def run() -> Dict[str, Dict[str, int]]:
+        return {name: _run_all_algorithms(graph) for name, graph in graphs.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = [
+        "dataset", "|V|", "|E|",
+        "DU", "STXXL", "Baseline", "1-k(B)", "2-k(B)", "Greedy", "1-k(G)", "2-k(G)",
+        "paper 2-k(G)",
+    ]
+    rows = []
+    for name in BENCH_DATASETS:
+        sizes = results[name]
+        graph = graphs[name]
+        rows.append([
+            name, graph.num_vertices, graph.num_edges,
+            None if name in _IN_MEMORY_NA else sizes["dynamic_update"],
+            sizes["external_mis"], sizes["baseline"],
+            sizes["one_k_after_baseline"], sizes["two_k_after_baseline"],
+            sizes["greedy"], sizes["one_k_after_greedy"], sizes["two_k_after_greedy"],
+            PAPER_TABLE5_SIZES[name][-1],
+        ])
+    print_experiment_header(
+        "Table 5",
+        "Independent-set sizes of the six algorithms",
+        "scaled synthetic stand-ins; paper column shown for the real datasets",
+    )
+    print(format_table(headers, rows))
+
+    # Shape assertions (the paper's qualitative claims).
+    for name in BENCH_DATASETS:
+        sizes = results[name]
+        assert sizes["one_k_after_greedy"] >= sizes["greedy"]
+        assert sizes["two_k_after_greedy"] >= sizes["greedy"]
+        assert sizes["one_k_after_baseline"] >= sizes["baseline"]
+        assert sizes["two_k_after_baseline"] >= sizes["baseline"]
+        best = max(sizes.values())
+        best_swap = max(
+            sizes["one_k_after_greedy"],
+            sizes["two_k_after_greedy"],
+            sizes["one_k_after_baseline"],
+            sizes["two_k_after_baseline"],
+        )
+        # A swap pipeline is always within 2% of the best column.
+        assert best_swap >= 0.98 * best

@@ -1,0 +1,46 @@
+"""Shared fixtures and configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on
+scaled-down synthetic workloads (see DESIGN.md §6 for the substitution
+rationale).  Two environment variables control the scale:
+
+``REPRO_BENCH_SCALE``
+    Multiplier applied to the default workload sizes (default ``1.0``).
+    ``REPRO_BENCH_SCALE=4`` quadruples every graph; useful on faster
+    machines to tighten the comparison with the paper.
+``REPRO_BENCH_SEED``
+    Base random seed (default ``2015``, the paper's publication year).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+tables next to the paper's reference values.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _float_env(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload multiplier controlled by ``REPRO_BENCH_SCALE``."""
+
+    return _float_env("REPRO_BENCH_SCALE", 1.0)
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Base random seed controlled by ``REPRO_BENCH_SEED``."""
+
+    return int(_float_env("REPRO_BENCH_SEED", 2015))

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Map labeling: place as many non-overlapping labels as possible.
+
+The paper's introduction cites automated map labeling as a classic MIS
+application: every candidate label position becomes a vertex of a
+*conflict graph*, two positions are connected when their label boxes
+overlap, and a maximum independent set of the conflict graph is a maximum
+set of labels that can be drawn without overlaps.
+
+This example:
+
+1. scatters points of interest on a map and generates four candidate label
+   boxes per point (the four quadrants around the point);
+2. builds the conflict graph (box overlaps + "same point" conflicts);
+3. solves it with the two-k-swap pipeline;
+4. reports how many points received a label and compares against the
+   greedy pass and the Algorithm-5 upper bound.
+
+Run it with::
+
+    python examples/map_labeling.py
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import greedy_mis, independence_upper_bound, solve_mis
+from repro.graphs.graph import GraphBuilder
+from repro.reporting import format_table
+
+MAP_WIDTH = 1_000.0
+MAP_HEIGHT = 1_000.0
+NUM_POINTS = 1_500
+LABEL_WIDTH = 28.0
+LABEL_HEIGHT = 12.0
+
+
+@dataclass(frozen=True)
+class LabelCandidate:
+    """One candidate label box, anchored at a point of interest."""
+
+    point_id: int
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def overlaps(self, other: "LabelCandidate") -> bool:
+        """Axis-aligned box intersection test."""
+
+        return not (
+            self.x_max <= other.x_min
+            or other.x_max <= self.x_min
+            or self.y_max <= other.y_min
+            or other.y_max <= self.y_min
+        )
+
+
+def generate_candidates(seed: int = 11) -> List[LabelCandidate]:
+    """Four candidate boxes (NE, NW, SE, SW) per point of interest."""
+
+    rng = random.Random(seed)
+    candidates: List[LabelCandidate] = []
+    for point_id in range(NUM_POINTS):
+        x = rng.uniform(0.0, MAP_WIDTH)
+        y = rng.uniform(0.0, MAP_HEIGHT)
+        offsets = [(0.0, 0.0), (-LABEL_WIDTH, 0.0), (0.0, -LABEL_HEIGHT),
+                   (-LABEL_WIDTH, -LABEL_HEIGHT)]
+        for dx, dy in offsets:
+            candidates.append(
+                LabelCandidate(
+                    point_id=point_id,
+                    x_min=x + dx,
+                    y_min=y + dy,
+                    x_max=x + dx + LABEL_WIDTH,
+                    y_max=y + dy + LABEL_HEIGHT,
+                )
+            )
+    return candidates
+
+
+def build_conflict_graph(candidates: List[LabelCandidate]):
+    """Conflict graph: overlapping boxes and sibling candidates of one point."""
+
+    builder = GraphBuilder(len(candidates))
+
+    # Conflicts between candidates of the same point (only one label each).
+    by_point: Dict[int, List[int]] = {}
+    for index, candidate in enumerate(candidates):
+        by_point.setdefault(candidate.point_id, []).append(index)
+    for siblings in by_point.values():
+        for i, first in enumerate(siblings):
+            for second in siblings[i + 1:]:
+                builder.add_edge(first, second)
+
+    # Overlap conflicts, found with a coarse spatial grid to stay near-linear.
+    cell = max(LABEL_WIDTH, LABEL_HEIGHT) * 2
+    grid: Dict[Tuple[int, int], List[int]] = {}
+    for index, candidate in enumerate(candidates):
+        key = (int(candidate.x_min // cell), int(candidate.y_min // cell))
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for other_index in grid.get((key[0] + dx, key[1] + dy), []):
+                    other = candidates[other_index]
+                    if other.point_id != candidate.point_id and candidate.overlaps(other):
+                        builder.add_edge(index, other_index)
+        grid.setdefault(key, []).append(index)
+    return builder.build()
+
+
+def main() -> None:
+    candidates = generate_candidates()
+    graph = build_conflict_graph(candidates)
+    print(f"conflict graph: {graph.num_vertices:,} candidate labels, "
+          f"{graph.num_edges:,} conflicts, average degree {graph.average_degree:.2f}")
+
+    greedy = greedy_mis(graph)
+    best = solve_mis(graph, pipeline="two_k_swap")
+    # Each point can carry at most one label, which is a (often much
+    # tighter) upper bound than the generic Algorithm-5 one.
+    bound = min(independence_upper_bound(graph), NUM_POINTS)
+
+    labelled_points = {candidates[v].point_id for v in best.independent_set}
+    print()
+    print(format_table(
+        ["method", "labels placed", "ratio vs bound"],
+        [
+            ["greedy", greedy.size, greedy.size / bound],
+            ["two-k-swap pipeline", best.size, best.size / bound],
+            ["upper bound", bound, 1.0],
+        ],
+    ))
+    print(f"\npoints of interest labelled: {len(labelled_points):,} of {NUM_POINTS:,} "
+          f"({len(labelled_points) / NUM_POINTS:.1%})")
+    print(f"swap rounds used: {best.num_rounds}; "
+          f"extra labels over greedy: {best.size - greedy.size}")
+
+
+if __name__ == "__main__":
+    main()

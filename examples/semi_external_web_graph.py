@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Semi-external workflow on a disk-resident web-graph stand-in.
+
+This example demonstrates the full disk pipeline the paper targets — the
+setting where the graph does *not* fit in memory but its vertex set does:
+
+1. generate a web-graph-like power-law graph and write it to a binary
+   adjacency file in crawl (id) order;
+2. sort the file by ascending vertex degree with the external sorter under
+   a deliberately tiny memory budget (the Section 4.1 pre-processing);
+3. run Greedy → Two-k-swap directly against the sorted file through the
+   sequential-scan reader;
+4. report the I/O profile (sequential scans, blocks, random lookups) and
+   the modeled memory footprint, and contrast the latter with what the
+   in-memory DynamicUpdate baseline would need.
+
+Run it with::
+
+    python examples/semi_external_web_graph.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import greedy_mis, independence_upper_bound, two_k_swap
+from repro.graphs.datasets import load_dataset
+from repro.reporting import format_table
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.external_sort import external_sort_by_degree
+from repro.storage.memory import MemoryModel
+
+BLOCK_SIZE = 8 * 1024
+SORT_MEMORY_BUDGET = 128 * 1024  # deliberately tiny: forces several runs
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A web-graph stand-in (the "clueweb12" degree profile, scaled).
+    # ------------------------------------------------------------------
+    graph = load_dataset("clueweb12", scale=0.000002, seed=1)
+    print(f"web-graph stand-in: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges, average degree {graph.average_degree:.1f}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        raw_path = os.path.join(workdir, "crawl_order.adj")
+        sorted_path = os.path.join(workdir, "degree_sorted.adj")
+
+        # --------------------------------------------------------------
+        # 2. Write in crawl order, then degree-sort externally.
+        # --------------------------------------------------------------
+        write_adjacency_file(
+            graph, raw_path, order=range(graph.num_vertices), block_size=BLOCK_SIZE
+        ).close()
+        raw_size = os.path.getsize(raw_path)
+        raw_reader = AdjacencyFileReader(raw_path, block_size=BLOCK_SIZE)
+        sort_result = external_sort_by_degree(
+            raw_reader, output_backing=sorted_path,
+            memory_budget=SORT_MEMORY_BUDGET, block_size=BLOCK_SIZE,
+        )
+        print(f"\nexternal sort: {sort_result.num_runs} runs, "
+              f"{sort_result.merge_passes} merge pass(es), "
+              f"{sort_result.stats.blocks_read:,} blocks read, "
+              f"{sort_result.stats.blocks_written:,} blocks written")
+
+        # --------------------------------------------------------------
+        # 3. Solve against the sorted file (sequential scans only).
+        # --------------------------------------------------------------
+        reader = sort_result.reader
+        greedy = greedy_mis(reader)
+        improved = two_k_swap(reader, initial=greedy)
+        bound = independence_upper_bound(reader)
+
+        # --------------------------------------------------------------
+        # 4. Report quality, I/O and memory.
+        # --------------------------------------------------------------
+        print()
+        print(format_table(
+            ["quantity", "value"],
+            [
+                ["adjacency file size (bytes)", raw_size],
+                ["greedy IS size", greedy.size],
+                ["two-k-swap IS size", improved.size],
+                ["upper bound (Algorithm 5)", bound],
+                ["two-k-swap ratio vs bound", improved.size / bound],
+                ["two-k-swap rounds", improved.num_rounds],
+                ["sequential scans (two-k-swap)", improved.io.sequential_scans],
+                ["blocks read (two-k-swap)", improved.io.blocks_read],
+                ["random vertex lookups", improved.io.random_vertex_lookups],
+            ],
+        ))
+
+        model = MemoryModel()
+        semi_external = improved.memory_bytes
+        in_memory = model.dynamic_update_bytes(graph.num_vertices, graph.num_edges)
+        print()
+        print(format_table(
+            ["approach", "modeled memory (bytes)", "fraction of file size"],
+            [
+                ["two-k-swap (semi-external)", semi_external, semi_external / raw_size],
+                ["DynamicUpdate (in-memory)", in_memory, in_memory / raw_size],
+            ],
+        ))
+        print("\nThe semi-external pass keeps only a few words per vertex in memory; "
+              "the in-memory baseline needs the whole edge set.")
+        reader.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e . --no-use-pep517`` (the legacy editable
+path) works on minimal environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""repro — semi-external maximum independent set algorithms.
+
+A production-quality reproduction of
+
+    Yu Liu, Jiaheng Lu, Hua Yang, Xiaokui Xiao, Zhewei Wei.
+    "Towards Maximum Independent Sets on Massive Graphs." PVLDB 8(13), 2015.
+
+Public API highlights
+---------------------
+* :func:`repro.greedy_mis`, :func:`repro.one_k_swap`,
+  :func:`repro.two_k_swap` — the paper's three semi-external passes.
+* :class:`repro.SemiExternalMISSolver` / :func:`repro.solve_mis` —
+  pipeline facade (greedy → one-k → two-k).
+* :mod:`repro.graphs` — graph containers, the power-law random graph
+  model P(α, β) and dataset stand-ins.
+* :mod:`repro.storage` — the semi-external substrate: binary adjacency
+  files, block-level I/O accounting, external sorting, memory budgets.
+* :mod:`repro.baselines` — DynamicUpdate, Baseline, external maximal IS,
+  exact branch-and-bound and local search comparators.
+* :mod:`repro.analysis` — the PLRG performance model (Lemma 1,
+  Propositions 2 and 5) and the Algorithm-5 upper bound.
+"""
+
+from repro.core import (
+    MISResult,
+    RoundStats,
+    SemiExternalMISSolver,
+    VertexState,
+    greedy_mis,
+    one_k_swap,
+    solve_mis,
+    two_k_swap,
+)
+from repro.analysis import approximation_ratio, independence_upper_bound
+from repro.baselines import (
+    baseline_mis,
+    dynamic_update_mis,
+    exact_mis,
+    external_maximal_is,
+    independence_number,
+    local_search_mis,
+)
+from repro.errors import (
+    AnalysisError,
+    DatasetError,
+    FormatError,
+    GraphError,
+    InvalidIndependentSetError,
+    MemoryBudgetError,
+    ReproError,
+    SolverError,
+    StorageError,
+    VertexError,
+)
+from repro.applications import iterated_is_coloring, vertex_cover
+from repro.dynamic import DynamicMISMaintainer
+from repro.graphs import Graph, GraphBuilder
+from repro.reductions import ReducedGraph, reduce_graph, reduced_mis
+from repro.storage import (
+    AdjacencyFileReader,
+    IOStats,
+    InMemoryAdjacencyScan,
+    MemoryBudget,
+    MemoryModel,
+    write_adjacency_file,
+)
+from repro.validation import is_independent_set, is_maximal_independent_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core algorithms
+    "greedy_mis",
+    "one_k_swap",
+    "two_k_swap",
+    "solve_mis",
+    "SemiExternalMISSolver",
+    "MISResult",
+    "RoundStats",
+    "VertexState",
+    # Baselines
+    "baseline_mis",
+    "dynamic_update_mis",
+    "external_maximal_is",
+    "exact_mis",
+    "independence_number",
+    "local_search_mis",
+    # Analysis
+    "approximation_ratio",
+    "independence_upper_bound",
+    # Reductions, applications and incremental maintenance
+    "ReducedGraph",
+    "reduce_graph",
+    "reduced_mis",
+    "vertex_cover",
+    "iterated_is_coloring",
+    "DynamicMISMaintainer",
+    # Graphs
+    "Graph",
+    "GraphBuilder",
+    # Storage
+    "AdjacencyFileReader",
+    "write_adjacency_file",
+    "InMemoryAdjacencyScan",
+    "IOStats",
+    "MemoryModel",
+    "MemoryBudget",
+    # Validation
+    "is_independent_set",
+    "is_maximal_independent_set",
+    # Errors
+    "ReproError",
+    "GraphError",
+    "VertexError",
+    "StorageError",
+    "FormatError",
+    "MemoryBudgetError",
+    "SolverError",
+    "InvalidIndependentSetError",
+    "AnalysisError",
+    "DatasetError",
+]

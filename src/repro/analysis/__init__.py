@@ -1,0 +1,31 @@
+"""Theoretical analysis of the algorithms on power-law random graphs.
+
+* :mod:`repro.analysis.plrg_theory` — the closed-form estimates of
+  Lemma 1, Proposition 2, Lemma 3, Proposition 5 and Lemma 6.
+* :mod:`repro.analysis.upper_bound` — Algorithm 5, the one-pass
+  semi-external upper bound on the independence number used as the
+  "optimal bound" in every ratio the paper reports.
+* :mod:`repro.analysis.ratios` — helpers combining measured results with
+  the bound into approximation ratios.
+"""
+
+from repro.analysis.plrg_theory import (
+    PLRGTheory,
+    greedy_expected_degree_count,
+    greedy_expected_size,
+    one_k_swap_expected_gain,
+    one_k_swap_expected_size,
+)
+from repro.analysis.upper_bound import independence_upper_bound
+from repro.analysis.ratios import approximation_ratio, ratio_table
+
+__all__ = [
+    "PLRGTheory",
+    "greedy_expected_degree_count",
+    "greedy_expected_size",
+    "one_k_swap_expected_gain",
+    "one_k_swap_expected_size",
+    "independence_upper_bound",
+    "approximation_ratio",
+    "ratio_table",
+]

@@ -1,0 +1,386 @@
+"""Closed-form performance estimates on power-law random graphs.
+
+This module implements the analytic side of the paper:
+
+* **Lemma 1 / Proposition 2** — the expected number of vertices the greedy
+  algorithm places in the independent set, per degree
+  (:func:`greedy_expected_degree_count`) and in total
+  (:func:`greedy_expected_size`).  These reproduce Table 2 and Table 9's
+  "Estimation" column.
+* **Lemma 3** — the maximum degree ``d_s`` of vertices that can still
+  contribute to a 1↔k swap (:meth:`PLRGTheory.max_swap_degree`).
+* **Proposition 5** — the expected *swap gain* of the first one-k-swap
+  round (:func:`one_k_swap_expected_gain`), reproducing Figure 6.
+* **Lemma 6** — the bound on the total size of the SC sets of the
+  two-k-swap algorithm (:meth:`PLRGTheory.sc_vertices_bound`) and the
+  maximum degree ``d_2k`` of vertices that enter them.
+
+The printed formulas contain a few typesetting artefacts; the
+implementation follows the derivations in the appendix (Equations 6, 9–19)
+and documents every interpretation choice inline.  All estimates are
+*approximations by design* — the experiments only require them to be tight
+to within roughly one percent, which the Table 9 benchmark checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.errors import AnalysisError
+from repro.graphs.plrg import (
+    PLRGParameters,
+    plrg_expected_edges,
+    plrg_expected_vertices,
+    plrg_max_degree,
+    zeta_partial,
+)
+
+__all__ = [
+    "PLRGTheory",
+    "greedy_expected_degree_count",
+    "greedy_expected_size",
+    "one_k_swap_expected_gain",
+    "one_k_swap_expected_size",
+]
+
+#: Above this many per-degree terms the inner sum of Lemma 1 is evaluated
+#: with its integral approximation instead of term by term.
+_EXACT_SUM_LIMIT = 20_000
+
+
+def _log_comb(n: float, k: float) -> float:
+    """``log C(n, k)`` via lgamma, tolerant of real-valued (estimated) counts."""
+
+    if k < 0 or n < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1.0)
+        - math.lgamma(k + 1.0)
+        - math.lgamma(n - k + 1.0)
+    )
+
+
+@dataclass(frozen=True)
+class PLRGTheory:
+    """Analytic quantities of :math:`P(\\alpha, \\beta)` used by the estimates.
+
+    The object caches nothing itself; the module-level helpers cache the
+    expensive per-degree sums.
+    """
+
+    params: PLRGParameters
+
+    # ------------------------------------------------------------------
+    # Basic model quantities
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """Model parameter ``alpha``."""
+
+        return self.params.alpha
+
+    @property
+    def beta(self) -> float:
+        """Model parameter ``beta``."""
+
+        return self.params.beta
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``Delta = floor(e^(alpha/beta))``."""
+
+        return self.params.max_degree
+
+    @property
+    def num_vertices(self) -> float:
+        """Expected vertex count (Equation 2)."""
+
+        return plrg_expected_vertices(self.alpha, self.beta)
+
+    @property
+    def num_edges(self) -> float:
+        """Expected undirected edge count (Equation 2)."""
+
+        return plrg_expected_edges(self.alpha, self.beta)
+
+    @property
+    def total_stubs(self) -> float:
+        """Total number of edge endpoints ``zeta(beta - 1, Delta) e^alpha``."""
+
+        return zeta_partial(self.beta - 1.0, self.max_degree) * math.exp(self.alpha)
+
+    # ------------------------------------------------------------------
+    # Greedy estimates (Lemma 1 / Proposition 2)
+    # ------------------------------------------------------------------
+    def vertices_with_degree(self, degree: int) -> float:
+        """Number of degree-``degree`` vertices, ``e^alpha / degree^beta``."""
+
+        return math.exp(self.alpha) / degree**self.beta
+
+    def greedy_degree_count(self, degree: int) -> float:
+        """Expected number of degree-``degree`` vertices greedy keeps (Lemma 1)."""
+
+        return greedy_expected_degree_count(self.alpha, self.beta, degree)
+
+    def greedy_size(self) -> float:
+        """Expected greedy independent-set size (Proposition 2)."""
+
+        return greedy_expected_size(self.alpha, self.beta)
+
+    # ------------------------------------------------------------------
+    # Swap-related estimates (Lemma 3, Proposition 5, Lemma 6)
+    # ------------------------------------------------------------------
+    def covered_stub_fraction(self) -> float:
+        """``c(alpha, beta) = sum_i i * GR_i / e^alpha`` from Lemma 3.
+
+        The quantity is the number of edge endpoints attached to greedy IS
+        vertices, normalised by ``e^alpha``.
+        """
+
+        total = 0.0
+        for degree in range(1, self.max_degree + 1):
+            total += degree * self.greedy_degree_count(degree)
+        return total / math.exp(self.alpha)
+
+    def max_swap_degree(self) -> int:
+        """Lemma 3: the largest degree ``d_s`` that can join the IS via a 1↔k swap."""
+
+        zeta_e = zeta_partial(self.beta - 1.0, self.max_degree)
+        c = self.covered_stub_fraction()
+        denominator = zeta_e - 2.0 * c
+        if denominator <= 0:
+            return self.max_degree
+        c_prime = zeta_e / denominator
+        if c_prime <= 1.0:
+            return self.max_degree
+        numerator = self.alpha + math.log(zeta_partial(self.beta, self.max_degree))
+        bound = numerator / math.log(c_prime)
+        return max(2, min(self.max_degree, int(math.ceil(bound))))
+
+    def two_k_max_degree(self) -> int:
+        """Equation 17: the largest degree ``d_2k`` of vertices entering SC sets."""
+
+        zeta_e = zeta_partial(self.beta - 1.0, self.max_degree)
+        c = self.covered_stub_fraction()
+        if zeta_e - 2.0 * c <= 0 or zeta_e - c <= 0:
+            return self.max_degree
+        log_ratio = math.log((zeta_e - c) / (zeta_e - 2.0 * c))
+        if log_ratio <= 0:
+            return self.max_degree
+        numerator = (
+            self.alpha
+            + math.log(zeta_partial(self.beta, self.max_degree))
+            + 2.0 * math.log(zeta_e / (zeta_e - c))
+        )
+        return max(2, min(self.max_degree, int(math.ceil(numerator / log_ratio))))
+
+    def sc_vertices_bound(self) -> float:
+        """Lemma 6: upper bound ``|V| - e^alpha`` on the vertices held in SC sets."""
+
+        return max(0.0, self.num_vertices - math.exp(self.alpha))
+
+    def one_k_gain(self) -> float:
+        """Proposition 5: expected gain of the first one-k-swap round."""
+
+        return one_k_swap_expected_gain(self.alpha, self.beta)
+
+    def one_k_size(self) -> float:
+        """Greedy size plus the first-round swap gain (the Figure 6 quantity)."""
+
+        return one_k_swap_expected_size(self.alpha, self.beta)
+
+    def summary(self) -> Dict[str, float]:
+        """All derived quantities in one dictionary (used by the CLI)."""
+
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "max_degree": float(self.max_degree),
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "greedy_size": self.greedy_size(),
+            "one_k_swap_size": self.one_k_size(),
+            "max_swap_degree": float(self.max_swap_degree()),
+            "two_k_max_degree": float(self.two_k_max_degree()),
+            "sc_vertices_bound": self.sc_vertices_bound(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Lemma 1 / Proposition 2
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4096)
+def greedy_expected_degree_count(alpha: float, beta: float, degree: int) -> float:
+    """Expected number of degree-``degree`` vertices greedy adds (Lemma 1).
+
+    Implements Equation (6) of the appendix: the ``x``-th degree-``i``
+    vertex is added when all ``i`` of its edge endpoints land on vertices
+    that come later in the degree order, whose stub count is
+
+    ``(e^alpha / i^(beta-1) - i x) + sum_{s>i} e^alpha / s^(beta-1)``
+
+    out of ``e^alpha * zeta(beta - 1, Delta)`` total stubs.  The sum over
+    ``x`` is evaluated exactly for small degree classes and with its
+    integral approximation for the very large ones (the degree-1 class of
+    a 10-million-vertex graph has millions of terms).
+    """
+
+    if degree < 1:
+        raise AnalysisError("degrees start at 1 in the PLRG model")
+    delta = plrg_max_degree(alpha, beta)
+    if degree > delta:
+        return 0.0
+    e_alpha = math.exp(alpha)
+    total_stubs = e_alpha * zeta_partial(beta - 1.0, delta)
+    if total_stubs <= 0:
+        return 0.0
+    class_size = int(math.floor(e_alpha / degree**beta))
+    if class_size <= 0:
+        return 0.0
+
+    # Stubs belonging to vertices of degree > `degree`, plus the whole
+    # degree-`degree` class itself (the x-dependent part is subtracted below).
+    later_stubs = e_alpha * (
+        zeta_partial(beta - 1.0, delta) - zeta_partial(beta - 1.0, degree - 1)
+    )
+
+    def probability(x: float) -> float:
+        value = (later_stubs - degree * x) / total_stubs
+        return min(1.0, max(0.0, value)) ** degree
+
+    if class_size <= _EXACT_SUM_LIMIT:
+        return sum(probability(x) for x in range(1, class_size + 1))
+
+    # Integral approximation of sum_{x=1}^{n} ((later - i x) / total)^i.
+    slope = degree / total_stubs
+    upper = later_stubs / total_stubs - slope  # value at x = 1
+    lower = later_stubs / total_stubs - slope * class_size
+    upper = min(1.0, max(0.0, upper))
+    lower = min(1.0, max(0.0, lower))
+    exponent = degree + 1
+    return (upper**exponent - lower**exponent) / (slope * exponent)
+
+
+def greedy_expected_size(alpha: float, beta: float) -> float:
+    """Proposition 2: expected greedy independent-set size ``sum_i GR_i``."""
+
+    delta = plrg_max_degree(alpha, beta)
+    return sum(greedy_expected_degree_count(alpha, beta, i) for i in range(1, delta + 1))
+
+
+# ----------------------------------------------------------------------
+# Proposition 5
+# ----------------------------------------------------------------------
+def _bins_and_balls_probability(m1: float, m2: float, n: float, d: float) -> float:
+    """Equation (14): the probability that one bin holds a type-1 and a type-2 ball.
+
+    ``n`` bins of capacity ``d`` receive ``m1`` type-1 and ``m2`` type-2
+    balls; the value is the probability that the *first* bin receives at
+    least one of each.  Counts are real-valued estimates, so the binomial
+    coefficients are evaluated through lgamma.
+    """
+
+    if min(m1, m2, n, d) <= 0 or n < d:
+        return 0.0
+    m1 = min(m1, n)
+    m2 = min(m2, n - m1)
+    if m1 < 1 or m2 < 1:
+        return 0.0
+    log_numerator = (
+        math.log(d)
+        + _log_comb(n - d, m1 - 1)
+        + math.log(max(d - 1, 1e-12))
+        + _log_comb(n - d - m1 + 1, m2 - 1)
+    )
+    log_denominator = _log_comb(n, m1) + _log_comb(n - m1, m2)
+    if math.isinf(log_numerator) or math.isinf(log_denominator):
+        return 0.0
+    return min(1.0, math.exp(log_numerator - log_denominator))
+
+
+@lru_cache(maxsize=512)
+def _swap_population(alpha: float, beta: float) -> Dict[int, Dict[int, float]]:
+    """Estimate ``|A_{x,i}|``: adjacent vertices of degree ``x`` anchored at degree-``i`` IS vertices.
+
+    Follows Equation (13) and the "evenly distributing" argument of the
+    appendix:
+
+    * a non-IS vertex of degree ``x`` is an "A" vertex when exactly one of
+      its ``x`` endpoints lands on an IS vertex (stub fraction ``q``) and
+      the rest avoid both the IS and the other swap candidates (fraction
+      ``1 - 2 q``), conditioned on it not being independent itself;
+    * the anchor of an "A" vertex is a degree-``i`` IS vertex with
+      probability proportional to ``i * GR_i``.
+    """
+
+    theory = PLRGTheory(PLRGParameters(alpha=alpha, beta=beta))
+    delta = theory.max_degree
+    d_s = theory.max_swap_degree()
+    zeta_e = zeta_partial(beta - 1.0, delta)
+    c = theory.covered_stub_fraction()
+    q = min(0.49, max(1e-12, c / zeta_e))
+
+    # Fraction of IS stubs owned by degree-i IS vertices.
+    is_stubs = {
+        i: i * greedy_expected_degree_count(alpha, beta, i) for i in range(1, d_s + 1)
+    }
+    total_is_stubs = sum(
+        i * greedy_expected_degree_count(alpha, beta, i) for i in range(1, delta + 1)
+    )
+
+    population: Dict[int, Dict[int, float]] = {}
+    for x in range(2, d_s + 1):
+        class_size = math.exp(alpha) / x**beta
+        non_is = max(0.0, class_size - greedy_expected_degree_count(alpha, beta, x))
+        p_single = x * q * (1.0 - 2.0 * q) ** (x - 1)
+        p_any = 1.0 - (1.0 - q) ** x
+        conditional = 0.0 if p_any <= 0 else min(1.0, p_single / p_any)
+        a_x = non_is * conditional
+        row: Dict[int, float] = {}
+        for i in range(1, min(x, d_s) + 1):
+            if total_is_stubs <= 0:
+                row[i] = 0.0
+            else:
+                row[i] = a_x * (is_stubs.get(i, 0.0) / total_is_stubs)
+        population[x] = row
+    return population
+
+
+def one_k_swap_expected_gain(alpha: float, beta: float) -> float:
+    """Proposition 5: expected number of new IS vertices in the first swap round.
+
+    ``SG = sum_i [ T(i,i,i) + sum_{j>i} T(j,i,i) + sum_{p>i} sum_{q>=p} T(p,q,i) ]``
+    where ``T(x, y, i)`` estimates how many degree-``i`` IS vertices can be
+    exchanged against one degree-``x`` and one degree-``y`` candidate.
+    """
+
+    theory = PLRGTheory(PLRGParameters(alpha=alpha, beta=beta))
+    d_s = theory.max_swap_degree()
+    population = _swap_population(alpha, beta)
+
+    def t(x: int, y: int, i: int) -> float:
+        bins = greedy_expected_degree_count(alpha, beta, i)
+        m1 = population.get(x, {}).get(i, 0.0)
+        m2 = population.get(y, {}).get(i, 0.0)
+        return bins * _bins_and_balls_probability(m1, m2, bins, i)
+
+    gain = 0.0
+    for i in range(2, d_s + 1):
+        gain += t(i, i, i)
+        for j in range(i + 1, d_s + 1):
+            gain += t(j, i, i)
+        for p in range(i + 1, d_s + 1):
+            for q in range(p, d_s + 1):
+                gain += t(p, q, i)
+    # The gain can never exceed the number of non-IS vertices.
+    non_is = theory.num_vertices - theory.greedy_size()
+    return max(0.0, min(gain, non_is))
+
+
+def one_k_swap_expected_size(alpha: float, beta: float) -> float:
+    """Expected IS size after greedy plus one one-k-swap round (Figure 6)."""
+
+    return greedy_expected_size(alpha, beta) + one_k_swap_expected_gain(alpha, beta)

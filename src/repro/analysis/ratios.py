@@ -1,0 +1,56 @@
+"""Approximation-ratio helpers shared by the benchmarks.
+
+Every ratio in the paper is "algorithm size / optimal bound", where the
+optimal bound is Algorithm 5's one-pass upper bound (or, for tiny test
+graphs, the exact independence number).  These helpers centralise that
+computation so every benchmark reports ratios the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.analysis.upper_bound import independence_upper_bound
+from repro.core.result import MISResult
+from repro.errors import AnalysisError
+from repro.graphs.graph import Graph
+
+__all__ = ["approximation_ratio", "ratio_table"]
+
+
+def approximation_ratio(
+    result: Union[MISResult, int],
+    graph: Optional[Graph] = None,
+    upper_bound: Optional[float] = None,
+) -> float:
+    """Ratio of an independent-set size to an upper bound on the optimum.
+
+    Either ``upper_bound`` is given directly, or ``graph`` is given and
+    Algorithm 5's bound is computed on the fly.
+    """
+
+    size = result.size if isinstance(result, MISResult) else int(result)
+    if upper_bound is None:
+        if graph is None:
+            raise AnalysisError("provide either a graph or an explicit upper bound")
+        upper_bound = independence_upper_bound(graph)
+    if upper_bound <= 0:
+        raise AnalysisError("the upper bound must be positive")
+    return size / upper_bound
+
+
+def ratio_table(
+    results: Mapping[str, Union[MISResult, int]],
+    graph: Optional[Graph] = None,
+    upper_bound: Optional[float] = None,
+) -> Dict[str, float]:
+    """Approximation ratios for a whole set of named results at once."""
+
+    if upper_bound is None:
+        if graph is None:
+            raise AnalysisError("provide either a graph or an explicit upper bound")
+        upper_bound = independence_upper_bound(graph)
+    return {
+        name: approximation_ratio(result, upper_bound=upper_bound)
+        for name, result in results.items()
+    }

@@ -1,0 +1,18 @@
+"""Graph problems solved through the MIS machinery.
+
+The paper's conclusion names minimum vertex cover and graph colouring as
+the next targets for the semi-external toolkit; both reduce directly to
+(repeated) independent-set computations:
+
+* :mod:`repro.applications.vertex_cover` — the complement of an
+  independent set is a vertex cover, so every MIS pipeline doubles as a
+  vertex-cover heuristic with the same semi-external profile.
+* :mod:`repro.applications.coloring` — extracting a maximal independent
+  set per colour class yields a proper colouring; the quality tracks the
+  quality of the underlying MIS pass.
+"""
+
+from repro.applications.vertex_cover import VertexCoverResult, vertex_cover
+from repro.applications.coloring import ColoringResult, iterated_is_coloring
+
+__all__ = ["VertexCoverResult", "vertex_cover", "ColoringResult", "iterated_is_coloring"]

@@ -1,0 +1,77 @@
+"""Minimum vertex cover through the MIS pipelines.
+
+``C`` is a vertex cover exactly when ``V \\ C`` is an independent set, so a
+*large* independent set yields a *small* vertex cover.  This module wraps
+any of the library's MIS pipelines into a vertex-cover heuristic and keeps
+the semi-external telemetry of the underlying run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+from repro.core.result import MISResult
+from repro.core.solver import solve_mis
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.storage.scan import AdjacencyScanSource
+
+__all__ = ["VertexCoverResult", "vertex_cover", "is_vertex_cover"]
+
+
+@dataclass(frozen=True)
+class VertexCoverResult:
+    """A vertex cover plus the MIS run it was derived from."""
+
+    cover: FrozenSet[int]
+    mis_result: MISResult
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the cover."""
+
+        return len(self.cover)
+
+    @property
+    def pipeline(self) -> str:
+        """Name of the MIS pipeline that produced the complement."""
+
+        return self.mis_result.algorithm
+
+
+def is_vertex_cover(graph: Graph, cover) -> bool:
+    """Whether every edge of ``graph`` has at least one endpoint in ``cover``."""
+
+    selected = set(cover)
+    return all(u in selected or v in selected for u, v in graph.iter_edges())
+
+
+def vertex_cover(
+    graph_or_source: Union[Graph, AdjacencyScanSource],
+    pipeline: str = "two_k_swap",
+    max_rounds: Optional[int] = None,
+) -> VertexCoverResult:
+    """Compute a small vertex cover as the complement of a large independent set.
+
+    Parameters
+    ----------
+    graph_or_source:
+        Graph or adjacency scan source.
+    pipeline:
+        MIS pipeline used for the complement (see
+        :data:`repro.core.solver.PIPELINES`).
+    max_rounds:
+        Optional early-stop bound forwarded to the swap passes.
+    """
+
+    result = solve_mis(graph_or_source, pipeline=pipeline, max_rounds=max_rounds)
+    num_vertices = (
+        graph_or_source.num_vertices
+        if not isinstance(graph_or_source, Graph)
+        else graph_or_source.num_vertices
+    )
+    cover = frozenset(range(num_vertices)) - result.independent_set
+    if isinstance(graph_or_source, Graph) and not is_vertex_cover(graph_or_source, cover):
+        raise SolverError("internal error: the complement of the independent set is not a cover")
+    return VertexCoverResult(cover=cover, mis_result=result)

@@ -1,0 +1,228 @@
+"""Command-line interface: ``repro-mis`` (or ``python -m repro``).
+
+Sub-commands
+------------
+``generate``
+    Generate a synthetic graph (PLRG, Erdős–Rényi, or a dataset stand-in)
+    and write it as a binary adjacency file.
+``solve``
+    Run one of the pipelines on an adjacency file (or generate a graph on
+    the fly) and print the result summary.
+``bound``
+    Compute the Algorithm-5 upper bound on the independence number.
+``theory``
+    Evaluate the PLRG performance model for given (|V|, beta).
+``datasets``
+    List the Table 4 dataset stand-ins.
+``import`` / ``export``
+    Convert between SNAP-style text edge lists and the binary adjacency
+    format.
+``reduce``
+    Apply the exact kernelization rules to an adjacency file and report
+    the kernel size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.plrg_theory import PLRGTheory
+from repro.analysis.upper_bound import independence_upper_bound
+from repro.core.solver import PIPELINES, solve_mis
+from repro.graphs.datasets import DATASETS, load_dataset
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.graph import Graph
+from repro.graphs.plrg import PLRGParameters, plrg_graph
+from repro.reporting import format_table
+from repro.reductions.kernel import reduce_graph
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.converters import export_edge_list, import_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-mis`` entry point."""
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description="Semi-external maximum independent set toolkit (VLDB 2015 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic graph file")
+    generate.add_argument("output", help="path of the binary adjacency file to write")
+    generate.add_argument("--model", choices=["plrg", "gnm", "dataset"], default="plrg")
+    generate.add_argument("--vertices", type=int, default=10_000)
+    generate.add_argument("--edges", type=int, default=30_000, help="gnm only")
+    generate.add_argument("--beta", type=float, default=2.1, help="plrg only")
+    generate.add_argument("--dataset", default="dblp", help="dataset stand-in name")
+    generate.add_argument("--scale", type=float, default=0.001, help="dataset scale factor")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--order",
+        choices=["degree", "id"],
+        default="degree",
+        help="record order of the output file",
+    )
+
+    solve = subparsers.add_parser("solve", help="run a pipeline on an adjacency file")
+    solve.add_argument("input", help="path of a binary adjacency file")
+    solve.add_argument("--pipeline", choices=sorted(PIPELINES), default="two_k_swap")
+    solve.add_argument("--max-rounds", type=int, default=None)
+    solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    bound = subparsers.add_parser("bound", help="Algorithm 5 upper bound for a file")
+    bound.add_argument("input", help="path of a binary adjacency file")
+
+    theory = subparsers.add_parser("theory", help="evaluate the PLRG performance model")
+    theory.add_argument("--vertices", type=int, default=10_000_000)
+    theory.add_argument("--beta", type=float, default=2.1)
+
+    subparsers.add_parser("datasets", help="list the Table 4 dataset stand-ins")
+
+    import_cmd = subparsers.add_parser(
+        "import", help="convert a text edge list into a binary adjacency file"
+    )
+    import_cmd.add_argument("text_input", help="path of the text edge list")
+    import_cmd.add_argument("output", help="path of the binary adjacency file to write")
+    import_cmd.add_argument("--order", choices=["degree", "id"], default="degree")
+    import_cmd.add_argument(
+        "--compact", action="store_true",
+        help="renumber sparse vertex ids to 0..n-1 while importing",
+    )
+
+    export_cmd = subparsers.add_parser(
+        "export", help="convert a binary adjacency file into a text edge list"
+    )
+    export_cmd.add_argument("input", help="path of the binary adjacency file")
+    export_cmd.add_argument("text_output", help="path of the text edge list to write")
+
+    reduce_cmd = subparsers.add_parser(
+        "reduce", help="apply the exact kernelization rules to an adjacency file"
+    )
+    reduce_cmd.add_argument("input", help="path of the binary adjacency file")
+    return parser
+
+
+def _generate_graph(args: argparse.Namespace) -> Graph:
+    """Build the requested in-memory graph for the ``generate`` command."""
+
+    if args.model == "plrg":
+        params = PLRGParameters.from_vertex_count(args.vertices, args.beta)
+        return plrg_graph(params, seed=args.seed)
+    if args.model == "gnm":
+        return erdos_renyi_gnm(args.vertices, args.edges, seed=args.seed)
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = _generate_graph(args)
+    order = graph.degree_ascending_order() if args.order == "degree" else range(graph.num_vertices)
+    device = write_adjacency_file(graph, args.output, order=list(order))
+    device.close()
+    print(
+        f"wrote {args.output}: {graph.num_vertices:,} vertices, "
+        f"{graph.num_edges:,} edges ({args.order} order)"
+    )
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    reader = AdjacencyFileReader(args.input)
+    result = solve_mis(reader, pipeline=args.pipeline, max_rounds=args.max_rounds)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [[key, value] for key, value in summary.items()]
+        print(format_table(["metric", "value"], rows))
+    reader.close()
+    return 0
+
+
+def _command_bound(args: argparse.Namespace) -> int:
+    reader = AdjacencyFileReader(args.input)
+    bound = independence_upper_bound(reader)
+    print(f"independence number upper bound: {bound:,}")
+    reader.close()
+    return 0
+
+
+def _command_theory(args: argparse.Namespace) -> int:
+    params = PLRGParameters.from_vertex_count(args.vertices, args.beta)
+    theory = PLRGTheory(params)
+    rows = [[key, value] for key, value in theory.summary().items()]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _command_import(args: argparse.Namespace) -> int:
+    graph, _mapping = import_edge_list(
+        args.text_input, args.output, order=args.order, compact=args.compact
+    )
+    print(
+        f"imported {args.text_input} -> {args.output}: "
+        f"{graph.num_vertices:,} vertices, {graph.num_edges:,} edges ({args.order} order)"
+    )
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    edges = export_edge_list(args.input, args.text_output)
+    print(f"exported {edges:,} edges to {args.text_output}")
+    return 0
+
+
+def _command_reduce(args: argparse.Namespace) -> int:
+    reader = AdjacencyFileReader(args.input)
+    reduced = reduce_graph(reader.to_graph())
+    rows = [
+        ["original vertices", reduced.original_vertices],
+        ["kernel vertices", reduced.kernel_size],
+        ["kernel edges", reduced.kernel.num_edges],
+        ["forced picks", len(reduced.forced_tokens)],
+        ["folds", len(reduced.folds)],
+        ["isolated-rule applications", reduced.stats.isolated],
+        ["pendant-rule applications", reduced.stats.pendant],
+        ["triangle-rule applications", reduced.stats.triangle],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    reader.close()
+    return 0
+
+
+def _command_datasets(_args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.real_vertices, spec.real_edges, spec.avg_degree, spec.disk_size]
+        for spec in DATASETS.values()
+    ]
+    print(format_table(["dataset", "|V|", "|E|", "avg degree", "disk size"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-mis`` console script."""
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "solve": _command_solve,
+        "bound": _command_bound,
+        "theory": _command_theory,
+        "datasets": _command_datasets,
+        "import": _command_import,
+        "export": _command_export,
+        "reduce": _command_reduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

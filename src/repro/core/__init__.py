@@ -1,0 +1,29 @@
+"""The paper's core contribution: semi-external MIS algorithms.
+
+* :mod:`repro.core.states` — the six-vertex-state machine of Table 3 /
+  Figure 3.
+* :mod:`repro.core.result` — result and per-round telemetry objects.
+* :mod:`repro.core.greedy` — Algorithm 1, the semi-external greedy pass.
+* :mod:`repro.core.one_k_swap` — Algorithm 2, 1↔k swaps.
+* :mod:`repro.core.two_k_swap` — Algorithms 3 & 4, 2↔k swaps.
+* :mod:`repro.core.solver` — a facade that chains the passes into the
+  pipelines evaluated in Section 7 (e.g. Greedy → One-k → Two-k).
+"""
+
+from repro.core.states import VertexState
+from repro.core.result import MISResult, RoundStats
+from repro.core.greedy import greedy_mis
+from repro.core.one_k_swap import one_k_swap
+from repro.core.two_k_swap import two_k_swap
+from repro.core.solver import SemiExternalMISSolver, solve_mis
+
+__all__ = [
+    "VertexState",
+    "MISResult",
+    "RoundStats",
+    "greedy_mis",
+    "one_k_swap",
+    "two_k_swap",
+    "SemiExternalMISSolver",
+    "solve_mis",
+]

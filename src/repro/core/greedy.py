@@ -1,0 +1,100 @@
+"""Algorithm 1: the semi-external greedy algorithm.
+
+The algorithm performs **one** sequential scan of the (degree-sorted)
+adjacency file.  Every still-unvisited vertex it reaches is added to the
+independent set and its unvisited neighbours are excluded — a *lazy*
+variant of the classic minimum-degree greedy that never updates degrees
+and therefore never needs a random disk access.
+
+.. note::
+
+   The pseudo-code of Algorithm 1 (line 8) sets the neighbour state to
+   ``IS``, which is a typo in the paper — it would not yield an
+   independent set.  Following the textual description ("update the states
+   of its neighbours"), neighbours are *excluded* here.
+
+The quality of the result depends on the scan order: the paper's
+pre-processing sorts the file by ascending degree (Section 4.1), which is
+the default order here; the "Baseline" comparator of Section 7 is the same
+scan without the ordering (see :mod:`repro.baselines.unsorted`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from repro.core.result import MISResult
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.storage.memory import MemoryModel
+from repro.storage.scan import AdjacencyScanSource, as_scan_source
+
+__all__ = ["greedy_mis"]
+
+# Internal compact states of the greedy bitmap-style pass.
+_INITIAL = 0
+_IN_SET = 1
+_EXCLUDED = 2
+
+
+def greedy_mis(
+    graph_or_source: Union[Graph, AdjacencyScanSource],
+    order: Union[str, Sequence[int]] = "degree",
+    memory_model: Optional[MemoryModel] = None,
+) -> MISResult:
+    """Compute a maximal independent set with one sequential scan.
+
+    Parameters
+    ----------
+    graph_or_source:
+        Either an in-memory :class:`~repro.graphs.graph.Graph` (wrapped
+        into a degree-ordered scan) or any adjacency scan source, e.g. an
+        :class:`~repro.storage.adjacency_file.AdjacencyFileReader` over a
+        pre-sorted file.
+    order:
+        Scan order used when a :class:`Graph` is passed; ``"degree"``
+        reproduces Algorithm 1, ``"id"`` reproduces the Baseline.
+    memory_model:
+        Memory model used to report the modeled footprint; defaults to the
+        paper's 4-byte-word model.
+
+    Returns
+    -------
+    MISResult
+        The maximal independent set plus I/O and memory telemetry.
+    """
+
+    source = as_scan_source(graph_or_source, order=order)
+    model = memory_model if memory_model is not None else MemoryModel()
+    num_vertices = source.num_vertices
+
+    started = time.perf_counter()
+    state = bytearray(num_vertices)  # all _INITIAL
+    before = source.stats.copy()
+
+    for vertex, neighbors in source.scan():
+        if vertex >= num_vertices:
+            raise SolverError(
+                f"scan produced vertex {vertex} outside the declared range of "
+                f"{num_vertices} vertices"
+            )
+        if state[vertex] != _INITIAL:
+            continue
+        state[vertex] = _IN_SET
+        for u in neighbors:
+            if state[u] == _INITIAL:
+                state[u] = _EXCLUDED
+
+    independent_set = frozenset(v for v in range(num_vertices) if state[v] == _IN_SET)
+    elapsed = time.perf_counter() - started
+
+    return MISResult(
+        algorithm="greedy",
+        independent_set=independent_set,
+        rounds=(),
+        io=source.stats.delta_since(before),
+        memory_bytes=model.greedy_bytes(num_vertices),
+        elapsed_seconds=elapsed,
+        initial_size=0,
+    )

@@ -1,0 +1,158 @@
+"""Result and telemetry objects returned by every solver.
+
+A solver returns an :class:`MISResult`: the independent set itself plus
+the per-round telemetry needed to reproduce Tables 6–8 (round counts, new
+IS vertices per round, I/O counters, modeled memory) without re-running
+the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.storage.io_stats import IOStats
+
+__all__ = ["RoundStats", "MISResult"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Telemetry of one swap round (one iteration of the outer while loop).
+
+    Attributes
+    ----------
+    round_index:
+        1-based index of the round.
+    gained:
+        Net increase of the independent-set size during this round.
+    one_k_swaps:
+        Number of IS vertices removed by 1↔k swaps (each removal is one
+        1↔k swap).
+    two_k_swaps:
+        Number of 2↔k swaps performed (two-k-swap algorithm only).
+    zero_one_swaps:
+        Number of 0↔1 swaps (vertices added in the post-swap phase
+        because all of their neighbours were outside the IS).
+    is_size_after:
+        Independent-set size at the end of the round.
+    sc_vertices:
+        Number of vertices held in SC sets at the peak of this round
+        (two-k-swap only; 0 otherwise).
+    """
+
+    round_index: int
+    gained: int
+    one_k_swaps: int
+    two_k_swaps: int
+    zero_one_swaps: int
+    is_size_after: int
+    sc_vertices: int = 0
+
+
+@dataclass(frozen=True)
+class MISResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    algorithm:
+        Canonical algorithm name (``"greedy"``, ``"one_k_swap"``,
+        ``"two_k_swap"``, ``"baseline"``, ``"dynamic_update"``,
+        ``"external_mis"``, ``"exact"`` …).
+    independent_set:
+        The vertices of the computed independent set.
+    rounds:
+        Per-round telemetry (empty for single-pass algorithms).
+    io:
+        Snapshot of the I/O counters accumulated while the solver ran.
+    memory_bytes:
+        Modeled semi-external memory footprint (see
+        :class:`repro.storage.memory.MemoryModel`).
+    elapsed_seconds:
+        Wall-clock time of the run.
+    initial_size:
+        Size of the independent set the solver started from (equals 0 for
+        constructive algorithms such as greedy).
+    extras:
+        Free-form additional metrics (e.g. ``max_sc_vertices``).
+    """
+
+    algorithm: str
+    independent_set: FrozenSet[int]
+    rounds: Tuple[RoundStats, ...] = ()
+    io: IOStats = field(default_factory=IOStats)
+    memory_bytes: int = 0
+    elapsed_seconds: float = 0.0
+    initial_size: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the independent set."""
+
+        return len(self.independent_set)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of swap rounds executed (the Table 7 quantity)."""
+
+        return len(self.rounds)
+
+    @property
+    def total_gain(self) -> int:
+        """Vertices gained over the initial independent set."""
+
+        return self.size - self.initial_size
+
+    def gain_after_rounds(self, num_rounds: int) -> int:
+        """Vertices gained within the first ``num_rounds`` rounds (Table 8)."""
+
+        return sum(r.gained for r in self.rounds[:num_rounds])
+
+    def swap_completion_ratio(self, num_rounds: int) -> float:
+        """Fraction of the total swap gain achieved after ``num_rounds`` rounds.
+
+        Returns 1.0 when the algorithm gained nothing at all (there was
+        nothing to complete), matching how Table 8 reports the DBLP row.
+        """
+
+        total = self.total_gain
+        if total <= 0:
+            return 1.0
+        return self.gain_after_rounds(num_rounds) / total
+
+    def approximation_ratio(self, upper_bound: float) -> float:
+        """Size divided by an upper bound on the independence number."""
+
+        if upper_bound <= 0:
+            raise ValueError("the upper bound must be positive")
+        return self.size / upper_bound
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by the CLI and the benchmark reports."""
+
+        return {
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "rounds": self.num_rounds,
+            "initial_size": self.initial_size,
+            "memory_bytes": self.memory_bytes,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "sequential_scans": self.io.sequential_scans,
+            "random_vertex_lookups": self.io.random_vertex_lookups,
+        }
+
+    def with_algorithm(self, name: str) -> "MISResult":
+        """Return a copy of the result relabelled with another algorithm name."""
+
+        return MISResult(
+            algorithm=name,
+            independent_set=self.independent_set,
+            rounds=self.rounds,
+            io=self.io,
+            memory_bytes=self.memory_bytes,
+            elapsed_seconds=self.elapsed_seconds,
+            initial_size=self.initial_size,
+            extras=dict(self.extras),
+        )

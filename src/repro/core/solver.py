@@ -1,0 +1,151 @@
+"""Solver facade chaining the semi-external passes into pipelines.
+
+Section 7 evaluates compositions of the basic passes, e.g. "One-k-swap
+(after Greedy)" and "Two-k-swap (after Baseline)".  The facade makes those
+pipelines one call:
+
+>>> from repro import SemiExternalMISSolver
+>>> from repro.graphs import erdos_renyi_gnm
+>>> graph = erdos_renyi_gnm(200, 400, seed=1)
+>>> result = SemiExternalMISSolver(pipeline="two_k_swap").solve(graph)
+>>> result.size >= SemiExternalMISSolver(pipeline="greedy").solve(graph).size
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.greedy import greedy_mis
+from repro.core.one_k_swap import one_k_swap
+from repro.core.result import MISResult
+from repro.core.two_k_swap import two_k_swap
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.storage.memory import MemoryModel
+from repro.storage.scan import AdjacencyScanSource, as_scan_source
+from repro.validation.checks import assert_independent_set
+
+__all__ = ["SemiExternalMISSolver", "solve_mis", "PIPELINES"]
+
+#: Pipelines evaluated in the paper, mapped to the passes they chain.
+PIPELINES: Dict[str, Tuple[str, ...]] = {
+    "greedy": ("greedy",),
+    "baseline": ("baseline",),
+    "one_k_swap": ("greedy", "one_k_swap"),
+    "two_k_swap": ("greedy", "two_k_swap"),
+    "one_k_swap_after_baseline": ("baseline", "one_k_swap"),
+    "two_k_swap_after_baseline": ("baseline", "two_k_swap"),
+}
+
+
+@dataclass
+class SemiExternalMISSolver:
+    """Configurable facade over the semi-external passes.
+
+    Parameters
+    ----------
+    pipeline:
+        One of :data:`PIPELINES` (e.g. ``"two_k_swap"`` = greedy followed
+        by the two-k-swap pass).
+    max_rounds:
+        Optional early-stop bound forwarded to the swap passes (Table 8's
+        early-stop experiment uses 1–3).
+    order:
+        Scan order used when an in-memory graph is passed (``"degree"``
+        for the paper's pre-sorted layout, ``"id"`` for the Baseline).
+    validate:
+        When true, the result is checked to be an independent set before
+        it is returned (cheap insurance for library users; benchmarks
+        switch it off).
+    """
+
+    pipeline: str = "two_k_swap"
+    max_rounds: Optional[int] = None
+    order: Union[str, Sequence[int]] = "degree"
+    validate: bool = False
+    memory_model: MemoryModel = MemoryModel()
+
+    def solve(self, graph_or_source: Union[Graph, AdjacencyScanSource]) -> MISResult:
+        """Run the configured pipeline and return the final result."""
+
+        if self.pipeline not in PIPELINES:
+            raise SolverError(
+                f"unknown pipeline {self.pipeline!r}; expected one of {sorted(PIPELINES)}"
+            )
+        passes = PIPELINES[self.pipeline]
+        started = time.perf_counter()
+
+        # The baseline pipeline scans in raw id order; everything else uses
+        # the configured (default: degree) order.
+        order = self.order
+        if passes[0] == "baseline" and order == "degree":
+            order = "id"
+        source = as_scan_source(graph_or_source, order=order)
+
+        result: Optional[MISResult] = None
+        for pass_name in passes:
+            result = self._run_pass(pass_name, source, result)
+        assert result is not None
+
+        if self.validate and isinstance(graph_or_source, Graph):
+            assert_independent_set(graph_or_source, result.independent_set)
+
+        elapsed = time.perf_counter() - started
+        final = MISResult(
+            algorithm=self.pipeline,
+            independent_set=result.independent_set,
+            rounds=result.rounds,
+            io=source.stats.copy(),
+            memory_bytes=result.memory_bytes,
+            elapsed_seconds=elapsed,
+            initial_size=result.initial_size,
+            extras=dict(result.extras),
+        )
+        return final
+
+    def _run_pass(
+        self,
+        pass_name: str,
+        source: AdjacencyScanSource,
+        previous: Optional[MISResult],
+    ) -> MISResult:
+        """Dispatch one pass of the pipeline."""
+
+        if pass_name in {"greedy", "baseline"}:
+            result = greedy_mis(source, memory_model=self.memory_model)
+            if pass_name == "baseline":
+                result = result.with_algorithm("baseline")
+            return result
+        if pass_name == "one_k_swap":
+            return one_k_swap(
+                source,
+                initial=previous,
+                max_rounds=self.max_rounds,
+                memory_model=self.memory_model,
+            )
+        if pass_name == "two_k_swap":
+            return two_k_swap(
+                source,
+                initial=previous,
+                max_rounds=self.max_rounds,
+                memory_model=self.memory_model,
+            )
+        raise SolverError(f"unknown pass {pass_name!r}")
+
+
+def solve_mis(
+    graph_or_source: Union[Graph, AdjacencyScanSource],
+    pipeline: str = "two_k_swap",
+    max_rounds: Optional[int] = None,
+    order: Union[str, Sequence[int]] = "degree",
+    validate: bool = False,
+) -> MISResult:
+    """One-shot convenience wrapper around :class:`SemiExternalMISSolver`."""
+
+    solver = SemiExternalMISSolver(
+        pipeline=pipeline, max_rounds=max_rounds, order=order, validate=validate
+    )
+    return solver.solve(graph_or_source)

@@ -1,0 +1,77 @@
+"""The six-state vertex machine of the swap algorithms (Table 3, Figure 3).
+
+Every vertex carries one of six states during a swap round:
+
+========= ======== =======================================================
+notation  name     meaning
+========= ======== =======================================================
+``I``     IS        currently in the independent set
+``N``     NON_IS    currently not in the independent set
+``A``     ADJACENT  non-IS vertex adjacent to exactly one IS vertex
+                    (one *or two* in the two-k-swap variant)
+``P``     PROTECTED adjacent vertex that will join the IS at the next swap
+``C``     CONFLICT  adjacent vertex that lost a swap conflict this round
+``R``     RETRO     IS vertex that will leave the IS at the next swap
+========= ======== =======================================================
+
+The greedy pass additionally uses ``INITIAL`` for not-yet-visited vertices
+(Algorithm 1, lines 1–2).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["VertexState"]
+
+
+class VertexState(IntEnum):
+    """Vertex states used by the greedy and swap algorithms."""
+
+    INITIAL = 0
+    IS = 1
+    NON_IS = 2
+    ADJACENT = 3
+    PROTECTED = 4
+    CONFLICT = 5
+    RETROGRADE = 6
+
+    @property
+    def letter(self) -> str:
+        """Single-letter notation used in the paper's tables and figures."""
+
+        return _LETTERS[self]
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "VertexState":
+        """Parse the paper's single-letter notation (case-insensitive)."""
+
+        try:
+            return _FROM_LETTER[letter.upper()]
+        except KeyError:
+            raise ValueError(f"unknown vertex state letter {letter!r}") from None
+
+    @property
+    def in_independent_set(self) -> bool:
+        """Whether a vertex with this state is currently counted in the IS."""
+
+        return self is VertexState.IS
+
+    @property
+    def is_swap_candidate(self) -> bool:
+        """Whether a vertex with this state may still participate in a swap."""
+
+        return self is VertexState.ADJACENT
+
+
+_LETTERS = {
+    VertexState.INITIAL: "-",
+    VertexState.IS: "I",
+    VertexState.NON_IS: "N",
+    VertexState.ADJACENT: "A",
+    VertexState.PROTECTED: "P",
+    VertexState.CONFLICT: "C",
+    VertexState.RETROGRADE: "R",
+}
+
+_FROM_LETTER = {letter: state for state, letter in _LETTERS.items() if letter != "-"}

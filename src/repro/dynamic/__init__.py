@@ -1,0 +1,14 @@
+"""Incremental maintenance of an independent set under graph updates.
+
+The paper's conclusion lists "incremental massive graphs with frequent
+updates" as the main direction for future work.  This sub-package provides
+a prototype of that direction: :class:`DynamicMISMaintainer` keeps a
+maximal independent set valid across edge insertions, edge deletions and
+vertex arrivals, repairing locally after each update and exposing a
+``rebuild`` hook that re-runs the swap pipelines when the accumulated
+drift warrants it.
+"""
+
+from repro.dynamic.maintainer import DynamicMISMaintainer, UpdateStats
+
+__all__ = ["DynamicMISMaintainer", "UpdateStats"]

@@ -1,0 +1,203 @@
+"""Maintain a maximal independent set under edge and vertex updates.
+
+The maintainer keeps the whole adjacency in memory (this is a prototype of
+the paper's future-work direction, not a semi-external component) and
+preserves two invariants after every update:
+
+* **independence** — no edge has both endpoints selected;
+* **maximality** — every unselected vertex has a selected neighbour.
+
+Update rules:
+
+``insert_edge(u, v)``
+    If both endpoints are selected, the one with the larger current degree
+    is evicted and the neighbourhood of the evicted vertex is re-saturated
+    (any neighbour left without a selected neighbour is added back
+    greedily, smallest degree first).
+``delete_edge(u, v)``
+    If the deletion leaves an unselected endpoint with no selected
+    neighbour, it is added.
+``add_vertex()``
+    A fresh isolated vertex is always added to the set.
+``rebuild(pipeline=...)``
+    Recompute the set from scratch with any of the library pipelines —
+    the counterpart of the paper's periodic swap passes — and reset the
+    drift counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.core.solver import solve_mis
+from repro.errors import GraphError, SolverError
+from repro.graphs.graph import Graph
+from repro.validation.checks import is_independent_set, uncovered_vertices
+
+__all__ = ["UpdateStats", "DynamicMISMaintainer"]
+
+
+@dataclass
+class UpdateStats:
+    """Counters describing the update stream processed so far."""
+
+    edges_inserted: int = 0
+    edges_deleted: int = 0
+    vertices_added: int = 0
+    evictions: int = 0
+    additions: int = 0
+    rebuilds: int = 0
+
+
+class DynamicMISMaintainer:
+    """Keep a maximal independent set valid across graph updates."""
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        initial: Optional[Iterable[int]] = None,
+        pipeline: str = "two_k_swap",
+    ) -> None:
+        self._adjacency: Dict[int, Set[int]] = {}
+        self._selected: Set[int] = set()
+        self._pipeline = pipeline
+        self.stats = UpdateStats()
+        if graph is not None:
+            for vertex in graph.vertices():
+                self._adjacency[vertex] = set(graph.neighbors(vertex))
+            if initial is None:
+                initial = solve_mis(graph, pipeline=pipeline).independent_set
+            self._selected = set(initial)
+            if not is_independent_set(graph, self._selected):
+                raise SolverError("the initial set is not independent")
+            self._saturate(self._adjacency.keys())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the maintained graph."""
+
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently in the maintained graph."""
+
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    @property
+    def independent_set(self) -> FrozenSet[int]:
+        """The currently maintained independent set."""
+
+        return frozenset(self._selected)
+
+    @property
+    def size(self) -> int:
+        """Size of the maintained independent set."""
+
+        return len(self._selected)
+
+    def to_graph(self) -> Graph:
+        """Materialise the current graph as an immutable :class:`Graph`."""
+
+        num_vertices = max(self._adjacency, default=-1) + 1
+        edges = [
+            (u, v)
+            for u, neighbors in self._adjacency.items()
+            for v in neighbors
+            if u < v
+        ]
+        return Graph(num_vertices, edges)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SolverError` if independence or maximality is violated."""
+
+        for u in self._selected:
+            if self._adjacency.get(u) is None:
+                raise SolverError(f"selected vertex {u} is not in the graph")
+            conflict = self._adjacency[u] & self._selected
+            if conflict:
+                raise SolverError(f"selected vertices {u} and {conflict.pop()} are adjacent")
+        for vertex, neighbors in self._adjacency.items():
+            if vertex not in self._selected and not (neighbors & self._selected):
+                raise SolverError(f"vertex {vertex} is uncovered: the set is not maximal")
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Add an isolated vertex; it immediately joins the independent set."""
+
+        vertex = max(self._adjacency, default=-1) + 1
+        self._adjacency[vertex] = set()
+        self._selected.add(vertex)
+        self.stats.vertices_added += 1
+        self.stats.additions += 1
+        return vertex
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``{u, v}``, creating vertices as needed."""
+
+        if u == v:
+            raise GraphError("self loops are not allowed")
+        for vertex in (u, v):
+            if vertex < 0:
+                raise GraphError("vertex ids must be non-negative")
+            self._adjacency.setdefault(vertex, set())
+            # Brand-new vertices join the set if nothing blocks them yet.
+            if vertex not in self._selected and not (
+                self._adjacency[vertex] & self._selected
+            ):
+                self._selected.add(vertex)
+                self.stats.additions += 1
+        if v in self._adjacency[u]:
+            return
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self.stats.edges_inserted += 1
+
+        if u in self._selected and v in self._selected:
+            evicted = u if len(self._adjacency[u]) >= len(self._adjacency[v]) else v
+            self._selected.discard(evicted)
+            self.stats.evictions += 1
+            self._saturate(self._adjacency[evicted] | {evicted})
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}`` (a no-op if it does not exist)."""
+
+        if v not in self._adjacency.get(u, set()):
+            return
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self.stats.edges_deleted += 1
+        self._saturate((u, v))
+
+    def rebuild(self, pipeline: Optional[str] = None) -> None:
+        """Recompute the set from scratch with a full pipeline run."""
+
+        graph = self.to_graph()
+        solution = solve_mis(graph, pipeline=pipeline or self._pipeline).independent_set
+        # to_graph() may contain placeholder ids for vertices that were never
+        # created; keep only real vertices and re-saturate the rest.
+        self._selected = {v for v in solution if v in self._adjacency}
+        self._saturate(self._adjacency.keys())
+        self.stats.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _saturate(self, candidates: Iterable[int]) -> None:
+        """Greedily add any candidate left without a selected neighbour."""
+
+        for vertex in sorted(
+            (v for v in candidates if v in self._adjacency),
+            key=lambda v: (len(self._adjacency[v]), v),
+        ):
+            if vertex in self._selected:
+                continue
+            if not (self._adjacency[vertex] & self._selected):
+                self._selected.add(vertex)
+                self.stats.additions += 1

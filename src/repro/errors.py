@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so that callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class VertexError(GraphError):
+    """Raised when a vertex id is out of range or otherwise unknown."""
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex!r} is not a valid vertex id for a graph with "
+            f"{num_vertices} vertices (expected 0 <= v < {num_vertices})"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
+class StorageError(ReproError):
+    """Raised when the semi-external storage layer encounters bad data."""
+
+
+class FormatError(StorageError):
+    """Raised when an adjacency file does not follow the binary format."""
+
+
+class MemoryBudgetError(StorageError):
+    """Raised when an operation would exceed the configured memory budget."""
+
+    def __init__(self, required: int, budget: int, what: str = "operation") -> None:
+        super().__init__(
+            f"{what} requires {required} bytes of main memory but the "
+            f"semi-external budget is only {budget} bytes"
+        )
+        self.required = required
+        self.budget = budget
+
+
+class SolverError(ReproError):
+    """Raised when a solver is configured or driven incorrectly."""
+
+
+class InvalidIndependentSetError(SolverError):
+    """Raised when a set of vertices claimed to be independent is not.
+
+    Carries the offending edge so that tests and callers can produce a
+    useful diagnostic.
+    """
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(
+            f"vertices {u} and {v} are adjacent, so the set is not independent"
+        )
+        self.edge = (u, v)
+
+
+class AnalysisError(ReproError):
+    """Raised when theoretical-model parameters are out of their valid range."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset stand-in is unknown or cannot be built."""

@@ -1,0 +1,362 @@
+"""In-memory simple undirected graph backed by a CSR layout.
+
+The semi-external algorithms in :mod:`repro.core` never require the whole
+edge set in memory — they stream it from a
+:class:`repro.storage.adjacency_file.AdjacencyFileReader`.  This module
+provides the *in-memory* representation used by the graph generators, the
+in-memory baselines, the exact solver and the tests.  It intentionally
+mirrors the on-disk adjacency-list representation (per-vertex sorted
+neighbour lists) so converting between the two is a straight copy.
+
+Vertices are the integers ``0 .. n-1``.  The graph is simple: self loops
+and parallel edges passed to the builder are silently dropped, matching
+the paper's "simple undirected graph" setting (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import GraphError, VertexError
+
+__all__ = ["Graph", "GraphBuilder"]
+
+
+class Graph:
+    """An immutable simple undirected graph in compressed sparse row form.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0 .. num_vertices - 1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates, reversed duplicates and
+        self loops are removed.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> g.degree(1)
+    2
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.has_edge(0, 3)
+    False
+    """
+
+    __slots__ = ("_offsets", "_targets", "_num_vertices", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._num_vertices = int(num_vertices)
+        adjacency: List[set] = [set() for _ in range(self._num_vertices)]
+        for u, v in edges:
+            if not (0 <= u < self._num_vertices):
+                raise VertexError(u, self._num_vertices)
+            if not (0 <= v < self._num_vertices):
+                raise VertexError(v, self._num_vertices)
+            if u == v:
+                continue
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        offsets = array("q", [0] * (self._num_vertices + 1))
+        targets = array("q")
+        running = 0
+        for v in range(self._num_vertices):
+            neighbours = sorted(adjacency[v])
+            targets.extend(neighbours)
+            running += len(neighbours)
+            offsets[v + 1] = running
+        self._offsets = offsets
+        self._targets = targets
+        self._num_edges = running // 2
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Iterable[int]]) -> "Graph":
+        """Build a graph from per-vertex neighbour lists.
+
+        The input is symmetrised: an edge is created whenever either
+        endpoint lists the other.
+        """
+
+        n = len(adjacency)
+        edges = []
+        for u, neighbours in enumerate(adjacency):
+            for v in neighbours:
+                edges.append((u, v))
+        return cls(n, edges)
+
+    @classmethod
+    def from_edge_list_text(cls, text: str) -> "Graph":
+        """Parse a whitespace separated ``u v`` edge list.
+
+        Lines starting with ``#`` or ``%`` are treated as comments.  The
+        number of vertices is one more than the largest vertex id seen.
+        """
+
+        edges: List[Tuple[int, int]] = []
+        max_vertex = -1
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(f"cannot parse edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            max_vertex = max(max_vertex, u, v)
+            edges.append((u, v))
+        return cls(max_vertex + 1, edges)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices |V|."""
+
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges |E|."""
+
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """Return the vertex id range ``0 .. n-1``."""
+
+        return range(self._num_vertices)
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._num_vertices):
+            raise VertexError(v, self._num_vertices)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Return the sorted neighbours of ``v`` as a tuple."""
+
+        self._check_vertex(v)
+        start, end = self._offsets[v], self._offsets[v + 1]
+        return tuple(self._targets[start:end])
+
+    def degree(self, v: int) -> int:
+        """Return the degree of ``v``."""
+
+        self._check_vertex(v)
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def degrees(self) -> List[int]:
+        """Return the list of all vertex degrees indexed by vertex id."""
+
+        offsets = self._offsets
+        return [offsets[v + 1] - offsets[v] for v in range(self._num_vertices)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the undirected edge ``{u, v}`` exists."""
+
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        # Binary search the smaller adjacency list.
+        if self.degree(u) > self.degree(v):
+            u, v = v, u
+        start, end = self._offsets[u], self._offsets[u + 1]
+        index = bisect_left(self._targets, v, start, end)
+        return index < end and self._targets[index] == v
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield every undirected edge exactly once as ``(u, v)`` with ``u < v``."""
+
+        for u in range(self._num_vertices):
+            start, end = self._offsets[u], self._offsets[u + 1]
+            for index in range(start, end):
+                v = self._targets[index]
+                if u < v:
+                    yield (u, v)
+
+    def iter_adjacency(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Yield ``(vertex, neighbours)`` in vertex-id order (one sequential pass)."""
+
+        for v in range(self._num_vertices):
+            yield v, self.neighbors(v)
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``2 |E| / |V|`` (0.0 for the empty graph)."""
+
+        if self._num_vertices == 0:
+            return 0.0
+        return 2.0 * self._num_edges / self._num_vertices
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+
+        if self._num_vertices == 0:
+            return 0
+        return max(self.degrees())
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Return a ``degree -> number of vertices`` histogram."""
+
+        return dict(Counter(self.degrees()))
+
+    def isolated_vertices(self) -> List[int]:
+        """Return all vertices with degree zero."""
+
+        return [v for v in range(self._num_vertices) if self.degree(v) == 0]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Return the subgraph induced by ``vertices``.
+
+        Returns the new graph together with a mapping from original vertex
+        id to the new (compacted) vertex id.
+        """
+
+        selected = sorted(set(vertices))
+        for v in selected:
+            self._check_vertex(v)
+        mapping = {old: new for new, old in enumerate(selected)}
+        edges = []
+        selected_set = set(selected)
+        for old in selected:
+            for w in self.neighbors(old):
+                if w in selected_set and old < w:
+                    edges.append((mapping[old], mapping[w]))
+        return Graph(len(selected), edges), mapping
+
+    def relabeled(self, order: Sequence[int]) -> "Graph":
+        """Return a copy whose vertex ``i`` is the original ``order[i]``.
+
+        ``order`` must be a permutation of the vertex ids.  This is used to
+        materialise a graph whose natural scan order is, e.g., ascending
+        degree order.
+        """
+
+        if sorted(order) != list(range(self._num_vertices)):
+            raise GraphError("order must be a permutation of all vertex ids")
+        new_id = {old: new for new, old in enumerate(order)}
+        edges = [(new_id[u], new_id[v]) for u, v in self.iter_edges()]
+        return Graph(self._num_vertices, edges)
+
+    def degree_ascending_order(self) -> List[int]:
+        """Return vertex ids sorted by ascending degree (ties by id).
+
+        This is the scan order the paper's pre-processing step produces
+        (Section 4.1): the adjacency file is sorted by vertex degree before
+        the greedy pass.
+        """
+
+        return sorted(range(self._num_vertices), key=lambda v: (self.degree(v), v))
+
+    def complement_edges_count(self) -> int:
+        """Number of vertex pairs that are *not* edges (useful for tests)."""
+
+        n = self._num_vertices
+        return n * (n - 1) // 2 - self._num_edges
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and 0 <= v < self._num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_vertices == other._num_vertices
+            and self._offsets == other._offsets
+            and self._targets == other._targets
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are rarely hashed
+        return hash((self._num_vertices, tuple(self._targets)))
+
+    def __repr__(self) -> str:
+        return f"Graph(num_vertices={self._num_vertices}, num_edges={self._num_edges})"
+
+
+class GraphBuilder:
+    """Incremental builder that accumulates edges and produces a :class:`Graph`.
+
+    The builder grows the vertex count automatically when
+    :meth:`add_edge` refers to unseen vertex ids, which is convenient for
+    generators that do not know the final vertex count up front.
+
+    Examples
+    --------
+    >>> builder = GraphBuilder()
+    >>> builder.add_edge(0, 1)
+    >>> builder.add_edge(1, 2)
+    >>> builder.build().num_edges
+    2
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._num_vertices = num_vertices
+        self._edges: List[Tuple[int, int]] = []
+
+    @property
+    def num_vertices(self) -> int:
+        """Current number of vertices the built graph will have."""
+
+        return self._num_vertices
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edge insertions recorded so far (before deduplication)."""
+
+        return len(self._edges)
+
+    def ensure_vertex(self, v: int) -> None:
+        """Grow the vertex count so that ``v`` is a valid vertex id."""
+
+        if v < 0:
+            raise GraphError(f"vertex ids must be non-negative, got {v}")
+        if v >= self._num_vertices:
+            self._num_vertices = v + 1
+
+    def add_vertex(self) -> int:
+        """Add a fresh isolated vertex and return its id."""
+
+        self._num_vertices += 1
+        return self._num_vertices - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Record the undirected edge ``{u, v}`` (self loops are ignored)."""
+
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        if u != v:
+            self._edges.append((u, v))
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Record many edges at once."""
+
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def build(self) -> Graph:
+        """Materialise the immutable :class:`Graph`."""
+
+        return Graph(self._num_vertices, self._edges)

@@ -1,0 +1,24 @@
+"""Exact kernelization reductions for the MIS problem.
+
+The reducing-peeling family of MIS solvers that followed this paper keeps
+the same two-phase structure — shrink the graph with *exact* reductions,
+then run a heuristic on the kernel — and the paper's own exact comparators
+(Xiao & Nagamochi) rely on the same rules.  This sub-package provides the
+three classic safe reductions together with solution reconstruction:
+
+* **isolated-vertex rule** — a degree-0 vertex is always in some maximum
+  independent set;
+* **pendant (degree-1) rule** — a degree-1 vertex is always in some maximum
+  independent set, and its neighbour never is;
+* **degree-2 folding** — a degree-2 vertex whose neighbours are not
+  adjacent is *folded* with them into a single vertex; the fold preserves
+  the independence number up to the +1 accounted for during unfolding.
+
+The :func:`reduce_graph` driver applies the rules exhaustively and returns
+a :class:`ReducedGraph` kernel whose solutions can be lifted back to the
+original graph with :meth:`ReducedGraph.reconstruct`.
+"""
+
+from repro.reductions.kernel import ReducedGraph, reduce_graph, reduced_mis
+
+__all__ = ["ReducedGraph", "reduce_graph", "reduced_mis"]

@@ -1,0 +1,76 @@
+"""Plain-text table formatting shared by the CLI and the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it in the same row/series layout; this module keeps that formatting
+in one place so the outputs are uniform and easy to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_number", "print_experiment_header"]
+
+_Cell = Union[str, int, float, None]
+
+
+def format_number(value: _Cell, precision: int = 3) -> str:
+    """Render a cell: thousands separators for ints, fixed precision for floats."""
+
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "N/A"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[_Cell]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Format a list of rows as an aligned plain-text table."""
+
+    rendered_rows: List[List[str]] = [
+        [format_number(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def print_experiment_header(experiment: str, description: str, scale_note: str = "") -> None:
+    """Print the uniform banner every benchmark emits before its table."""
+
+    bar = "=" * 78
+    print()
+    print(bar)
+    print(f"{experiment}: {description}")
+    if scale_note:
+        print(scale_note)
+    print(bar)

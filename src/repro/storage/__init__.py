@@ -1,0 +1,48 @@
+"""Semi-external storage substrate.
+
+The paper's algorithms operate in the *semi-external* memory model: the
+per-vertex state fits in main memory, but the adjacency lists live on disk
+and may only be read through a small number of **sequential scans**.  This
+sub-package provides that substrate:
+
+* :mod:`repro.storage.io_stats` — I/O accounting (blocks, scans, seeks).
+* :mod:`repro.storage.blocks` — a block device abstraction over a real file
+  or an in-memory buffer, with a configurable block size ``B``.
+* :mod:`repro.storage.format` — the binary adjacency-list file format.
+* :mod:`repro.storage.adjacency_file` — writer and sequential-scan reader.
+* :mod:`repro.storage.scan` — the scan-source protocol shared by the
+  on-disk reader and the in-memory emulation used in tests/benchmarks.
+* :mod:`repro.storage.external_sort` — degree-ordered external sorting of
+  adjacency files (the pre-processing step of Section 4.1).
+* :mod:`repro.storage.memory` — the semi-external memory budget model used
+  to reproduce the memory columns of Table 6.
+"""
+
+from repro.storage.io_stats import IOStats
+from repro.storage.blocks import BlockDevice
+from repro.storage.adjacency_file import (
+    AdjacencyFileReader,
+    write_adjacency_file,
+)
+from repro.storage.scan import AdjacencyScanSource, InMemoryAdjacencyScan, as_scan_source
+from repro.storage.external_sort import (
+    external_sort_by_degree,
+    greedy_total_io_cost,
+    sort_io_cost,
+)
+from repro.storage.memory import MemoryBudget, MemoryModel
+
+__all__ = [
+    "IOStats",
+    "BlockDevice",
+    "AdjacencyFileReader",
+    "write_adjacency_file",
+    "AdjacencyScanSource",
+    "InMemoryAdjacencyScan",
+    "as_scan_source",
+    "external_sort_by_degree",
+    "greedy_total_io_cost",
+    "sort_io_cost",
+    "MemoryBudget",
+    "MemoryModel",
+]

@@ -1,0 +1,225 @@
+"""Writer and sequential-scan reader for adjacency-list files.
+
+``write_adjacency_file`` serialises an in-memory
+:class:`repro.graphs.graph.Graph` into the binary format described in
+:mod:`repro.storage.format`, in an arbitrary vertex order (by default the
+ascending-degree order the paper's pre-processing would produce).
+
+``AdjacencyFileReader`` streams the records back with a true sequential
+access pattern through a :class:`repro.storage.blocks.BlockDevice`.  It
+also supports *random* per-vertex lookups through an in-memory offset
+index (|V| integers — allowed by the semi-external model); every such
+lookup is charged as a random seek so the experiments can report how many
+the solvers needed.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FormatError, StorageError
+from repro.graphs.graph import Graph
+from repro.storage import format as fmt
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockDevice
+from repro.storage.io_stats import IOStats
+
+__all__ = ["write_adjacency_file", "AdjacencyFileReader"]
+
+
+def write_adjacency_file(
+    graph: Graph,
+    backing: Optional[str] = None,
+    order: Optional[Sequence[int]] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    stats: Optional[IOStats] = None,
+    sort_neighbors_by_degree: bool = True,
+) -> BlockDevice:
+    """Serialise ``graph`` into a new adjacency file and return its device.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serialise.
+    backing:
+        Path of the output file, or ``None`` for an in-memory device.
+    order:
+        Vertex order of the records.  ``None`` writes the ascending-degree
+        order (the paper's pre-processed layout).  Pass
+        ``range(graph.num_vertices)`` to write the raw id order, as the
+        "Baseline" algorithm expects.
+    block_size:
+        Block size used for I/O accounting.
+    stats:
+        Optional shared :class:`IOStats` object.
+    sort_neighbors_by_degree:
+        When true, each record's neighbour list is sorted by ascending
+        neighbour degree (the layout described in Section 2.1); otherwise
+        neighbours are written in ascending id order.
+    """
+
+    scan_order = list(order) if order is not None else graph.degree_ascending_order()
+    if sorted(scan_order) != list(range(graph.num_vertices)):
+        raise StorageError("order must be a permutation of all vertex ids")
+
+    device = BlockDevice(backing, block_size=block_size, stats=stats, create=True)
+    device.append(fmt.pack_header(graph.num_vertices, graph.num_edges))
+    for vertex in scan_order:
+        neighbors = list(graph.neighbors(vertex))
+        if sort_neighbors_by_degree:
+            neighbors.sort(key=lambda w: (graph.degree(w), w))
+        device.append(fmt.pack_record(vertex, neighbors))
+    device.flush()
+    return device
+
+
+class AdjacencyFileReader:
+    """Sequential-scan reader over an adjacency file.
+
+    The reader implements the scan-source protocol used by all
+    semi-external solvers (see :mod:`repro.storage.scan`):
+
+    ``num_vertices`` / ``num_edges``
+        Graph dimensions from the header.
+    ``scan()``
+        Yield ``(vertex, neighbours)`` in file order; one full pass counts
+        as one sequential scan.
+    ``neighbors(v)``
+        Random single-record lookup (charged as a random seek and a vertex
+        lookup).
+    """
+
+    def __init__(
+        self,
+        backing: Union[str, BlockDevice],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        if isinstance(backing, BlockDevice):
+            self._device = backing
+            if stats is not None:
+                self._device.stats = stats
+        else:
+            self._device = BlockDevice(backing, block_size=block_size, stats=stats)
+        header = fmt.unpack_header(self._device.read_at(0, fmt.HEADER_SIZE))
+        self._num_vertices = header.num_vertices
+        self._num_edges = header.num_edges
+        self._offsets: Optional[Dict[int, int]] = None
+        self._scan_order: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Scan-source protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices declared in the file header."""
+
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges declared in the file header."""
+
+        return self._num_edges
+
+    @property
+    def stats(self) -> IOStats:
+        """The I/O counters shared with the underlying block device."""
+
+        return self._device.stats
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Yield ``(vertex, neighbours)`` for every record, in file order.
+
+        The first complete scan also builds the in-memory offset index used
+        by :meth:`neighbors`.
+        """
+
+        offset = fmt.HEADER_SIZE
+        building_index = self._offsets is None
+        offsets: Dict[int, int] = {}
+        order: List[int] = []
+        file_size = self._device.size
+        count = 0
+        while offset < file_size and count < self._num_vertices:
+            vertex, degree, neighbors, next_offset = self._read_record(offset)
+            if building_index:
+                offsets[vertex] = offset
+                order.append(vertex)
+            count += 1
+            yield vertex, neighbors
+            offset = next_offset
+        if count != self._num_vertices:
+            raise FormatError(
+                f"file declares {self._num_vertices} vertices but contains {count} records"
+            )
+        if building_index:
+            self._offsets = offsets
+            self._scan_order = order
+        self._device.stats.record_scan()
+
+    def scan_order(self) -> List[int]:
+        """Vertex ids in file order (performs a scan if the index is not built yet)."""
+
+        if self._scan_order is None:
+            for _ in self.scan():
+                pass
+        assert self._scan_order is not None
+        return list(self._scan_order)
+
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Random lookup of one vertex's neighbour list.
+
+        This is the operation the semi-external algorithms avoid on their
+        hot path; it is charged to ``random_vertex_lookups`` so experiments
+        can report how many were needed (only skeleton re-verification in
+        the two-k-swap solver uses it).
+        """
+
+        if self._offsets is None:
+            for _ in self.scan():
+                pass
+        assert self._offsets is not None
+        if vertex not in self._offsets:
+            raise StorageError(f"vertex {vertex} is not present in the adjacency file")
+        self._device.reset_sequential_cursor()
+        self._device.stats.record_vertex_lookup()
+        _, _, neighbors, _ = self._read_record(self._offsets[vertex])
+        return neighbors
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` via a random record lookup."""
+
+        return len(self.neighbors(vertex))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _read_record(self, offset: int) -> Tuple[int, int, Tuple[int, ...], int]:
+        header_bytes = self._device.read_at(offset, fmt.RECORD_HEADER_SIZE)
+        vertex, degree = fmt.unpack_record_header(header_bytes)
+        body_offset = offset + fmt.RECORD_HEADER_SIZE
+        body_bytes = self._device.read_at(body_offset, degree * fmt.VERTEX_ID_BYTES)
+        neighbors = fmt.unpack_neighbors(body_bytes, degree)
+        return vertex, degree, neighbors, body_offset + degree * fmt.VERTEX_ID_BYTES
+
+    def to_graph(self) -> Graph:
+        """Materialise the file contents as an in-memory :class:`Graph`."""
+
+        adjacency: List[Tuple[int, Tuple[int, ...]]] = list(self.scan())
+        edges = []
+        for vertex, neighbors in adjacency:
+            for w in neighbors:
+                edges.append((vertex, w))
+        return Graph(self._num_vertices, edges)
+
+    def close(self) -> None:
+        """Close the underlying device."""
+
+        self._device.close()
+
+    def __enter__(self) -> "AdjacencyFileReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,138 @@
+"""Binary adjacency-list file format.
+
+The on-disk representation mirrors the paper's setting (Section 2.1 and
+4.1): the graph is stored as adjacency lists, one record per vertex, and
+the pre-processing step sorts the records by ascending vertex degree so a
+single sequential scan visits small-degree vertices first.
+
+Layout (all integers little-endian):
+
+``header`` (32 bytes)
+    ======== ======= ===========================================
+    offset   type    meaning
+    ======== ======= ===========================================
+    0        8s      magic ``b"SEXTADJ1"``
+    8        I       format version (currently 1)
+    12       I       reserved / flags (0)
+    16       Q       number of vertices |V|
+    24       Q       number of undirected edges |E|
+    ======== ======= ===========================================
+
+``record`` (repeated |V| times, variable length)
+    ======== ======= ===========================================
+    0        I       vertex id (4-byte id, as in the paper)
+    4        I       degree d
+    8        d * I   neighbour ids
+    ======== ======= ===========================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import FormatError
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "HEADER_SIZE",
+    "RECORD_HEADER_SIZE",
+    "VERTEX_ID_BYTES",
+    "Header",
+    "pack_header",
+    "unpack_header",
+    "pack_record",
+    "unpack_record_header",
+    "unpack_neighbors",
+    "record_size",
+    "file_size_bytes",
+]
+
+MAGIC = b"SEXTADJ1"
+FORMAT_VERSION = 1
+
+_HEADER_STRUCT = struct.Struct("<8sIIQQ")
+_RECORD_HEADER_STRUCT = struct.Struct("<II")
+
+HEADER_SIZE = _HEADER_STRUCT.size
+RECORD_HEADER_SIZE = _RECORD_HEADER_STRUCT.size
+VERTEX_ID_BYTES = 4
+
+#: Largest vertex id representable with the 4-byte ids of the format.
+MAX_VERTEX_ID = 2**32 - 1
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded adjacency-file header."""
+
+    version: int
+    num_vertices: int
+    num_edges: int
+
+
+def pack_header(num_vertices: int, num_edges: int) -> bytes:
+    """Encode the file header."""
+
+    if num_vertices < 0 or num_edges < 0:
+        raise FormatError("vertex and edge counts must be non-negative")
+    return _HEADER_STRUCT.pack(MAGIC, FORMAT_VERSION, 0, num_vertices, num_edges)
+
+
+def unpack_header(data: bytes) -> Header:
+    """Decode and validate the file header."""
+
+    if len(data) < HEADER_SIZE:
+        raise FormatError(f"header truncated: expected {HEADER_SIZE} bytes, got {len(data)}")
+    magic, version, _flags, num_vertices, num_edges = _HEADER_STRUCT.unpack(data[:HEADER_SIZE])
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}; this is not a semi-external adjacency file")
+    if version != FORMAT_VERSION:
+        raise FormatError(f"unsupported format version {version}")
+    return Header(version=version, num_vertices=num_vertices, num_edges=num_edges)
+
+
+def pack_record(vertex: int, neighbors: Sequence[int]) -> bytes:
+    """Encode one per-vertex adjacency record."""
+
+    if not 0 <= vertex <= MAX_VERTEX_ID:
+        raise FormatError(f"vertex id {vertex} does not fit in 4 bytes")
+    degree = len(neighbors)
+    header = _RECORD_HEADER_STRUCT.pack(vertex, degree)
+    body = struct.pack(f"<{degree}I", *neighbors) if degree else b""
+    return header + body
+
+
+def unpack_record_header(data: bytes) -> Tuple[int, int]:
+    """Decode ``(vertex, degree)`` from a record header."""
+
+    if len(data) < RECORD_HEADER_SIZE:
+        raise FormatError("record header truncated")
+    return _RECORD_HEADER_STRUCT.unpack(data[:RECORD_HEADER_SIZE])
+
+
+def unpack_neighbors(data: bytes, degree: int) -> Tuple[int, ...]:
+    """Decode a neighbour array of the given degree."""
+
+    expected = degree * VERTEX_ID_BYTES
+    if len(data) < expected:
+        raise FormatError(
+            f"neighbour list truncated: expected {expected} bytes, got {len(data)}"
+        )
+    if degree == 0:
+        return ()
+    return struct.unpack(f"<{degree}I", data[:expected])
+
+
+def record_size(degree: int) -> int:
+    """On-disk size in bytes of a record with the given degree."""
+
+    return RECORD_HEADER_SIZE + degree * VERTEX_ID_BYTES
+
+
+def file_size_bytes(num_vertices: int, num_edges: int) -> int:
+    """Total file size for a graph (each undirected edge appears in two records)."""
+
+    return HEADER_SIZE + num_vertices * RECORD_HEADER_SIZE + 2 * num_edges * VERTEX_ID_BYTES

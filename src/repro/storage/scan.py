@@ -1,0 +1,157 @@
+"""The scan-source protocol and its in-memory emulation.
+
+Every semi-external solver in :mod:`repro.core` consumes a *scan source*:
+an object that can enumerate ``(vertex, neighbours)`` records sequentially
+and knows the number of vertices.  Two implementations exist:
+
+* :class:`repro.storage.adjacency_file.AdjacencyFileReader` — real
+  file-backed (or in-memory block device) records, exercising the full
+  binary format and I/O accounting.
+* :class:`InMemoryAdjacencyScan` — an adapter over an in-memory
+  :class:`repro.graphs.graph.Graph` plus a scan order.  It performs the
+  same accounting (scans, random lookups) without serialisation overhead,
+  which keeps the property-based tests and the parameter sweeps fast.
+
+``as_scan_source`` normalises whatever the caller passed (a graph or an
+existing source) into a scan source, which keeps the public solver API
+convenient: ``greedy_mis(graph)`` just works.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
+
+from repro.errors import StorageError
+from repro.graphs.graph import Graph
+from repro.storage.io_stats import IOStats
+
+__all__ = ["AdjacencyScanSource", "InMemoryAdjacencyScan", "as_scan_source"]
+
+
+@runtime_checkable
+class AdjacencyScanSource(Protocol):
+    """Structural protocol implemented by every adjacency scan source."""
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the graph."""
+
+    @property
+    def stats(self) -> IOStats:
+        """I/O counters accumulated by this source."""
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Yield ``(vertex, neighbours)`` sequentially in the source's order."""
+
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Random single-vertex lookup (counted separately from scans)."""
+
+
+class InMemoryAdjacencyScan:
+    """Scan source backed by an in-memory graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to expose.
+    order:
+        Scan order of the records.  ``"degree"`` (default) scans in
+        ascending-degree order, matching the paper's pre-processed file;
+        ``"id"`` scans in raw vertex-id order (the Baseline setting);
+        an explicit sequence of vertex ids is also accepted.
+    stats:
+        Optional shared :class:`IOStats`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: Union[str, Sequence[int]] = "degree",
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self._graph = graph
+        self._stats = stats if stats is not None else IOStats()
+        if isinstance(order, str):
+            if order == "degree":
+                self._order: List[int] = graph.degree_ascending_order()
+            elif order == "id":
+                self._order = list(range(graph.num_vertices))
+            else:
+                raise StorageError(f"unknown scan order {order!r}; use 'degree' or 'id'")
+        else:
+            self._order = list(order)
+            if sorted(self._order) != list(range(graph.num_vertices)):
+                raise StorageError("explicit scan order must be a permutation of all vertices")
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying in-memory graph."""
+
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the graph."""
+
+        return self._graph.num_edges
+
+    @property
+    def stats(self) -> IOStats:
+        """The accounting counters of this source."""
+
+        return self._stats
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Yield every record in the configured order, counting one scan."""
+
+        for vertex in self._order:
+            yield vertex, self._graph.neighbors(vertex)
+        self._stats.record_scan()
+
+    def scan_order(self) -> List[int]:
+        """Vertex ids in scan order."""
+
+        return list(self._order)
+
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Random lookup of one neighbour list (counted)."""
+
+        self._stats.record_vertex_lookup()
+        return self._graph.neighbors(vertex)
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` (no I/O charge: degrees are per-vertex state)."""
+
+        return self._graph.degree(vertex)
+
+
+def as_scan_source(
+    graph_or_source: Union[Graph, AdjacencyScanSource],
+    order: Union[str, Sequence[int]] = "degree",
+    stats: Optional[IOStats] = None,
+) -> AdjacencyScanSource:
+    """Coerce a graph or an existing scan source into a scan source.
+
+    A :class:`Graph` is wrapped into an :class:`InMemoryAdjacencyScan` with
+    the requested order; an existing source is returned unchanged (the
+    ``order`` argument is ignored for it, because its order is fixed by the
+    file layout).
+    """
+
+    if isinstance(graph_or_source, Graph):
+        return InMemoryAdjacencyScan(graph_or_source, order=order, stats=stats)
+    if isinstance(graph_or_source, AdjacencyScanSource):
+        return graph_or_source
+    raise StorageError(
+        f"expected a Graph or an adjacency scan source, got {type(graph_or_source).__name__}"
+    )

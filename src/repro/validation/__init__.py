@@ -1,0 +1,17 @@
+"""Validation helpers: independence / maximality checks shared by tests and solvers."""
+
+from repro.validation.checks import (
+    assert_independent_set,
+    find_violating_edge,
+    is_independent_set,
+    is_maximal_independent_set,
+    uncovered_vertices,
+)
+
+__all__ = [
+    "assert_independent_set",
+    "find_violating_edge",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "uncovered_vertices",
+]

@@ -1,0 +1,67 @@
+"""Independence and maximality checks.
+
+These helpers are the ground truth used by the test suite and (optionally)
+by the solver facade: a set is *independent* when no edge has both
+endpoints inside it, and *maximal* when every outside vertex has at least
+one neighbour inside it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import InvalidIndependentSetError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "find_violating_edge",
+    "is_independent_set",
+    "assert_independent_set",
+    "uncovered_vertices",
+    "is_maximal_independent_set",
+]
+
+
+def find_violating_edge(graph: Graph, vertices: Iterable[int]) -> Optional[Tuple[int, int]]:
+    """Return an edge with both endpoints in ``vertices``, or ``None`` if independent."""
+
+    selected: Set[int] = set(vertices)
+    for u in selected:
+        for w in graph.neighbors(u):
+            if w in selected and u < w:
+                return (u, w)
+    return None
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether ``vertices`` form an independent set of ``graph``."""
+
+    return find_violating_edge(graph, vertices) is None
+
+
+def assert_independent_set(graph: Graph, vertices: Iterable[int]) -> None:
+    """Raise :class:`InvalidIndependentSetError` when the set is not independent."""
+
+    violation = find_violating_edge(graph, vertices)
+    if violation is not None:
+        raise InvalidIndependentSetError(*violation)
+
+
+def uncovered_vertices(graph: Graph, vertices: Iterable[int]) -> List[int]:
+    """Vertices outside the set with no neighbour inside it (empty iff maximal)."""
+
+    selected = set(vertices)
+    missing = []
+    for v in graph.vertices():
+        if v in selected:
+            continue
+        if not any(w in selected for w in graph.neighbors(v)):
+            missing.append(v)
+    return missing
+
+
+def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether the set is independent *and* maximal."""
+
+    selected = set(vertices)
+    return is_independent_set(graph, selected) and not uncovered_vertices(graph, selected)

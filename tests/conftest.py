@@ -1,0 +1,70 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.plrg import PLRGParameters, plrg_graph
+
+
+@pytest.fixture
+def paper_figure1_graph() -> Graph:
+    """The five-vertex example of Figure 1.
+
+    Vertex 0 (v1 in the paper) is adjacent to vertices 2, 3, 4 (v3, v4,
+    v5).  The figure is only partially specified in the text; this
+    structure matches the stated facts: {v1, v2} is a *maximal*
+    independent set while {v2, v3, v4, v5} is the *maximum* one (the
+    independence number is four).
+    """
+
+    # v1=0 adjacent to v3=2, v4=3, v5=4; v2=1 is not adjacent to any of them.
+    return Graph(5, [(0, 2), (0, 3), (0, 4)])
+
+
+@pytest.fixture
+def small_random_graph() -> Graph:
+    """A fixed 60-vertex random graph small enough for the exact solver."""
+
+    return erdos_renyi_gnm(60, 120, seed=7)
+
+
+@pytest.fixture
+def medium_random_graph() -> Graph:
+    """A fixed 400-vertex random graph used by the solver integration tests."""
+
+    return erdos_renyi_gnm(400, 1200, seed=11)
+
+
+@pytest.fixture
+def small_plrg_graph() -> Graph:
+    """A fixed power-law graph of roughly 1,500 vertices."""
+
+    params = PLRGParameters.from_vertex_count(1_500, 2.2)
+    return plrg_graph(params, seed=3)
+
+
+@pytest.fixture(
+    params=[
+        ("path", lambda: path_graph(11), 6),
+        ("cycle", lambda: cycle_graph(9), 4),
+        ("star", lambda: star_graph(8), 8),
+        ("complete", lambda: complete_graph(6), 1),
+        ("bipartite", lambda: complete_bipartite_graph(4, 7), 7),
+    ],
+    ids=["path11", "cycle9", "star8", "complete6", "bipartite4x7"],
+)
+def known_optimum_graph(request):
+    """Graphs with a known independence number: ``(graph, optimum)``."""
+
+    _name, factory, optimum = request.param
+    return factory(), optimum

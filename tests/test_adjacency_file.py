@@ -1,0 +1,111 @@
+"""Unit tests for the adjacency-file writer and sequential-scan reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graphs.generators import erdos_renyi_gnm, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.storage import format as fmt
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+
+
+@pytest.fixture
+def sample_graph() -> Graph:
+    return erdos_renyi_gnm(50, 120, seed=9)
+
+
+class TestWriter:
+    def test_written_size_matches_formula(self, sample_graph):
+        device = write_adjacency_file(sample_graph)
+        assert device.size == fmt.file_size_bytes(
+            sample_graph.num_vertices, sample_graph.num_edges
+        )
+
+    def test_write_to_disk_and_reopen(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.adj"
+        device = write_adjacency_file(sample_graph, str(path))
+        device.close()
+        reader = AdjacencyFileReader(str(path))
+        assert reader.num_vertices == sample_graph.num_vertices
+        assert reader.num_edges == sample_graph.num_edges
+        reader.close()
+
+    def test_default_order_is_degree_ascending(self, sample_graph):
+        device = write_adjacency_file(sample_graph)
+        reader = AdjacencyFileReader(device)
+        degrees = [len(neighbors) for _, neighbors in reader.scan()]
+        assert degrees == sorted(degrees)
+
+    def test_explicit_id_order(self, sample_graph):
+        device = write_adjacency_file(sample_graph, order=range(sample_graph.num_vertices))
+        reader = AdjacencyFileReader(device)
+        assert reader.scan_order() == list(range(sample_graph.num_vertices))
+
+    def test_invalid_order_rejected(self, sample_graph):
+        with pytest.raises(StorageError):
+            write_adjacency_file(sample_graph, order=[0, 0, 1])
+
+    def test_neighbor_lists_sorted_by_neighbor_degree(self):
+        # Star + pendant chain: the centre's first neighbour should be the
+        # lowest-degree one when sort_neighbors_by_degree is enabled.
+        graph = Graph(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        device = write_adjacency_file(graph, order=range(5))
+        reader = AdjacencyFileReader(device)
+        records = dict(reader.scan())
+        first_neighbor = records[0][0]
+        assert graph.degree(first_neighbor) == min(
+            graph.degree(v) for v in graph.neighbors(0)
+        )
+
+
+class TestReader:
+    def test_roundtrip_preserves_graph(self, sample_graph):
+        device = write_adjacency_file(sample_graph)
+        reader = AdjacencyFileReader(device)
+        assert reader.to_graph() == sample_graph
+
+    def test_scan_counts_one_sequential_scan(self, sample_graph):
+        device = write_adjacency_file(sample_graph)
+        reader = AdjacencyFileReader(device)
+        for _ in reader.scan():
+            pass
+        assert reader.stats.sequential_scans == 1
+        for _ in reader.scan():
+            pass
+        assert reader.stats.sequential_scans == 2
+
+    def test_scan_yields_every_vertex_once(self, sample_graph):
+        device = write_adjacency_file(sample_graph)
+        reader = AdjacencyFileReader(device)
+        vertices = [vertex for vertex, _ in reader.scan()]
+        assert sorted(vertices) == list(range(sample_graph.num_vertices))
+
+    def test_random_neighbor_lookup(self, sample_graph):
+        device = write_adjacency_file(sample_graph)
+        reader = AdjacencyFileReader(device)
+        assert set(reader.neighbors(10)) == set(sample_graph.neighbors(10))
+        assert reader.stats.random_vertex_lookups == 1
+        assert reader.degree(10) == sample_graph.degree(10)
+
+    def test_lookup_of_unknown_vertex_raises(self):
+        graph = path_graph(4)
+        device = write_adjacency_file(graph)
+        reader = AdjacencyFileReader(device)
+        with pytest.raises(StorageError):
+            reader.neighbors(99)
+
+    def test_context_manager_closes(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.adj"
+        write_adjacency_file(sample_graph, str(path)).close()
+        with AdjacencyFileReader(str(path)) as reader:
+            assert reader.num_vertices == sample_graph.num_vertices
+
+    def test_star_graph_records(self):
+        graph = star_graph(4)
+        device = write_adjacency_file(graph, order=range(5))
+        reader = AdjacencyFileReader(device)
+        records = dict(reader.scan())
+        assert set(records[0]) == {1, 2, 3, 4}
+        assert records[2] == (0,)

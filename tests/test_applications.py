@@ -1,0 +1,128 @@
+"""Unit tests for the MIS-based applications (vertex cover, colouring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.coloring import ColoringResult, is_proper_coloring, iterated_is_coloring
+from repro.applications.vertex_cover import is_vertex_cover, vertex_cover
+from repro.baselines.exact import independence_number
+from repro.errors import SolverError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+
+
+class TestVertexCover:
+    def test_cover_is_complement_of_the_independent_set(self):
+        graph = erdos_renyi_gnm(150, 450, seed=1)
+        result = vertex_cover(graph)
+        assert result.cover | result.mis_result.independent_set == set(graph.vertices())
+        assert not (result.cover & result.mis_result.independent_set)
+
+    def test_cover_covers_every_edge(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(120, 360, seed=seed)
+            result = vertex_cover(graph)
+            assert is_vertex_cover(graph, result.cover)
+
+    def test_star_cover_is_the_centre(self):
+        result = vertex_cover(star_graph(8))
+        assert result.cover == frozenset({0})
+        assert result.size == 1
+
+    def test_empty_graph_needs_no_cover(self):
+        result = vertex_cover(empty_graph(5))
+        assert result.size == 0
+
+    def test_complete_graph_cover_is_all_but_one(self):
+        result = vertex_cover(complete_graph(6))
+        assert result.size == 5
+
+    def test_bipartite_cover_is_smaller_side(self):
+        result = vertex_cover(complete_bipartite_graph(3, 9))
+        assert result.size == 3
+
+    def test_cover_size_complements_the_optimum_on_small_graphs(self, small_random_graph):
+        result = vertex_cover(small_random_graph)
+        optimum_is = independence_number(small_random_graph)
+        minimum_cover = small_random_graph.num_vertices - optimum_is
+        assert result.size >= minimum_cover
+        # The two-k-swap pipeline stays close to the optimum cover.
+        assert result.size <= minimum_cover + 3
+
+    def test_pipeline_is_recorded(self):
+        graph = erdos_renyi_gnm(80, 160, seed=4)
+        result = vertex_cover(graph, pipeline="greedy")
+        assert result.pipeline == "greedy"
+
+    def test_better_pipeline_never_enlarges_the_cover(self):
+        graph = plrg_graph_with_vertex_count(1_000, 2.1, seed=5)
+        greedy_cover = vertex_cover(graph, pipeline="greedy")
+        swap_cover = vertex_cover(graph, pipeline="two_k_swap")
+        assert swap_cover.size <= greedy_cover.size
+
+
+class TestColoring:
+    def test_coloring_is_proper_on_random_graphs(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(120, 400, seed=seed)
+            coloring = iterated_is_coloring(graph)
+            assert is_proper_coloring(graph, coloring.colors)
+
+    def test_every_vertex_receives_a_color(self):
+        graph = erdos_renyi_gnm(100, 250, seed=3)
+        coloring = iterated_is_coloring(graph)
+        assert set(coloring.colors) == set(graph.vertices())
+        assert sum(coloring.class_sizes()) == graph.num_vertices
+
+    def test_bipartite_graph_uses_two_colors(self):
+        coloring = iterated_is_coloring(complete_bipartite_graph(4, 6))
+        assert coloring.num_colors == 2
+
+    def test_even_cycle_two_colors_odd_cycle_three(self):
+        assert iterated_is_coloring(cycle_graph(10)).num_colors == 2
+        assert iterated_is_coloring(cycle_graph(9)).num_colors == 3
+
+    def test_complete_graph_needs_n_colors(self):
+        coloring = iterated_is_coloring(complete_graph(5))
+        assert coloring.num_colors == 5
+
+    def test_empty_graph_uses_one_color(self):
+        coloring = iterated_is_coloring(empty_graph(7))
+        assert coloring.num_colors == 1
+        assert coloring.class_sizes() == [7]
+
+    def test_path_uses_few_colors(self):
+        # Iterated MIS extraction does not guarantee the optimum two colours
+        # on a path (the first class can split the leftovers), but it stays
+        # within one extra colour and is always proper.
+        graph = path_graph(12)
+        coloring = iterated_is_coloring(graph)
+        assert coloring.num_colors <= 3
+        assert is_proper_coloring(graph, coloring.colors)
+
+    def test_max_colors_guard(self):
+        with pytest.raises(SolverError):
+            iterated_is_coloring(complete_graph(6), max_colors=3)
+
+    def test_color_classes_are_independent_sets(self):
+        graph = plrg_graph_with_vertex_count(800, 2.0, seed=7)
+        coloring = iterated_is_coloring(graph)
+        from repro.validation.checks import is_independent_set
+
+        for color_class in coloring.color_classes:
+            assert is_independent_set(graph, color_class)
+
+    def test_swap_pipeline_never_needs_more_colors_than_vertices(self):
+        graph = erdos_renyi_gnm(60, 300, seed=8)
+        coloring = iterated_is_coloring(graph, pipeline="two_k_swap")
+        assert coloring.num_colors <= graph.num_vertices
+        assert is_proper_coloring(graph, coloring.colors)

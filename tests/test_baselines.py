@@ -1,0 +1,156 @@
+"""Unit tests for the comparator algorithms (DynamicUpdate, STXXL, exact, local search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dynamic_update import dynamic_update_mis
+from repro.baselines.exact import exact_mis, independence_number
+from repro.baselines.external_mis import SimulatedExternalPriorityQueue, external_maximal_is
+from repro.baselines.local_search import local_search_mis
+from repro.baselines.unsorted import baseline_mis
+from repro.core.greedy import greedy_mis
+from repro.errors import MemoryBudgetError, SolverError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+)
+from repro.storage.io_stats import IOStats
+from repro.validation.checks import is_independent_set, is_maximal_independent_set
+
+
+class TestDynamicUpdate:
+    def test_simple_graphs(self):
+        assert dynamic_update_mis(star_graph(7)).size == 7
+        assert dynamic_update_mis(complete_graph(5)).size == 1
+        assert dynamic_update_mis(path_graph(9)).size == 5
+        assert dynamic_update_mis(empty_graph(4)).size == 4
+
+    def test_result_is_maximal_independent(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(120, 400, seed=seed)
+            result = dynamic_update_mis(graph)
+            assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_usually_at_least_as_good_as_lazy_greedy(self, small_plrg_graph):
+        dynamic = dynamic_update_mis(small_plrg_graph)
+        lazy = greedy_mis(small_plrg_graph)
+        # DynamicUpdate updates degrees, so it should not be worse here.
+        assert dynamic.size >= lazy.size - 2
+
+    def test_memory_limit_produces_not_applicable(self):
+        graph = erdos_renyi_gnm(200, 600, seed=1)
+        with pytest.raises(MemoryBudgetError):
+            dynamic_update_mis(graph, memory_limit_bytes=100)
+
+    def test_memory_model_reported(self):
+        graph = erdos_renyi_gnm(100, 300, seed=2)
+        result = dynamic_update_mis(graph)
+        assert result.memory_bytes == (2 * 300 + 4 * 100) * 4
+        assert result.algorithm == "dynamic_update"
+
+
+class TestExternalMaximalIS:
+    def test_result_is_maximal_independent(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(120, 400, seed=seed)
+            result = external_maximal_is(graph)
+            assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_is_the_lexicographically_first_mis(self):
+        graph = path_graph(5)
+        result = external_maximal_is(graph)
+        assert result.independent_set == frozenset({0, 2, 4})
+
+    def test_queue_io_is_charged(self):
+        graph = erdos_renyi_gnm(200, 2_000, seed=3)
+        result = external_maximal_is(graph, block_size=256)
+        assert result.io.bytes_written > 0
+        assert result.extras["max_queue_entries"] > 0
+
+    def test_usually_worse_than_degree_ordered_greedy(self, small_plrg_graph):
+        external = external_maximal_is(small_plrg_graph)
+        greedy = greedy_mis(small_plrg_graph)
+        assert external.size <= greedy.size
+
+    def test_priority_queue_pop_until(self):
+        queue = SimulatedExternalPriorityQueue(stats=IOStats(), block_size=64)
+        queue.push(5, 50)
+        queue.push(2, 20)
+        queue.push(9, 90)
+        assert queue.pop_until(5) == [20, 50]
+        assert len(queue) == 1
+        queue.flush_accounting()
+        assert queue.stats.bytes_written > 0
+
+
+class TestExactSolver:
+    def test_known_optima(self, known_optimum_graph):
+        graph, optimum = known_optimum_graph
+        assert independence_number(graph) == optimum
+
+    def test_bipartite_optimum(self):
+        assert independence_number(complete_bipartite_graph(5, 9)) == 9
+
+    def test_cycle_optimum(self):
+        assert independence_number(cycle_graph(11)) == 5
+
+    def test_result_is_independent(self, small_random_graph):
+        result = exact_mis(small_random_graph)
+        assert is_independent_set(small_random_graph, result.independent_set)
+
+    def test_exact_dominates_heuristics(self, small_random_graph):
+        optimum = independence_number(small_random_graph)
+        assert optimum >= greedy_mis(small_random_graph).size
+        assert optimum >= dynamic_update_mis(small_random_graph).size
+
+    def test_node_budget_guard(self):
+        graph = erdos_renyi_gnm(80, 600, seed=4)
+        with pytest.raises(SolverError):
+            exact_mis(graph, max_nodes=10)
+
+    def test_nodes_expanded_recorded(self, small_random_graph):
+        result = exact_mis(small_random_graph)
+        assert result.extras["nodes_expanded"] >= 1
+
+
+class TestLocalSearch:
+    def test_improves_or_matches_greedy(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(150, 600, seed=seed)
+            greedy = greedy_mis(graph)
+            improved = local_search_mis(graph, initial=greedy)
+            assert improved.size >= greedy.size
+            assert is_maximal_independent_set(graph, improved.independent_set)
+
+    def test_star_swap(self):
+        graph = star_graph(6)
+        result = local_search_mis(graph, initial={0})
+        assert result.size == 6
+
+    def test_accepts_default_initial(self):
+        graph = erdos_renyi_gnm(100, 300, seed=5)
+        result = local_search_mis(graph)
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_iteration_limit_respected(self):
+        graph = erdos_renyi_gnm(150, 600, seed=6)
+        result = local_search_mis(graph, max_iterations=1)
+        assert result.extras["iterations"] <= 1
+
+
+class TestBaselineWrapper:
+    def test_baseline_matches_id_order_greedy(self, medium_random_graph):
+        assert (
+            baseline_mis(medium_random_graph).independent_set
+            == greedy_mis(medium_random_graph, order="id").independent_set
+        )
+
+    def test_baseline_is_maximal(self, medium_random_graph):
+        result = baseline_mis(medium_random_graph)
+        assert is_maximal_independent_set(medium_random_graph, result.independent_set)

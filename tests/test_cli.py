@@ -1,0 +1,93 @@
+"""Unit tests for the repro-mis command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_datasets_lists_all_ten(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Facebook" in out
+        assert "Clueweb12" in out
+
+    def test_theory_prints_model_quantities(self, capsys):
+        assert main(["theory", "--vertices", "50000", "--beta", "2.2"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy_size" in out
+        assert "sc_vertices_bound" in out
+
+    def test_generate_solve_and_bound_workflow(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        assert main([
+            "generate", str(path), "--model", "gnm",
+            "--vertices", "200", "--edges", "500", "--seed", "3",
+        ]) == 0
+        assert path.exists()
+        assert main(["solve", str(path), "--pipeline", "two_k_swap"]) == 0
+        out = capsys.readouterr().out
+        assert "two_k_swap" in out
+        assert main(["bound", str(path)]) == 0
+        assert "upper bound" in capsys.readouterr().out
+
+    def test_solve_json_output(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "100", "--edges", "200"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--pipeline", "greedy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "greedy"
+        assert payload["size"] > 0
+
+    def test_generate_plrg_model(self, tmp_path, capsys):
+        path = tmp_path / "plrg.adj"
+        assert main([
+            "generate", str(path), "--model", "plrg",
+            "--vertices", "1000", "--beta", "2.1", "--order", "id",
+        ]) == 0
+        assert "vertices" in capsys.readouterr().out
+
+    def test_generate_dataset_standin(self, tmp_path, capsys):
+        path = tmp_path / "dblp.adj"
+        assert main([
+            "generate", str(path), "--model", "dataset",
+            "--dataset", "dblp", "--scale", "0.001",
+        ]) == 0
+        assert path.exists()
+
+    def test_import_export_roundtrip(self, tmp_path, capsys):
+        text_in = tmp_path / "edges.txt"
+        text_in.write_text("# toy graph\n0 1\n1 2\n2 3\n3 0\n")
+        adjacency = tmp_path / "toy.adj"
+        text_out = tmp_path / "edges_out.txt"
+        assert main(["import", str(text_in), str(adjacency), "--order", "id"]) == 0
+        assert "4 vertices" in capsys.readouterr().out
+        assert main(["export", str(adjacency), str(text_out)]) == 0
+        assert "4 edges" in capsys.readouterr().out
+        assert text_out.exists()
+
+    def test_reduce_command_reports_kernel(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "150", "--edges", "220"])
+        capsys.readouterr()
+        assert main(["reduce", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel vertices" in out
+        assert "pendant-rule applications" in out

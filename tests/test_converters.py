@@ -1,0 +1,107 @@
+"""Unit tests for the text edge-list converters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import greedy_mis
+from repro.errors import StorageError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.storage.adjacency_file import AdjacencyFileReader
+from repro.storage.converters import (
+    edge_list_file_to_graph,
+    export_edge_list,
+    graph_to_edge_list_file,
+    import_edge_list,
+)
+
+
+class TestEdgeListParsing:
+    def test_roundtrip_through_text(self, tmp_path):
+        graph = erdos_renyi_gnm(60, 150, seed=2)
+        path = tmp_path / "graph.txt"
+        written = graph_to_edge_list_file(graph, str(path), header_comment="test graph")
+        assert written == graph.num_edges
+        parsed, mapping = edge_list_file_to_graph(str(path))
+        assert parsed == graph
+        assert len(mapping) == graph.num_vertices
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n% other\n10 20\n20 30\n")
+        graph, mapping = edge_list_file_to_graph(str(path), compact=True)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert set(mapping) == {10, 20, 30}
+
+    def test_non_contiguous_ids_are_compacted_on_request(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1000 2000\n2000 5\n")
+        graph, mapping = edge_list_file_to_graph(str(path), compact=True)
+        assert graph.num_vertices == 3
+        assert mapping[1000] == 0
+        assert graph.has_edge(mapping[1000], mapping[2000])
+
+    def test_ids_are_kept_verbatim_by_default(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 5\n")
+        graph, mapping = edge_list_file_to_graph(str(path))
+        assert graph.num_vertices == 6
+        assert mapping == {0: 0, 1: 1, 5: 5}
+        assert graph.has_edge(1, 5)
+
+    def test_bad_lines_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(StorageError):
+            edge_list_file_to_graph(str(path))
+        path.write_text("a b\n")
+        with pytest.raises(StorageError):
+            edge_list_file_to_graph(str(path))
+        path.write_text("-1 2\n")
+        with pytest.raises(StorageError):
+            edge_list_file_to_graph(str(path))
+
+
+class TestBinaryConversion:
+    def test_import_produces_a_solvable_adjacency_file(self, tmp_path):
+        graph = erdos_renyi_gnm(80, 200, seed=3)
+        text_path = tmp_path / "graph.txt"
+        adjacency_path = tmp_path / "graph.adj"
+        graph_to_edge_list_file(graph, str(text_path))
+        imported, _ = import_edge_list(str(text_path), str(adjacency_path))
+        assert imported == graph
+        reader = AdjacencyFileReader(str(adjacency_path))
+        result = greedy_mis(reader)
+        assert result.size == greedy_mis(graph).size
+        reader.close()
+
+    def test_import_degree_order_is_sorted(self, tmp_path):
+        graph = erdos_renyi_gnm(50, 160, seed=4)
+        text_path = tmp_path / "graph.txt"
+        adjacency_path = tmp_path / "graph.adj"
+        graph_to_edge_list_file(graph, str(text_path))
+        import_edge_list(str(text_path), str(adjacency_path), order="degree")
+        reader = AdjacencyFileReader(str(adjacency_path))
+        degrees = [len(neighbors) for _, neighbors in reader.scan()]
+        assert degrees == sorted(degrees)
+        reader.close()
+
+    def test_import_rejects_unknown_order(self, tmp_path):
+        text_path = tmp_path / "graph.txt"
+        text_path.write_text("0 1\n")
+        with pytest.raises(StorageError):
+            import_edge_list(str(text_path), str(tmp_path / "x.adj"), order="random")
+
+    def test_export_roundtrip(self, tmp_path):
+        graph = erdos_renyi_gnm(40, 100, seed=5)
+        text_path = tmp_path / "in.txt"
+        adjacency_path = tmp_path / "graph.adj"
+        out_text_path = tmp_path / "out.txt"
+        graph_to_edge_list_file(graph, str(text_path))
+        import_edge_list(str(text_path), str(adjacency_path), order="id")
+        exported = export_edge_list(str(adjacency_path), str(out_text_path))
+        assert exported == graph.num_edges
+        reparsed, _ = edge_list_file_to_graph(str(out_text_path))
+        assert reparsed.num_edges == graph.num_edges
+        assert reparsed.num_vertices == graph.num_vertices

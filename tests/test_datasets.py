@@ -1,0 +1,78 @@
+"""Unit tests for the Table 4 dataset stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs.datasets import (
+    DATASETS,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+
+
+class TestDatasetRegistry:
+    def test_all_ten_paper_datasets_present(self):
+        names = available_datasets()
+        assert len(names) == 10
+        assert names[0] == "astroph"
+        assert names[-1] == "clueweb12"
+
+    def test_spec_lookup_is_case_insensitive(self):
+        assert dataset_spec("Facebook").name == "Facebook"
+        assert dataset_spec("FACEBOOK") is dataset_spec("facebook")
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("orkut")
+
+    def test_paper_characteristics_recorded(self):
+        twitter = dataset_spec("twitter")
+        assert twitter.real_edges == 2_405_000_000
+        assert twitter.avg_degree == pytest.approx(78.12)
+        clueweb = dataset_spec("clueweb12")
+        assert clueweb.disk_size == "169GB"
+
+    def test_scaled_vertices_clamped_to_minimum(self):
+        spec = dataset_spec("astroph")
+        assert spec.scaled_vertices(1e-9, min_vertices=300) == 300
+        assert spec.scaled_vertices(1.0) == spec.real_vertices
+
+    def test_scaled_vertices_rejects_non_positive_scale(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("dblp").scaled_vertices(0.0)
+
+
+class TestDatasetGeneration:
+    def test_load_is_reproducible(self):
+        g1 = load_dataset("dblp", scale=0.002, seed=1)
+        g2 = load_dataset("dblp", scale=0.002, seed=1)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = load_dataset("dblp", scale=0.002, seed=1)
+        g2 = load_dataset("dblp", scale=0.002, seed=2)
+        assert g1 != g2
+
+    def test_vertex_count_scales(self):
+        small = load_dataset("youtube", scale=0.0005, seed=0)
+        large = load_dataset("youtube", scale=0.002, seed=0)
+        assert large.num_vertices > small.num_vertices
+
+    def test_average_degree_roughly_matches_spec(self):
+        spec = dataset_spec("blog")
+        graph = load_dataset("blog", scale=0.001, seed=0)
+        # The configuration model drops collisions, so allow 35% slack.
+        assert graph.average_degree == pytest.approx(spec.avg_degree, rel=0.35)
+
+    def test_sparse_dataset_has_low_average_degree(self):
+        uniport = load_dataset("uniport", scale=0.001, seed=0)
+        twitterish = load_dataset("astroph", scale=0.02, seed=0)
+        assert uniport.average_degree < twitterish.average_degree
+
+    def test_minimum_vertices_respected(self):
+        g = load_dataset("astroph", scale=1e-9, seed=0, min_vertices=500)
+        assert g.num_vertices == 500

@@ -1,0 +1,89 @@
+"""Unit tests for the external degree sort and its I/O cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.external_sort import (
+    external_sort_by_degree,
+    greedy_total_io_cost,
+    sort_io_cost,
+)
+
+
+def _unsorted_reader(graph):
+    """Write the graph in id order (i.e. *not* degree order) and open a reader."""
+
+    device = write_adjacency_file(graph, order=range(graph.num_vertices))
+    return AdjacencyFileReader(device)
+
+
+class TestExternalSort:
+    def test_output_is_degree_sorted(self):
+        graph = erdos_renyi_gnm(80, 300, seed=4)
+        result = external_sort_by_degree(_unsorted_reader(graph), memory_budget=1 << 12)
+        degrees = [len(neighbors) for _, neighbors in result.reader.scan()]
+        assert degrees == sorted(degrees)
+
+    def test_output_preserves_graph(self):
+        graph = erdos_renyi_gnm(60, 150, seed=5)
+        result = external_sort_by_degree(_unsorted_reader(graph), memory_budget=1 << 12)
+        assert result.reader.to_graph() == graph
+
+    def test_small_budget_produces_multiple_runs(self):
+        graph = plrg_graph_with_vertex_count(400, 2.1, seed=1, sort_by_degree=False)
+        tight = external_sort_by_degree(_unsorted_reader(graph), memory_budget=2_000)
+        loose = external_sort_by_degree(_unsorted_reader(graph), memory_budget=1 << 22)
+        assert tight.num_runs > loose.num_runs
+        assert loose.num_runs == 1
+        assert loose.merge_passes == 0
+
+    def test_sorted_file_can_be_written_to_disk(self, tmp_path):
+        graph = erdos_renyi_gnm(40, 100, seed=6)
+        out = tmp_path / "sorted.adj"
+        result = external_sort_by_degree(
+            _unsorted_reader(graph), output_backing=str(out), memory_budget=1 << 12
+        )
+        result.reader.close()
+        reopened = AdjacencyFileReader(str(out))
+        degrees = [len(neighbors) for _, neighbors in reopened.scan()]
+        assert degrees == sorted(degrees)
+        reopened.close()
+
+    def test_io_stats_are_accumulated(self):
+        graph = erdos_renyi_gnm(60, 200, seed=7)
+        result = external_sort_by_degree(_unsorted_reader(graph), memory_budget=4_000)
+        assert result.stats.bytes_written > 0
+        assert result.stats.bytes_read > 0
+
+    def test_invalid_memory_budget_rejected(self):
+        graph = erdos_renyi_gnm(10, 20, seed=8)
+        with pytest.raises(StorageError):
+            external_sort_by_degree(_unsorted_reader(graph), memory_budget=0)
+
+
+class TestIOCostModel:
+    def test_single_pass_cost_is_two_scans(self):
+        # When |V|/B <= 1 the logarithm clamps to zero: sort + scan = 2 passes.
+        cost = greedy_total_io_cost(num_vertices=100, num_edges=900, block_size=1024, memory=8192)
+        assert cost == pytest.approx(2 * 1000 / 1024)
+
+    def test_cost_grows_with_graph_size(self):
+        small = greedy_total_io_cost(10_000, 50_000, block_size=4096, memory=1 << 20)
+        large = greedy_total_io_cost(100_000, 500_000, block_size=4096, memory=1 << 20)
+        assert large > small
+
+    def test_cost_shrinks_with_memory(self):
+        tight = sort_io_cost(10**6, 10**7, block_size=4096, memory=1 << 16)
+        roomy = sort_io_cost(10**6, 10**7, block_size=4096, memory=1 << 28)
+        assert roomy < tight
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StorageError):
+            sort_io_cost(10, 10, block_size=0, memory=100)
+        with pytest.raises(StorageError):
+            sort_io_cost(10, 10, block_size=100, memory=50)

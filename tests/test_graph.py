@@ -1,0 +1,185 @@
+"""Unit tests for the in-memory Graph container and GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, VertexError
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+class TestGraphConstruction:
+    def test_empty_graph_has_no_vertices_or_edges(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree == 0.0
+        assert g.max_degree == 0
+
+    def test_isolated_vertices_only(self):
+        g = Graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.isolated_vertices() == [0, 1, 2, 3, 4]
+
+    def test_simple_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.num_edges == 3
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert g.degree(1) == 2
+
+    def test_duplicate_edges_are_removed(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_are_dropped(self):
+        g = Graph(3, [(0, 0), (1, 1), (0, 1)])
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(VertexError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(VertexError):
+            Graph(3, [(-1, 0)])
+
+    def test_from_adjacency_symmetrises(self):
+        g = Graph.from_adjacency([[1], [], [1]])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert g.num_edges == 2
+
+    def test_from_edge_list_text_parses_comments(self):
+        text = "# comment\n0 1\n% other comment\n1 2\n"
+        g = Graph.from_edge_list_text(text)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edge_list_text_rejects_bad_lines(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_list_text("0\n")
+
+
+class TestGraphQueries:
+    def test_has_edge_both_directions(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 1)
+
+    def test_degrees_and_histogram(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees() == [3, 1, 1, 1]
+        assert g.degree_histogram() == {3: 1, 1: 3}
+        assert g.max_degree == 3
+        assert g.average_degree == pytest.approx(1.5)
+
+    def test_iter_edges_yields_each_edge_once(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        g = Graph(4, edges)
+        assert sorted(g.iter_edges()) == sorted(edges)
+
+    def test_iter_adjacency_covers_all_vertices(self):
+        g = Graph(3, [(0, 1)])
+        records = dict(g.iter_adjacency())
+        assert set(records) == {0, 1, 2}
+        assert records[2] == ()
+
+    def test_vertex_bounds_checked(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(VertexError):
+            g.neighbors(2)
+        with pytest.raises(VertexError):
+            g.degree(-1)
+
+    def test_contains_and_len(self):
+        g = Graph(3)
+        assert 2 in g
+        assert 3 not in g
+        assert "x" not in g
+        assert len(g) == 3
+
+    def test_equality_and_repr(self):
+        g1 = Graph(3, [(0, 1)])
+        g2 = Graph(3, [(1, 0)])
+        g3 = Graph(3, [(0, 2)])
+        assert g1 == g2
+        assert g1 != g3
+        assert g1 != "not a graph"
+        assert "num_vertices=3" in repr(g1)
+
+    def test_complement_edges_count(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.complement_edges_count() == 4
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_keeps_internal_edges(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, mapping = g.induced_subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert mapping == {1: 0, 2: 1, 3: 2}
+
+    def test_induced_subgraph_of_disconnected_vertices(self):
+        g = Graph(5, [(0, 1), (1, 2)])
+        sub, _ = g.induced_subgraph([0, 2, 4])
+        assert sub.num_edges == 0
+
+    def test_relabeled_preserves_structure(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        relabeled = g.relabeled([2, 1, 0])
+        # old 2 -> new 0, old 1 -> new 1, old 0 -> new 2
+        assert relabeled.has_edge(0, 1)
+        assert relabeled.has_edge(1, 2)
+        assert not relabeled.has_edge(0, 2)
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled([0, 0, 1])
+
+    def test_degree_ascending_order_sorts_by_degree_then_id(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        order = g.degree_ascending_order()
+        assert order == [3, 1, 2, 0]
+
+
+class TestGraphBuilder:
+    def test_builder_grows_vertices_automatically(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 5)
+        assert builder.num_vertices == 6
+        g = builder.build()
+        assert g.num_vertices == 6
+        assert g.num_edges == 1
+
+    def test_builder_ignores_self_loops(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(1, 1)
+        assert builder.num_pending_edges == 0
+        assert builder.build().num_edges == 0
+
+    def test_builder_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([(0, 1), (1, 2), (2, 0)])
+        assert builder.build().num_edges == 3
+
+    def test_builder_add_vertex_returns_new_id(self):
+        builder = GraphBuilder(2)
+        assert builder.add_vertex() == 2
+        assert builder.num_vertices == 3
+
+    def test_builder_rejects_negative_ids(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphError):
+            builder.add_edge(-1, 0)
+
+    def test_builder_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-2)

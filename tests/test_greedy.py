@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 1, the semi-external greedy pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.unsorted import baseline_mis
+from repro.core.greedy import greedy_mis
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.scan import InMemoryAdjacencyScan
+from repro.validation.checks import is_independent_set, is_maximal_independent_set
+
+
+class TestGreedyCorrectness:
+    def test_empty_graph_returns_all_vertices(self):
+        result = greedy_mis(empty_graph(10))
+        assert result.size == 10
+
+    def test_zero_vertex_graph(self):
+        result = greedy_mis(empty_graph(0))
+        assert result.size == 0
+
+    def test_complete_graph_returns_single_vertex(self):
+        result = greedy_mis(complete_graph(8))
+        assert result.size == 1
+
+    def test_star_graph_returns_all_leaves(self):
+        result = greedy_mis(star_graph(9))
+        assert result.size == 9
+        assert 0 not in result.independent_set
+
+    def test_bipartite_graph_returns_larger_side(self):
+        result = greedy_mis(complete_bipartite_graph(3, 8))
+        assert result.size == 8
+
+    def test_path_graph_is_optimal(self):
+        # Degree-ordered greedy alternates correctly on a path.
+        result = greedy_mis(path_graph(11))
+        assert result.size == 6
+
+    def test_cycle_graph_near_optimal(self):
+        result = greedy_mis(cycle_graph(10))
+        assert result.size >= 4
+
+    def test_result_is_always_maximal_independent(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(150, 450, seed=seed)
+            result = greedy_mis(graph)
+            assert is_independent_set(graph, result.independent_set)
+            assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_known_optimum_graphs(self, known_optimum_graph):
+        graph, optimum = known_optimum_graph
+        result = greedy_mis(graph)
+        assert result.size <= optimum
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+
+class TestGreedyOrderingEffect:
+    def test_degree_order_beats_id_order_on_adversarial_graph(self):
+        # Hub vertex 0 is connected to many leaves; id order picks the hub
+        # first, degree order picks the leaves.
+        graph = Graph(11, [(0, i) for i in range(1, 11)])
+        sorted_result = greedy_mis(graph, order="degree")
+        unsorted_result = greedy_mis(graph, order="id")
+        assert sorted_result.size == 10
+        assert unsorted_result.size == 1
+
+    def test_baseline_wrapper_uses_id_order(self):
+        graph = Graph(11, [(0, i) for i in range(1, 11)])
+        result = baseline_mis(graph)
+        assert result.algorithm == "baseline"
+        assert result.size == 1
+
+    def test_degree_order_never_smaller_on_power_law_like_graphs(self, small_plrg_graph):
+        sorted_result = greedy_mis(small_plrg_graph, order="degree")
+        unsorted_result = greedy_mis(small_plrg_graph, order="id")
+        assert sorted_result.size >= unsorted_result.size
+
+
+class TestGreedyTelemetry:
+    def test_single_sequential_scan(self, medium_random_graph):
+        source = InMemoryAdjacencyScan(medium_random_graph)
+        result = greedy_mis(source)
+        assert result.io.sequential_scans == 1
+        assert result.io.random_vertex_lookups == 0
+
+    def test_memory_model_reported(self, medium_random_graph):
+        result = greedy_mis(medium_random_graph)
+        assert result.memory_bytes == pytest.approx(medium_random_graph.num_vertices / 8, abs=1)
+
+    def test_runs_from_file_reader(self, medium_random_graph):
+        reader = AdjacencyFileReader(write_adjacency_file(medium_random_graph))
+        result = greedy_mis(reader)
+        assert is_maximal_independent_set(medium_random_graph, result.independent_set)
+        assert result.io.sequential_scans == 1
+
+    def test_elapsed_time_recorded(self, medium_random_graph):
+        result = greedy_mis(medium_random_graph)
+        assert result.elapsed_seconds > 0
+        assert result.algorithm == "greedy"
+        assert result.initial_size == 0
+        assert result.rounds == ()

@@ -1,0 +1,118 @@
+"""Unit tests for the power-law random graph model P(alpha, beta)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.graphs.plrg import (
+    PLRGParameters,
+    alpha_for_vertex_count,
+    plrg_degree_sequence,
+    plrg_expected_edges,
+    plrg_expected_vertices,
+    plrg_graph,
+    plrg_graph_with_vertex_count,
+    plrg_max_degree,
+    zeta_partial,
+)
+
+
+class TestZetaPartial:
+    def test_matches_manual_sum(self):
+        assert zeta_partial(2.0, 3) == pytest.approx(1 + 1 / 4 + 1 / 9)
+
+    def test_zero_terms_is_zero(self):
+        assert zeta_partial(2.0, 0) == 0.0
+
+    def test_rejects_negative_terms(self):
+        with pytest.raises(AnalysisError):
+            zeta_partial(2.0, -1)
+
+    def test_monotone_in_terms(self):
+        assert zeta_partial(1.5, 100) > zeta_partial(1.5, 10)
+
+
+class TestModelQuantities:
+    def test_max_degree_formula(self):
+        assert plrg_max_degree(10.0, 2.0) == int(math.floor(math.exp(5.0)))
+
+    def test_max_degree_rejects_non_positive_beta(self):
+        with pytest.raises(AnalysisError):
+            plrg_max_degree(5.0, 0.0)
+
+    def test_expected_vertices_matches_degree_sequence(self):
+        params = PLRGParameters(alpha=7.0, beta=2.2)
+        sequence = plrg_degree_sequence(params)
+        # The deterministic sequence floors each class, so it is within the
+        # number of degree classes of the analytic estimate.
+        assert len(sequence) <= plrg_expected_vertices(7.0, 2.2)
+        assert len(sequence) >= plrg_expected_vertices(7.0, 2.2) - params.max_degree
+
+    def test_expected_edges_are_half_the_stub_count(self):
+        alpha, beta = 7.0, 2.2
+        delta = plrg_max_degree(alpha, beta)
+        stubs = sum(math.exp(alpha) / d ** (beta - 1) for d in range(1, delta + 1))
+        assert plrg_expected_edges(alpha, beta) == pytest.approx(stubs / 2, rel=1e-9)
+
+    def test_alpha_for_vertex_count_round_trips(self):
+        alpha = alpha_for_vertex_count(5_000, 2.1)
+        assert plrg_expected_vertices(alpha, 2.1) == pytest.approx(5_000, rel=0.01)
+
+    def test_alpha_for_vertex_count_rejects_zero(self):
+        with pytest.raises(AnalysisError):
+            alpha_for_vertex_count(0, 2.1)
+
+    def test_parameters_from_vertex_count(self):
+        params = PLRGParameters.from_vertex_count(3_000, 2.3)
+        assert params.expected_vertices == pytest.approx(3_000, rel=0.01)
+        assert params.beta == 2.3
+
+    def test_vertices_with_degree_rejects_zero_degree(self):
+        params = PLRGParameters(alpha=6.0, beta=2.0)
+        with pytest.raises(AnalysisError):
+            params.vertices_with_degree(0)
+
+    def test_degree_one_class_is_largest(self):
+        params = PLRGParameters(alpha=8.0, beta=2.0)
+        assert params.vertices_with_degree(1) > params.vertices_with_degree(2)
+
+
+class TestPLRGSampling:
+    def test_graph_is_reproducible(self):
+        params = PLRGParameters.from_vertex_count(800, 2.2)
+        assert plrg_graph(params, seed=5) == plrg_graph(params, seed=5)
+
+    def test_vertex_count_matches_degree_sequence(self):
+        params = PLRGParameters.from_vertex_count(800, 2.2)
+        sequence = plrg_degree_sequence(params)
+        graph = plrg_graph(params, seed=1)
+        assert graph.num_vertices == len(sequence)
+
+    def test_sorted_by_degree_order(self):
+        params = PLRGParameters.from_vertex_count(600, 2.0)
+        graph = plrg_graph(params, seed=2, sort_by_degree=True)
+        # The intended degrees are non-decreasing in vertex id; after
+        # dropping collisions the realised degrees stay roughly monotone:
+        # vertex 0 has a small degree and the last vertex a large one.
+        assert graph.degree(0) <= graph.degree(graph.num_vertices - 1)
+
+    def test_edge_count_is_close_to_expected(self):
+        params = PLRGParameters.from_vertex_count(2_000, 2.0)
+        graph = plrg_graph(params, seed=3)
+        expected = plrg_expected_edges(params.alpha, params.beta)
+        # Collisions remove a few edges; 15% tolerance is ample.
+        assert graph.num_edges == pytest.approx(expected, rel=0.15)
+
+    def test_with_vertex_count_helper(self):
+        graph = plrg_graph_with_vertex_count(700, 2.4, seed=4)
+        assert graph.num_vertices == pytest.approx(700, rel=0.1)
+
+    def test_power_law_shape(self):
+        graph = plrg_graph_with_vertex_count(3_000, 2.1, seed=6)
+        histogram = graph.degree_histogram()
+        low = sum(count for degree, count in histogram.items() if degree <= 2)
+        high = sum(count for degree, count in histogram.items() if degree >= 10)
+        assert low > 5 * max(high, 1)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the kernelization reductions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_mis, independence_number
+from repro.core.greedy import greedy_mis
+from repro.errors import SolverError
+from repro.graphs.generators import (
+    caveman_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+from repro.reductions.kernel import reduce_graph, reduced_mis
+from repro.validation.checks import is_independent_set
+
+
+class TestReductionRules:
+    def test_path_reduces_completely(self):
+        reduced = reduce_graph(path_graph(9))
+        assert reduced.kernel_size == 0
+        assert reduced.guaranteed_gain == 5
+        solution = reduced.reconstruct(())
+        assert len(solution) == 5
+        assert is_independent_set(path_graph(9), solution)
+
+    def test_star_reduces_by_pendant_rule(self):
+        reduced = reduce_graph(star_graph(6))
+        assert reduced.kernel_size == 0
+        assert reduced.stats.pendant >= 1
+        assert len(reduced.reconstruct(())) == 6
+
+    def test_cycle_uses_folds(self):
+        reduced = reduce_graph(cycle_graph(9))
+        assert reduced.kernel_size == 0
+        assert reduced.stats.folds >= 1
+        solution = reduced.reconstruct(())
+        assert is_independent_set(cycle_graph(9), solution)
+        assert len(solution) == 4
+
+    def test_triangle_rule_on_cliques_of_three(self):
+        reduced = reduce_graph(complete_graph(3))
+        assert reduced.kernel_size == 0
+        assert reduced.stats.triangle == 1
+        assert len(reduced.reconstruct(())) == 1
+
+    def test_dense_graph_keeps_a_kernel(self):
+        reduced = reduce_graph(complete_graph(6))
+        assert reduced.kernel_size > 0
+        assert reduced.kernel_size <= 6
+
+    def test_isolated_vertices_are_forced(self):
+        graph = Graph(5, [(0, 1)])
+        reduced = reduce_graph(graph)
+        assert reduced.stats.isolated >= 3
+        assert {2, 3, 4}.issubset(reduced.reconstruct(()))
+
+    def test_kernel_never_larger_than_original(self):
+        graph = erdos_renyi_gnm(120, 400, seed=3)
+        reduced = reduce_graph(graph)
+        assert reduced.kernel_size <= graph.num_vertices
+        assert reduced.original_vertices == graph.num_vertices
+
+    def test_reconstruct_rejects_bad_kernel_vertices(self):
+        reduced = reduce_graph(complete_graph(6))
+        with pytest.raises(SolverError):
+            reduced.reconstruct([99])
+
+
+class TestReducedMIS:
+    def test_exact_kernel_solver_gives_exact_answer(self, small_random_graph):
+        result = reduced_mis(
+            small_random_graph,
+            kernel_solver=lambda kernel: exact_mis(kernel).independent_set,
+        )
+        assert is_independent_set(small_random_graph, result.independent_set)
+        assert result.size == independence_number(small_random_graph)
+
+    def test_default_solver_never_worse_than_plain_greedy(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(200, 600, seed=seed)
+            assert reduced_mis(graph).size >= greedy_mis(graph).size
+
+    def test_extras_report_kernel_statistics(self):
+        graph = plrg_graph_with_vertex_count(1_000, 2.2, seed=1)
+        result = reduced_mis(graph)
+        assert result.algorithm == "reduced_mis"
+        assert result.extras["kernel_vertices"] <= graph.num_vertices
+        assert result.extras["rule_applications"] >= 1
+
+    def test_power_law_graphs_reduce_dramatically(self):
+        # Reducing-peeling observation: power-law graphs almost vanish
+        # under the three simple rules.
+        graph = plrg_graph_with_vertex_count(2_000, 2.2, seed=2)
+        reduced = reduce_graph(graph)
+        assert reduced.kernel_size < 0.5 * graph.num_vertices
+
+    def test_caveman_graph_exact_via_reductions(self):
+        graph = caveman_graph(5, 4)
+        result = reduced_mis(
+            graph, kernel_solver=lambda kernel: exact_mis(kernel).independent_set
+        )
+        assert result.size == 5
+
+
+@st.composite
+def _small_graphs(draw):
+    num_vertices = draw(st.integers(min_value=1, max_value=16))
+    max_edges = min(num_vertices * (num_vertices - 1) // 2, 2 * num_vertices)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                st.integers(min_value=0, max_value=num_vertices - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return Graph(num_vertices, edges)
+
+
+class TestReductionProperties:
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(_small_graphs())
+    def test_reductions_preserve_the_independence_number(self, graph):
+        result = reduced_mis(
+            graph, kernel_solver=lambda kernel: exact_mis(kernel).independent_set
+        )
+        assert is_independent_set(graph, result.independent_set)
+        assert result.size == independence_number(graph)
+
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(_small_graphs())
+    def test_reconstruction_is_always_independent(self, graph):
+        result = reduced_mis(graph)
+        assert is_independent_set(graph, result.independent_set)

@@ -1,0 +1,83 @@
+"""Unit tests for the scan-source protocol and the in-memory emulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graphs.generators import erdos_renyi_gnm, star_graph
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.io_stats import IOStats
+from repro.storage.scan import AdjacencyScanSource, InMemoryAdjacencyScan, as_scan_source
+
+
+class TestInMemoryAdjacencyScan:
+    def test_degree_order_scans_small_degrees_first(self):
+        graph = star_graph(5)
+        source = InMemoryAdjacencyScan(graph, order="degree")
+        degrees = [len(neighbors) for _, neighbors in source.scan()]
+        assert degrees == sorted(degrees)
+
+    def test_id_order(self):
+        graph = erdos_renyi_gnm(20, 30, seed=0)
+        source = InMemoryAdjacencyScan(graph, order="id")
+        assert [v for v, _ in source.scan()] == list(range(20))
+
+    def test_explicit_order(self):
+        graph = erdos_renyi_gnm(5, 4, seed=0)
+        source = InMemoryAdjacencyScan(graph, order=[4, 3, 2, 1, 0])
+        assert source.scan_order() == [4, 3, 2, 1, 0]
+
+    def test_invalid_orders_rejected(self):
+        graph = erdos_renyi_gnm(5, 4, seed=0)
+        with pytest.raises(StorageError):
+            InMemoryAdjacencyScan(graph, order="random")
+        with pytest.raises(StorageError):
+            InMemoryAdjacencyScan(graph, order=[0, 1])
+
+    def test_scan_and_lookup_accounting(self):
+        graph = erdos_renyi_gnm(10, 15, seed=1)
+        source = InMemoryAdjacencyScan(graph)
+        for _ in source.scan():
+            pass
+        source.neighbors(3)
+        assert source.stats.sequential_scans == 1
+        assert source.stats.random_vertex_lookups == 1
+
+    def test_exposes_graph_dimensions(self):
+        graph = erdos_renyi_gnm(10, 15, seed=1)
+        source = InMemoryAdjacencyScan(graph)
+        assert source.num_vertices == 10
+        assert source.num_edges == 15
+        assert source.graph is graph
+        assert source.degree(0) == graph.degree(0)
+
+    def test_shared_stats(self):
+        graph = erdos_renyi_gnm(10, 15, seed=1)
+        stats = IOStats()
+        source = InMemoryAdjacencyScan(graph, stats=stats)
+        for _ in source.scan():
+            pass
+        assert stats.sequential_scans == 1
+
+
+class TestAsScanSource:
+    def test_wraps_graph(self):
+        graph = erdos_renyi_gnm(10, 15, seed=1)
+        source = as_scan_source(graph)
+        assert isinstance(source, InMemoryAdjacencyScan)
+
+    def test_passes_through_existing_source(self):
+        graph = erdos_renyi_gnm(10, 15, seed=1)
+        source = InMemoryAdjacencyScan(graph)
+        assert as_scan_source(source) is source
+
+    def test_file_reader_satisfies_protocol(self):
+        graph = erdos_renyi_gnm(10, 15, seed=1)
+        reader = AdjacencyFileReader(write_adjacency_file(graph))
+        assert isinstance(reader, AdjacencyScanSource)
+        assert as_scan_source(reader) is reader
+
+    def test_rejects_other_types(self):
+        with pytest.raises(StorageError):
+            as_scan_source([1, 2, 3])

@@ -1,0 +1,69 @@
+"""Unit tests for the solver facade and its pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import PIPELINES, SemiExternalMISSolver, solve_mis
+from repro.errors import SolverError
+from repro.graphs.generators import erdos_renyi_gnm, star_graph
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.validation.checks import is_independent_set, is_maximal_independent_set
+
+
+class TestPipelines:
+    def test_all_declared_pipelines_run(self, medium_random_graph):
+        sizes = {}
+        for name in PIPELINES:
+            result = solve_mis(medium_random_graph, pipeline=name)
+            sizes[name] = result.size
+            assert is_independent_set(medium_random_graph, result.independent_set)
+            assert result.algorithm == name
+        assert sizes["one_k_swap"] >= sizes["greedy"]
+        assert sizes["two_k_swap"] >= sizes["greedy"]
+        assert sizes["one_k_swap_after_baseline"] >= sizes["baseline"]
+        assert sizes["two_k_swap_after_baseline"] >= sizes["baseline"]
+
+    def test_unknown_pipeline_rejected(self, medium_random_graph):
+        with pytest.raises(SolverError):
+            solve_mis(medium_random_graph, pipeline="three_k_swap")
+
+    def test_swap_pipelines_beat_baseline_on_skewed_graph(self):
+        graph = plrg_graph_with_vertex_count(1_500, 2.0, seed=8)
+        baseline = solve_mis(graph, pipeline="baseline")
+        two_k = solve_mis(graph, pipeline="two_k_swap")
+        assert two_k.size >= baseline.size
+
+    def test_baseline_pipeline_uses_id_order(self):
+        graph = star_graph(10)
+        assert solve_mis(graph, pipeline="baseline").size == 1
+        assert solve_mis(graph, pipeline="greedy").size == 10
+
+    def test_swap_after_baseline_recovers_quality(self):
+        # On the star, swapping after the baseline recovers the full leaf set.
+        graph = star_graph(10)
+        result = solve_mis(graph, pipeline="one_k_swap_after_baseline")
+        assert result.size == 10
+
+    def test_validate_flag_checks_result(self, medium_random_graph):
+        solver = SemiExternalMISSolver(pipeline="two_k_swap", validate=True)
+        result = solver.solve(medium_random_graph)
+        assert is_maximal_independent_set(medium_random_graph, result.independent_set)
+
+    def test_max_rounds_is_forwarded(self):
+        graph = erdos_renyi_gnm(300, 1_000, seed=30)
+        limited = SemiExternalMISSolver(pipeline="one_k_swap", max_rounds=1).solve(graph)
+        assert limited.num_rounds <= 1
+
+    def test_solver_accepts_file_reader(self, medium_random_graph):
+        reader = AdjacencyFileReader(write_adjacency_file(medium_random_graph))
+        result = solve_mis(reader, pipeline="two_k_swap")
+        assert is_independent_set(medium_random_graph, result.independent_set)
+        assert result.io.sequential_scans >= 2
+
+    def test_result_reports_pipeline_level_io(self, medium_random_graph):
+        result = solve_mis(medium_random_graph, pipeline="two_k_swap")
+        # Greedy scan + swap-pass scans are all included.
+        assert result.io.sequential_scans >= 3
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,102 @@
+"""Unit tests for the vertex state machine and the result objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import MISResult, RoundStats
+from repro.core.states import VertexState
+from repro.storage.io_stats import IOStats
+
+
+class TestVertexState:
+    def test_letters_match_paper_notation(self):
+        assert VertexState.IS.letter == "I"
+        assert VertexState.NON_IS.letter == "N"
+        assert VertexState.ADJACENT.letter == "A"
+        assert VertexState.PROTECTED.letter == "P"
+        assert VertexState.CONFLICT.letter == "C"
+        assert VertexState.RETROGRADE.letter == "R"
+
+    def test_from_letter_roundtrip(self):
+        for state in VertexState:
+            if state is VertexState.INITIAL:
+                continue
+            assert VertexState.from_letter(state.letter) is state
+
+    def test_from_letter_is_case_insensitive(self):
+        assert VertexState.from_letter("p") is VertexState.PROTECTED
+
+    def test_from_letter_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            VertexState.from_letter("X")
+
+    def test_membership_helpers(self):
+        assert VertexState.IS.in_independent_set
+        assert not VertexState.PROTECTED.in_independent_set
+        assert VertexState.ADJACENT.is_swap_candidate
+        assert not VertexState.CONFLICT.is_swap_candidate
+
+
+def _result_with_rounds() -> MISResult:
+    rounds = (
+        RoundStats(round_index=1, gained=10, one_k_swaps=8, two_k_swaps=0,
+                   zero_one_swaps=2, is_size_after=110),
+        RoundStats(round_index=2, gained=3, one_k_swaps=3, two_k_swaps=0,
+                   zero_one_swaps=0, is_size_after=113),
+        RoundStats(round_index=3, gained=1, one_k_swaps=1, two_k_swaps=0,
+                   zero_one_swaps=0, is_size_after=114),
+    )
+    return MISResult(
+        algorithm="one_k_swap",
+        independent_set=frozenset(range(114)),
+        rounds=rounds,
+        io=IOStats(sequential_scans=7),
+        memory_bytes=512,
+        elapsed_seconds=0.5,
+        initial_size=100,
+    )
+
+
+class TestMISResult:
+    def test_size_and_rounds(self):
+        result = _result_with_rounds()
+        assert result.size == 114
+        assert result.num_rounds == 3
+        assert result.total_gain == 14
+
+    def test_gain_after_rounds(self):
+        result = _result_with_rounds()
+        assert result.gain_after_rounds(1) == 10
+        assert result.gain_after_rounds(2) == 13
+        assert result.gain_after_rounds(10) == 14
+
+    def test_swap_completion_ratio(self):
+        result = _result_with_rounds()
+        assert result.swap_completion_ratio(1) == pytest.approx(10 / 14)
+        assert result.swap_completion_ratio(3) == pytest.approx(1.0)
+
+    def test_swap_completion_ratio_with_no_gain(self):
+        result = MISResult(
+            algorithm="one_k_swap", independent_set=frozenset({1, 2}), initial_size=2
+        )
+        assert result.swap_completion_ratio(1) == 1.0
+
+    def test_approximation_ratio(self):
+        result = _result_with_rounds()
+        assert result.approximation_ratio(120) == pytest.approx(114 / 120)
+        with pytest.raises(ValueError):
+            result.approximation_ratio(0)
+
+    def test_summary_contains_key_metrics(self):
+        summary = _result_with_rounds().summary()
+        assert summary["algorithm"] == "one_k_swap"
+        assert summary["size"] == 114
+        assert summary["sequential_scans"] == 7
+
+    def test_with_algorithm_relabels_only_the_name(self):
+        result = _result_with_rounds()
+        renamed = result.with_algorithm("baseline")
+        assert renamed.algorithm == "baseline"
+        assert renamed.independent_set == result.independent_set
+        assert renamed.rounds == result.rounds

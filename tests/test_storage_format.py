@@ -1,0 +1,82 @@
+"""Unit tests for the binary adjacency-list file format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormatError
+from repro.storage import format as fmt
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        data = fmt.pack_header(123, 456)
+        header = fmt.unpack_header(data)
+        assert header.num_vertices == 123
+        assert header.num_edges == 456
+        assert header.version == fmt.FORMAT_VERSION
+
+    def test_header_size_constant(self):
+        assert len(fmt.pack_header(1, 1)) == fmt.HEADER_SIZE
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(fmt.pack_header(1, 1))
+        data[0] = 0x00
+        with pytest.raises(FormatError):
+            fmt.unpack_header(bytes(data))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(FormatError):
+            fmt.unpack_header(b"short")
+
+    def test_unsupported_version_rejected(self):
+        data = bytearray(fmt.pack_header(1, 1))
+        data[8] = 99  # version field
+        with pytest.raises(FormatError):
+            fmt.unpack_header(bytes(data))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(FormatError):
+            fmt.pack_header(-1, 0)
+
+
+class TestRecords:
+    def test_roundtrip_with_neighbors(self):
+        data = fmt.pack_record(7, [1, 2, 3])
+        vertex, degree = fmt.unpack_record_header(data)
+        assert vertex == 7
+        assert degree == 3
+        neighbors = fmt.unpack_neighbors(data[fmt.RECORD_HEADER_SIZE:], degree)
+        assert neighbors == (1, 2, 3)
+
+    def test_roundtrip_isolated_vertex(self):
+        data = fmt.pack_record(4, [])
+        vertex, degree = fmt.unpack_record_header(data)
+        assert (vertex, degree) == (4, 0)
+        assert fmt.unpack_neighbors(b"", 0) == ()
+
+    def test_record_size_matches_packed_length(self):
+        data = fmt.pack_record(0, [5, 6])
+        assert len(data) == fmt.record_size(2)
+
+    def test_vertex_id_too_large_rejected(self):
+        with pytest.raises(FormatError):
+            fmt.pack_record(2**32, [])
+
+    def test_truncated_record_header_rejected(self):
+        with pytest.raises(FormatError):
+            fmt.unpack_record_header(b"\x00")
+
+    def test_truncated_neighbors_rejected(self):
+        with pytest.raises(FormatError):
+            fmt.unpack_neighbors(b"\x00\x00", 1)
+
+
+class TestFileSize:
+    def test_file_size_formula(self):
+        # 3 vertices, 2 edges: header + 3 record headers + 4 neighbour ids.
+        expected = fmt.HEADER_SIZE + 3 * fmt.RECORD_HEADER_SIZE + 4 * fmt.VERTEX_ID_BYTES
+        assert fmt.file_size_bytes(3, 2) == expected
+
+    def test_file_size_of_empty_graph(self):
+        assert fmt.file_size_bytes(0, 0) == fmt.HEADER_SIZE
