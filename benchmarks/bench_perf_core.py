@@ -1,0 +1,249 @@
+"""Core-kernel performance regression harness.
+
+Times the three hot paths of the system — CSR graph construction, the
+Algorithm-1 greedy pass and the Algorithm-2 one-k-swap pass — on PLRG
+graphs for both kernel backends (the pure-Python reference and the
+vectorized NumPy kernels) and writes the measurements, plus the
+numpy-over-python speedups, to ``BENCH_core.json`` at the repository
+root.  This file is the perf trajectory of the project: every PR runs at
+least the ``--smoke`` configuration in CI, and the committed JSON records
+the full sweep.
+
+Usage
+-----
+::
+
+    python benchmarks/bench_perf_core.py              # full sweep (1e4..1e6)
+    python benchmarks/bench_perf_core.py --smoke      # tiny CI-friendly run
+    python benchmarks/bench_perf_core.py --sizes 10000,100000
+
+The build comparison feeds each pipeline its native input: the numpy
+pipeline receives the int64 edge ndarray the vectorized generators
+produce, the python reference receives the same edges as a list of pairs
+(the representation the original per-vertex-set builder consumed).  The
+independent sets computed by the two backends are asserted identical on
+every run, so the harness doubles as an end-to-end parity check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import greedy_mis, one_k_swap  # noqa: E402
+from repro.core.kernels import available_backends  # noqa: E402
+from repro.graphs.graph import Graph, build_csr  # noqa: E402
+from repro.graphs.plrg import plrg_graph_with_vertex_count  # noqa: E402
+
+DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
+SMOKE_SIZES = (2_000,)
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> float:
+    """Wall-clock seconds of the fastest of ``repeats`` runs of ``fn``."""
+
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_size(
+    num_vertices: int,
+    beta: float,
+    seed: int,
+    max_rounds: int,
+    repeats: int,
+    python_max: int,
+) -> List[Dict[str, object]]:
+    """Benchmark both backends at one graph size; returns one row per backend."""
+
+    graph = plrg_graph_with_vertex_count(num_vertices, beta, seed=seed)
+    edge_ndarray = graph.edge_array()
+    edge_pairs = [tuple(edge) for edge in edge_ndarray.tolist()]
+
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, Dict[str, object]] = {}
+    run_python = graph.num_vertices <= python_max
+
+    for backend in ("python", "numpy"):
+        if backend == "python" and not run_python:
+            rows.append(
+                {
+                    "n": graph.num_vertices,
+                    "edges": graph.num_edges,
+                    "backend": backend,
+                    "skipped": f"python backend capped at n<={python_max}",
+                }
+            )
+            continue
+        build_input = edge_pairs if backend == "python" else edge_ndarray
+        build_seconds = _best_of(
+            repeats, lambda: build_csr(graph.num_vertices, build_input, backend=backend)
+        )
+
+        greedy_result = greedy_mis(graph, backend=backend)
+        greedy_seconds = _best_of(repeats, lambda: greedy_mis(graph, backend=backend))
+
+        one_k_result = one_k_swap(
+            graph, initial=greedy_result, max_rounds=max_rounds, backend=backend
+        )
+        one_k_seconds = _best_of(
+            repeats,
+            lambda: one_k_swap(
+                graph, initial=greedy_result, max_rounds=max_rounds, backend=backend
+            ),
+        )
+
+        results[backend] = {
+            "greedy_set": greedy_result.independent_set,
+            "one_k_set": one_k_result.independent_set,
+        }
+        rows.append(
+            {
+                "n": graph.num_vertices,
+                "edges": graph.num_edges,
+                "backend": backend,
+                "build_seconds": build_seconds,
+                "greedy_seconds": greedy_seconds,
+                "build_plus_greedy_seconds": build_seconds + greedy_seconds,
+                "one_k_swap_seconds": one_k_seconds,
+                "greedy_size": greedy_result.size,
+                "one_k_size": one_k_result.size,
+            }
+        )
+
+    if "python" in results and "numpy" in results:
+        if results["python"]["greedy_set"] != results["numpy"]["greedy_set"]:
+            raise AssertionError(f"greedy backend mismatch at n={graph.num_vertices}")
+        if results["python"]["one_k_set"] != results["numpy"]["one_k_set"]:
+            raise AssertionError(f"one_k_swap backend mismatch at n={graph.num_vertices}")
+    return rows
+
+
+def compute_speedups(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """numpy-over-python ratios per graph size (only where both backends ran)."""
+
+    by_size: Dict[int, Dict[str, Dict[str, object]]] = {}
+    for row in rows:
+        if "build_seconds" not in row:
+            continue
+        by_size.setdefault(int(row["n"]), {})[str(row["backend"])] = row
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    for size, backends in sorted(by_size.items()):
+        if "python" not in backends or "numpy" not in backends:
+            continue
+        python_row, numpy_row = backends["python"], backends["numpy"]
+        speedups[str(size)] = {
+            metric.replace("_seconds", ""): round(
+                float(python_row[metric]) / max(float(numpy_row[metric]), 1e-12), 2
+            )
+            for metric in (
+                "build_seconds",
+                "greedy_seconds",
+                "build_plus_greedy_seconds",
+                "one_k_swap_seconds",
+            )
+        }
+    return speedups
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated target vertex counts (default: 10^4,10^5,10^6)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny run for CI (n=2000, 1 repeat)"
+    )
+    parser.add_argument("--beta", type=float, default=2.1, help="PLRG beta")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-rounds", type=int, default=3, help="one-k-swap round cap (paper: 3)"
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="best-of-N timing")
+    parser.add_argument(
+        "--python-max",
+        type=int,
+        default=1_000_000,
+        help="skip the python backend above this vertex count",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_core.json"),
+        help="path of the JSON report (default: BENCH_core.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = list(SMOKE_SIZES)
+        repeats = args.repeats or 1
+    else:
+        sizes = (
+            [int(s) for s in args.sizes.split(",")]
+            if args.sizes
+            else list(DEFAULT_SIZES)
+        )
+        repeats = args.repeats or 3
+
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        print(f"benchmarking n~{size:,} (beta={args.beta}) ...", flush=True)
+        rows.extend(
+            bench_size(
+                size, args.beta, args.seed, args.max_rounds, repeats, args.python_max
+            )
+        )
+        for row in rows:
+            if row.get("n") and "build_seconds" in row and not row.get("_printed"):
+                row["_printed"] = True
+                print(
+                    f"  n={row['n']:>9,} {row['backend']:>6}: "
+                    f"build {row['build_seconds']:.4f}s  "
+                    f"greedy {row['greedy_seconds']:.4f}s  "
+                    f"one_k {row['one_k_swap_seconds']:.4f}s"
+                )
+    for row in rows:
+        row.pop("_printed", None)
+
+    speedups = compute_speedups(rows)
+    report = {
+        "benchmark": "bench_perf_core",
+        "description": "CSR build + greedy + one-k-swap timings per kernel backend "
+        "on PLRG graphs; speedups are python-time / numpy-time.",
+        "config": {
+            "beta": args.beta,
+            "seed": args.seed,
+            "max_rounds": args.max_rounds,
+            "repeats": repeats,
+            "smoke": bool(args.smoke),
+            "backends": list(available_backends()),
+        },
+        "results": rows,
+        "speedups_numpy_over_python": speedups,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    for size, ratios in speedups.items():
+        print(
+            f"  n={int(size):,}: build {ratios['build']}x, greedy {ratios['greedy']}x, "
+            f"build+greedy {ratios['build_plus_greedy']}x, one_k {ratios['one_k_swap']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

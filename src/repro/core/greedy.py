@@ -17,6 +17,12 @@ The quality of the result depends on the scan order: the paper's
 pre-processing sorts the file by ascending degree (Section 4.1), which is
 the default order here; the "Baseline" comparator of Section 7 is the same
 scan without the ordering (see :mod:`repro.baselines.unsorted`).
+
+The computational pass itself is delegated to a pluggable kernel backend
+(:mod:`repro.core.kernels`): the ``python`` reference streams records from
+any scan source, while the ``numpy`` backend performs the bitmap updates
+as vectorized array stores against the in-memory CSR arrays.  Both return
+identical independent sets.
 """
 
 from __future__ import annotations
@@ -24,24 +30,20 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence, Union
 
+from repro.core.kernels import resolve_backend
 from repro.core.result import MISResult
-from repro.errors import SolverError
 from repro.graphs.graph import Graph
 from repro.storage.memory import MemoryModel
 from repro.storage.scan import AdjacencyScanSource, as_scan_source
 
 __all__ = ["greedy_mis"]
 
-# Internal compact states of the greedy bitmap-style pass.
-_INITIAL = 0
-_IN_SET = 1
-_EXCLUDED = 2
-
 
 def greedy_mis(
     graph_or_source: Union[Graph, AdjacencyScanSource],
     order: Union[str, Sequence[int]] = "degree",
     memory_model: Optional[MemoryModel] = None,
+    backend: Optional[str] = None,
 ) -> MISResult:
     """Compute a maximal independent set with one sequential scan.
 
@@ -58,6 +60,10 @@ def greedy_mis(
     memory_model:
         Memory model used to report the modeled footprint; defaults to the
         paper's 4-byte-word model.
+    backend:
+        Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
+        ``"auto"`` for the process default).  File-backed sources always
+        use the streaming python backend.
 
     Returns
     -------
@@ -68,25 +74,11 @@ def greedy_mis(
     source = as_scan_source(graph_or_source, order=order)
     model = memory_model if memory_model is not None else MemoryModel()
     num_vertices = source.num_vertices
+    kernel = resolve_backend(backend, source)
 
     started = time.perf_counter()
-    state = bytearray(num_vertices)  # all _INITIAL
     before = source.stats.copy()
-
-    for vertex, neighbors in source.scan():
-        if vertex >= num_vertices:
-            raise SolverError(
-                f"scan produced vertex {vertex} outside the declared range of "
-                f"{num_vertices} vertices"
-            )
-        if state[vertex] != _INITIAL:
-            continue
-        state[vertex] = _IN_SET
-        for u in neighbors:
-            if state[u] == _INITIAL:
-                state[u] = _EXCLUDED
-
-    independent_set = frozenset(v for v in range(num_vertices) if state[v] == _IN_SET)
+    independent_set = kernel.greedy_pass(source)
     elapsed = time.perf_counter() - started
 
     return MISResult(

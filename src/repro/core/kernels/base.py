@@ -1,0 +1,180 @@
+"""Kernel-backend interface, registry and auto-detection.
+
+A *kernel backend* implements the hot computational passes of the three
+semi-external algorithms (Algorithm 1 greedy, Algorithm 2 one-k-swap,
+Algorithms 3/4 two-k-swap) against a scan source.  Two backends ship:
+
+* ``python`` — the reference implementation: plain Python loops over any
+  :class:`~repro.storage.scan.AdjacencyScanSource`, including true
+  file-backed readers.  This is the original, line-for-line algorithm of
+  the paper and the ground truth the vectorized backend is tested against.
+* ``numpy`` — vectorized state sweeps over the in-memory CSR arrays of a
+  :class:`~repro.storage.scan.InMemoryAdjacencyScan`.  Every full-graph
+  O(n)/O(E) sweep (bitmap initialisation, adjacency labelling, pointer
+  counting, swap commits, completion passes) runs as ndarray operations;
+  only the inherently sequential per-round swap-conflict logic stays
+  scalar.  Results — independent sets, per-round telemetry and I/O
+  counters — are bit-identical to the python backend.
+
+The default backend is auto-detected at import time (``numpy`` when the
+library is importable, ``python`` otherwise) and can be overridden with
+the ``REPRO_KERNEL_BACKEND`` environment variable,
+:func:`set_default_backend`, the ``backend=`` argument of the solver
+entry points, or the ``--backend`` CLI flag.
+
+Backends are *selected per call*: requesting the numpy backend for a
+file-backed scan source silently falls back to the python backend,
+because the semi-external file path is inherently record-streaming.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.result import RoundStats
+from repro.errors import SolverError
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+#: Environment variable that overrides the auto-detected default backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+class KernelBackend(abc.ABC):
+    """Computational passes shared by every kernel backend.
+
+    Each method receives an already-normalised scan source, performs the
+    full algorithm body (including the per-sweep ``IOStats`` accounting),
+    and returns plain Python containers; the public solver functions wrap
+    the outcome into :class:`~repro.core.result.MISResult` objects.
+    """
+
+    #: Registry key and CLI name of the backend.
+    name: str = "abstract"
+
+    #: Whether the backend can only run against an in-memory CSR graph.
+    requires_in_memory: bool = False
+
+    @abc.abstractmethod
+    def greedy_pass(self, source) -> FrozenSet[int]:
+        """Algorithm 1: one sequential scan, returns the independent set."""
+
+    @abc.abstractmethod
+    def one_k_swap_pass(
+        self,
+        source,
+        initial_set: FrozenSet[int],
+        max_rounds: Optional[int],
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...]]:
+        """Algorithm 2: 1↔k/0↔1 swap rounds until a fixpoint (or ``max_rounds``)."""
+
+    @abc.abstractmethod
+    def two_k_swap_pass(
+        self,
+        source,
+        initial_set: FrozenSet[int],
+        max_rounds: Optional[int],
+        max_pairs_per_key: int,
+        max_partner_checks: int,
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int]:
+        """Algorithms 3/4: 2↔k swap rounds; also returns the peak SC size."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+_DEFAULT: Optional[str] = None
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (last registration wins)."""
+
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+
+    return tuple(sorted(_REGISTRY))
+
+
+def default_backend_name() -> str:
+    """The name of the backend used when no explicit choice is made.
+
+    Resolution order: :func:`set_default_backend` override, the
+    ``REPRO_KERNEL_BACKEND`` environment variable, then auto-detection
+    (``numpy`` when registered, ``python`` otherwise).
+    """
+
+    if _DEFAULT is not None:
+        return _DEFAULT
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if env:
+        if env not in _REGISTRY:
+            raise SolverError(
+                f"{BACKEND_ENV_VAR}={env!r} does not name a registered kernel "
+                f"backend; available: {', '.join(available_backends())}"
+            )
+        return env
+    return "numpy" if "numpy" in _REGISTRY else "python"
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Force the process-wide default backend (``None`` restores auto-detect)."""
+
+    global _DEFAULT
+    if name is not None and name not in _REGISTRY:
+        raise SolverError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    _DEFAULT = name
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Return the backend registered under ``name`` (default backend if ``None``)."""
+
+    if name is None or name == "auto":
+        name = default_backend_name()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def resolve_backend(name: Optional[str], source) -> KernelBackend:
+    """Pick the backend that will actually run against ``source``.
+
+    A backend that requires an in-memory CSR graph (the numpy backend)
+    falls back to the streaming ``python`` reference when the source is a
+    file-backed reader — the semi-external disk path cannot be vectorized
+    without violating the sequential-scan I/O model.
+    """
+
+    backend = get_backend(name)
+    if backend.requires_in_memory and not _is_in_memory(source):
+        return _REGISTRY["python"]
+    return backend
+
+
+def _is_in_memory(source) -> bool:
+    """Whether ``source`` exposes an in-memory CSR graph the kernels can use."""
+
+    from repro.storage.scan import InMemoryAdjacencyScan
+
+    return isinstance(source, InMemoryAdjacencyScan)

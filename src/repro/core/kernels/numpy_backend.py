@@ -1,0 +1,594 @@
+"""Vectorized NumPy kernel backend.
+
+The backend runs the paper's algorithms directly against the int64 CSR
+arrays of an in-memory graph.  Every full-graph O(n)/O(E) sweep is an
+ndarray operation:
+
+* the greedy exclusion writes are fancy-indexed stores into a ``uint8``
+  state bitmap;
+* "A"-vertex labelling (the count of IS neighbours per vertex) is one
+  ``np.bincount`` over the CSR edge slots, and the identity of a unique
+  IS neighbour falls out of a weighted bincount (the sum of IS neighbour
+  ids *is* the neighbour when the count is one);
+* pointer counts, swap commits (P→IS, R→N) and set sizes are mask
+  operations;
+* the 0↔1 post-swap scan keeps incremental ``count`` / ``sum`` / ``min``
+  / ``blocker`` arrays so each scanned vertex costs O(1), with a fancy
+  neighbour update only when a vertex changes state class.
+
+Only the per-round swap-conflict resolution — which the paper defines
+through the scan order's right of preemption and is therefore inherently
+sequential — stays a scalar loop, and that loop runs over the (usually
+small) pre-filtered "A" candidate subset instead of all n vertices.
+
+Every pass produces results bit-identical to the ``python`` reference
+backend, including the per-round telemetry and the ``IOStats`` counters
+(one ``record_scan`` per logical sweep, one ``record_vertex_lookup`` per
+re-verification lookup).  The property tests in
+``tests/test_kernel_backends.py`` enforce this on randomized graphs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels.base import KernelBackend, register_backend
+from repro.core.kernels.sc_store import SwapCandidateStore
+from repro.core.result import RoundStats
+from repro.core.states import VertexState as S
+
+__all__ = ["NumpyBackend"]
+
+# Plain-int state codes (VertexState values) for fast uint8 array compares.
+_IS = int(S.IS)
+_NON = int(S.NON_IS)
+_ADJ = int(S.ADJACENT)
+_PRO = int(S.PROTECTED)
+_CON = int(S.CONFLICT)
+_RET = int(S.RETROGRADE)
+
+#: Chunk size of the greedy scan: vertices already excluded are skipped in
+#: bulk instead of paying one Python iteration each.
+_GREEDY_CHUNK = 8192
+
+
+def _int_bincount(values, weights, minlength: int):
+    """Weighted bincount cast back to int64 (weights are small exact ints)."""
+
+    return np.bincount(values, weights=weights, minlength=minlength).astype(np.int64)
+
+
+class NumpyBackend(KernelBackend):
+    """Vectorized kernels over the in-memory CSR arrays."""
+
+    name = "numpy"
+    requires_in_memory = True
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: greedy.
+    # ------------------------------------------------------------------
+    def greedy_pass(self, source) -> FrozenSet[int]:
+        graph = source.graph
+        offsets, targets = graph.csr_arrays()
+        order = source.order_array()
+        n = graph.num_vertices
+        state = np.zeros(n, dtype=np.uint8)
+
+        # The greedy scan is sequential by definition — a vertex joins the
+        # set only if no earlier neighbour did — but the sequential
+        # dependency is *local*: a candidate that is still unexcluded when
+        # its chunk starts can only be rejected by an earlier candidate of
+        # the same chunk (an accepted vertex from an earlier chunk would
+        # already have excluded it).  So the scan runs chunk-wise: gather
+        # the still-initial candidates, pull their neighbourhoods out of
+        # the CSR arrays in one shot, and resolve the (rare) intra-chunk
+        # conflicts with a scalar fold over the chunk-internal edges only.
+        # Acceptances and exclusions then commit as two fancy stores — a
+        # neighbour of an accepted vertex can never itself be accepted, so
+        # the exclusion store needs no mask.
+        rank_of = np.full(n, -1, dtype=np.int64)
+        for start in range(0, order.size, _GREEDY_CHUNK):
+            chunk = order[start : start + _GREEDY_CHUNK]
+            cand = chunk[state[chunk] == 0]
+            c = cand.size
+            if c == 0:
+                continue
+            lens = offsets[cand + 1] - offsets[cand]
+            cum = np.concatenate(([0], np.cumsum(lens)))
+            gather = np.arange(cum[-1], dtype=np.int64) + np.repeat(
+                offsets[cand] - cum[:-1], lens
+            )
+            nbrs = targets[gather]
+            rank_of[cand] = np.arange(c, dtype=np.int64)
+            nbr_rank = rank_of[nbrs]
+            rank_of[cand] = -1
+
+            accepted = np.ones(c, dtype=bool)
+            internal = nbr_rank >= 0
+            if internal.any():
+                src_rank = np.repeat(np.arange(c, dtype=np.int64), lens)[internal]
+                dst_rank = nbr_rank[internal]
+                earlier = dst_rank < src_rank
+                # Edges arrive sorted by source rank, so each source sees
+                # the final verdict of all earlier ranks.
+                flags: List[bool] = accepted.tolist()
+                for s, d in zip(src_rank[earlier].tolist(), dst_rank[earlier].tolist()):
+                    if flags[d] and flags[s]:
+                        flags[s] = False
+                accepted = np.asarray(flags, dtype=bool)
+
+            state[cand[accepted]] = 1
+            state[nbrs[np.repeat(accepted, lens)]] = 2
+        source.stats.record_scan()
+
+        return frozenset(np.flatnonzero(state == 1).tolist())
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: one-k-swap.
+    # ------------------------------------------------------------------
+    def one_k_swap_pass(
+        self,
+        source,
+        initial_set: FrozenSet[int],
+        max_rounds: Optional[int],
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...]]:
+        graph = source.graph
+        offsets, targets = graph.csr_arrays()
+        edge_src = graph.edge_sources_array()
+        order = source.order_array()
+        n = graph.num_vertices
+
+        state = np.full(n, _NON, dtype=np.uint8)
+        if initial_set:
+            state[np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))] = _IS
+        isn = np.full(n, -1, dtype=np.int64)
+
+        # Lines 1-3 (vectorized): count the IS neighbours of every vertex
+        # with one bincount over the CSR slots; where the count is exactly
+        # one, the weighted sum of IS neighbour ids is that neighbour.
+        is_slot = state[targets] == _IS
+        src_sel = edge_src[is_slot]
+        cnt = np.bincount(src_sel, minlength=n)
+        nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
+        a_mask = (state != _IS) & (cnt == 1)
+        state[a_mask] = _ADJ
+        isn[a_mask] = nbr_sum[a_mask]
+        source.stats.record_scan()
+
+        rounds: List[RoundStats] = []
+        current_size = len(initial_set)
+        can_swap = True
+
+        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+            can_swap = False
+            one_k_swaps = 0
+            zero_one_swaps = 0
+
+            # |ISN^-1(w)| for every IS vertex w, as one bincount.
+            adj_mask = state == _ADJ
+            pointer_count = np.bincount(isn[adj_mask & (isn >= 0)], minlength=n).astype(
+                np.int64
+            )
+
+            # ----------------------------------------------------------
+            # Pre-swap scan (lines 7-14).  The conflict resolution is
+            # sequential (earlier vertices preempt later ones), so this
+            # loop is scalar — but only over the pre-filtered "A"
+            # candidates, and each candidate's neighbourhood checks are
+            # single vectorized compares on a zero-copy CSR slice.  No
+            # other "A" vertex is mutated by a candidate's processing, so
+            # the pre-filter stays exact for the whole sweep.
+            # ----------------------------------------------------------
+            for v in order[state[order] == _ADJ].tolist():
+                anchor = isn[v]
+                if anchor < 0:  # pragma: no cover - defensive only
+                    state[v] = _NON
+                    continue
+                nbrs = targets[offsets[v] : offsets[v + 1]]
+                nstate = state[nbrs]
+
+                if (nstate == _PRO).any():
+                    # Case (i): conflict with an earlier swap candidate.
+                    state[v] = _CON
+                    pointer_count[anchor] -= 1
+                    continue
+
+                anchor_state = state[anchor]
+                if anchor_state == _IS:
+                    # Case (ii): does a 1-2 swap skeleton exist?
+                    adjacent_partners = int(
+                        ((nstate == _ADJ) & (isn[nbrs] == anchor)).sum()
+                    )
+                    if pointer_count[anchor] - 1 - adjacent_partners > 0:
+                        state[v] = _PRO
+                        state[anchor] = _RET
+                        pointer_count[anchor] -= 1
+                        continue
+
+                if anchor_state == _RET:
+                    # Case (iii): complete the swap started by an earlier vertex.
+                    state[v] = _PRO
+                    pointer_count[anchor] -= 1
+            source.stats.record_scan()
+
+            # Swap phase (lines 15-19), fully vectorized.
+            retro = state == _RET
+            state[state == _PRO] = _IS
+            state[retro] = _NON
+            one_k_swaps = int(retro.sum())
+            can_swap = one_k_swaps > 0
+
+            # ----------------------------------------------------------
+            # Post-swap scan (lines 20-28).  The base IS-neighbour counts
+            # and id-sums come from vectorized bincounts; the scan itself
+            # then costs O(1) per vertex, updating the incremental arrays
+            # with one fancy store only when a vertex changes class.
+            # `blocker` counts neighbours whose state blocks a 0-1 swap
+            # (IS or A — P and R cannot exist after the swap phase).
+            # ----------------------------------------------------------
+            is_slot = state[targets] == _IS
+            src_sel = edge_src[is_slot]
+            cnt = np.bincount(src_sel, minlength=n).astype(np.int64)
+            nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
+            blocker_slot = is_slot | (state[targets] == _ADJ)
+            blocker = np.bincount(edge_src[blocker_slot], minlength=n).astype(np.int64)
+
+            for v in order[state[order] != _IS].tolist():
+                old = state[v]
+                if cnt[v] == 1:
+                    state[v] = _ADJ
+                    isn[v] = nbr_sum[v]
+                    if old != _ADJ:
+                        blocker[targets[offsets[v] : offsets[v + 1]]] += 1
+                else:
+                    state[v] = _NON
+                    isn[v] = -1
+                    if old == _ADJ:
+                        blocker[targets[offsets[v] : offsets[v + 1]]] -= 1
+                    if blocker[v] == 0:
+                        # 0-1 swap: no neighbour is IS or A.
+                        state[v] = _IS
+                        zero_one_swaps += 1
+                        nbrs = targets[offsets[v] : offsets[v + 1]]
+                        cnt[nbrs] += 1
+                        nbr_sum[nbrs] += v
+                        blocker[nbrs] += 1
+            source.stats.record_scan()
+
+            new_size = int((state == _IS).sum())
+            rounds.append(
+                RoundStats(
+                    round_index=len(rounds) + 1,
+                    gained=new_size - current_size,
+                    one_k_swaps=one_k_swaps,
+                    two_k_swaps=0,
+                    zero_one_swaps=zero_one_swaps,
+                    is_size_after=new_size,
+                )
+            )
+            current_size = new_size
+
+        completion_gain = self._completion_pass(source, state)
+        if completion_gain and rounds:
+            last = rounds[-1]
+            rounds[-1] = RoundStats(
+                round_index=last.round_index,
+                gained=last.gained + completion_gain,
+                one_k_swaps=last.one_k_swaps,
+                two_k_swaps=last.two_k_swaps,
+                zero_one_swaps=last.zero_one_swaps + completion_gain,
+                is_size_after=last.is_size_after + completion_gain,
+            )
+
+        independent_set = frozenset(np.flatnonzero(state == _IS).tolist())
+        return independent_set, tuple(rounds)
+
+    # ------------------------------------------------------------------
+    # Algorithms 3 & 4: two-k-swap.
+    # ------------------------------------------------------------------
+    def two_k_swap_pass(
+        self,
+        source,
+        initial_set: FrozenSet[int],
+        max_rounds: Optional[int],
+        max_pairs_per_key: int,
+        max_partner_checks: int,
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int]:
+        graph = source.graph
+        offsets, targets = graph.csr_arrays()
+        edge_src = graph.edge_sources_array()
+        order = source.order_array()
+        n = graph.num_vertices
+
+        state = np.full(n, _NON, dtype=np.uint8)
+        if initial_set:
+            state[np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))] = _IS
+        # ISN as a sorted pair per vertex (-1 = absent): isn1 < isn2.
+        isn1 = np.full(n, -1, dtype=np.int64)
+        isn2 = np.full(n, -1, dtype=np.int64)
+
+        # Lines 1-3 (vectorized): per-vertex IS-neighbour count via
+        # bincount; the one-or-two neighbour ids are read off the sorted
+        # IS slot list with a searchsorted first-occurrence index.
+        is_slot = state[targets] == _IS
+        src_sel = edge_src[is_slot]
+        tgt_sel = targets[is_slot]
+        cnt = np.bincount(src_sel, minlength=n)
+        first = np.searchsorted(src_sel, np.arange(n, dtype=np.int64), side="left")
+        a_mask = (state != _IS) & (cnt >= 1) & (cnt <= 2)
+        state[a_mask] = _ADJ
+        isn1[a_mask] = tgt_sel[first[a_mask]]
+        two_mask = a_mask & (cnt == 2)
+        isn2[two_mask] = tgt_sel[first[two_mask] + 1]
+        source.stats.record_scan()
+
+        rounds: List[RoundStats] = []
+        current_size = len(initial_set)
+        can_swap = True
+        max_sc_vertices = 0
+
+        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+            can_swap = False
+            one_k_swaps = 0
+            two_k_swaps = 0
+            zero_one_swaps = 0
+
+            sc = SwapCandidateStore(max_pairs_per_key=max_pairs_per_key)
+            protected_this_round: set = set()
+
+            # Per-anchor bookkeeping, rebuilt vectorized at round start.
+            adj_idx = np.flatnonzero(state == _ADJ)
+            single_idx = adj_idx[isn2[adj_idx] < 0]
+            single_count = np.bincount(isn1[single_idx], minlength=n).astype(np.int64)
+            members: Dict[int, List[int]] = defaultdict(list)
+            for v, w1, w2 in zip(
+                adj_idx.tolist(), isn1[adj_idx].tolist(), isn2[adj_idx].tolist()
+            ):
+                members[w1].append(v)
+                if w2 >= 0:
+                    members[w2].append(v)
+
+            def _leaves_adjacent(vertex: int) -> None:
+                if isn2[vertex] < 0 and isn1[vertex] >= 0:
+                    single_count[isn1[vertex]] -= 1
+
+            def _verify_no_protected_neighbor(vertex: int) -> bool:
+                if not protected_this_round:
+                    return True
+                neighborhood = source.neighbors(vertex)
+                return not any(u in protected_this_round for u in neighborhood)
+
+            # ----------------------------------------------------------
+            # Pre-swap scan (Algorithm 4).  Scalar over the "A" candidate
+            # subset: skeleton promotions can flip later candidates to P,
+            # hence the state re-check per vertex.
+            # ----------------------------------------------------------
+            for v in order[state[order] == _ADJ].tolist():
+                if state[v] != _ADJ:
+                    continue
+                w1 = int(isn1[v])
+                w2 = int(isn2[v])
+                nbrs = targets[offsets[v] : offsets[v + 1]]
+                nstate = state[nbrs]
+                neighbor_set = set(nbrs.tolist())
+
+                # Algorithm 4 line 1-2: record swap candidates.
+                if w2 >= 0 and state[w1] == _IS and state[w2] == _IS:
+                    key = frozenset((w1, w2))
+                    checked = 0
+                    for partner in members[w1] + members[w2]:
+                        if checked >= max_partner_checks:
+                            break
+                        checked += 1
+                        if partner == v or partner in neighbor_set:
+                            continue
+                        if state[partner] != _ADJ:
+                            continue
+                        p1 = isn1[partner]
+                        p2 = isn2[partner]
+                        if p1 != w1 and p1 != w2:
+                            continue
+                        if p2 >= 0 and p2 != w1 and p2 != w2:
+                            continue
+                        sc.add(key, (v, partner))
+                    max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
+
+                # Algorithm 4 line 3-4: conflict with an earlier P vertex.
+                if (nstate == _PRO).any():
+                    state[v] = _CON
+                    _leaves_adjacent(v)
+                    continue
+
+                # Algorithm 4 line 5-8: complete a 2-3 swap skeleton.
+                if w2 >= 0:
+                    candidate_keys = [frozenset((w1, w2))]
+                else:
+                    candidate_keys = list(sc.keys_for_anchor(w1))
+                promoted = False
+                for key in candidate_keys:
+                    kl, kh = sorted(key)
+                    if state[kl] != _IS or state[kh] != _IS:
+                        continue
+                    for first_v, second_v in sc.pairs(key):
+                        if v in (first_v, second_v):
+                            continue
+                        if first_v in neighbor_set or second_v in neighbor_set:
+                            continue
+                        if state[first_v] != _ADJ or state[second_v] != _ADJ:
+                            continue
+                        # isn[first] == key, isn[second] <= key.
+                        if isn1[first_v] != kl or isn2[first_v] != kh:
+                            continue
+                        s1 = isn1[second_v]
+                        s2 = isn2[second_v]
+                        if s1 != kl and s1 != kh:
+                            continue
+                        if s2 >= 0 and s2 != kl and s2 != kh:
+                            continue
+                        if not (
+                            _verify_no_protected_neighbor(first_v)
+                            and _verify_no_protected_neighbor(second_v)
+                        ):
+                            continue
+                        for member in (v, first_v, second_v):
+                            state[member] = _PRO
+                            _leaves_adjacent(member)
+                            protected_this_round.add(member)
+                        state[kl] = _RET
+                        state[kh] = _RET
+                        sc.free(key)
+                        two_k_swaps += 1
+                        promoted = True
+                        break
+                    if promoted:
+                        break
+                if promoted:
+                    continue
+
+                # Algorithm 4 line 9-10: fall back to a 1-2 swap skeleton.
+                if w2 < 0:
+                    if state[w1] == _IS:
+                        adjacent_partners = int(
+                            (
+                                (nstate == _ADJ)
+                                & (isn1[nbrs] == w1)
+                                & (isn2[nbrs] < 0)
+                            ).sum()
+                        )
+                        if single_count[w1] - 1 - adjacent_partners > 0:
+                            state[v] = _PRO
+                            protected_this_round.add(v)
+                            state[w1] = _RET
+                            _leaves_adjacent(v)
+                            one_k_swaps += 1
+                            continue
+
+                # Algorithm 4 line 11-12: all IS neighbours already retrograde.
+                if state[w1] == _RET and (w2 < 0 or state[w2] == _RET):
+                    state[v] = _PRO
+                    protected_this_round.add(v)
+                    _leaves_adjacent(v)
+            source.stats.record_scan()
+
+            max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
+
+            # Swap phase (Algorithm 3 lines 10-14), fully vectorized.
+            retro = state == _RET
+            state[state == _PRO] = _IS
+            state[retro] = _NON
+            can_swap = bool(retro.any())
+
+            # ----------------------------------------------------------
+            # Post-swap scan (Algorithm 3 lines 15-23): incremental
+            # count / sum / min arrays give the one-or-two IS neighbour
+            # identities in O(1) per scanned vertex.
+            # ----------------------------------------------------------
+            is_slot = state[targets] == _IS
+            src_sel = edge_src[is_slot]
+            tgt_sel = targets[is_slot]
+            cnt = np.bincount(src_sel, minlength=n).astype(np.int64)
+            nbr_sum = _int_bincount(src_sel, tgt_sel, n)
+            first = np.searchsorted(src_sel, np.arange(n, dtype=np.int64), side="left")
+            nbr_min = np.full(n, n, dtype=np.int64)  # n acts as +infinity
+            has_is = cnt >= 1
+            nbr_min[has_is] = tgt_sel[first[has_is]]
+            blocker_slot = is_slot | (state[targets] == _ADJ)
+            blocker = np.bincount(edge_src[blocker_slot], minlength=n).astype(np.int64)
+
+            for v in order[state[order] != _IS].tolist():
+                old = state[v]
+                c = cnt[v]
+                if 1 <= c <= 2:
+                    state[v] = _ADJ
+                    if c == 1:
+                        isn1[v] = nbr_sum[v]
+                        isn2[v] = -1
+                    else:
+                        low = nbr_min[v]
+                        isn1[v] = low
+                        isn2[v] = nbr_sum[v] - low
+                    if old != _ADJ:
+                        blocker[targets[offsets[v] : offsets[v + 1]]] += 1
+                else:
+                    state[v] = _NON
+                    isn1[v] = -1
+                    isn2[v] = -1
+                    if old == _ADJ:
+                        blocker[targets[offsets[v] : offsets[v + 1]]] -= 1
+                    if blocker[v] == 0:
+                        # 0-1 swap: no neighbour is IS or A.
+                        state[v] = _IS
+                        zero_one_swaps += 1
+                        nbrs = targets[offsets[v] : offsets[v + 1]]
+                        cnt[nbrs] += 1
+                        nbr_sum[nbrs] += v
+                        nbr_min[nbrs] = np.minimum(nbr_min[nbrs], v)
+                        blocker[nbrs] += 1
+            source.stats.record_scan()
+
+            new_size = int((state == _IS).sum())
+            rounds.append(
+                RoundStats(
+                    round_index=len(rounds) + 1,
+                    gained=new_size - current_size,
+                    one_k_swaps=one_k_swaps,
+                    two_k_swaps=two_k_swaps,
+                    zero_one_swaps=zero_one_swaps,
+                    is_size_after=new_size,
+                    sc_vertices=sc.peak_vertices,
+                )
+            )
+            current_size = new_size
+
+        completion_gain = self._completion_pass(source, state)
+        if completion_gain and rounds:
+            last = rounds[-1]
+            rounds[-1] = RoundStats(
+                round_index=last.round_index,
+                gained=last.gained + completion_gain,
+                one_k_swaps=last.one_k_swaps,
+                two_k_swaps=last.two_k_swaps,
+                zero_one_swaps=last.zero_one_swaps + completion_gain,
+                is_size_after=last.is_size_after + completion_gain,
+                sc_vertices=last.sc_vertices,
+            )
+
+        independent_set = frozenset(np.flatnonzero(state == _IS).tolist())
+        return independent_set, tuple(rounds), max_sc_vertices
+
+    # ------------------------------------------------------------------
+    # Shared final 0↔1 completion pass.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _completion_pass(source, state) -> int:
+        """Insert every vertex with no IS neighbour, in scan order.
+
+        The IS-neighbour counts start from one vectorized bincount; a
+        vertex whose count is positive can never become insertable (the
+        set only grows), so the scalar pass touches only the zero-count
+        candidates and bumps its neighbours' counts on each insertion.
+        """
+
+        graph = source.graph
+        offsets, targets = graph.csr_arrays()
+        edge_src = graph.edge_sources_array()
+        order = source.order_array()
+        n = graph.num_vertices
+
+        cnt = np.bincount(edge_src[state[targets] == _IS], minlength=n).astype(np.int64)
+        completion_gain = 0
+        order_state = state[order]
+        for v in order[(order_state != _IS) & (cnt[order] == 0)].tolist():
+            if cnt[v] != 0:
+                continue
+            state[v] = _IS
+            cnt[targets[offsets[v] : offsets[v + 1]]] += 1
+            completion_gain += 1
+        source.stats.record_scan()
+        return completion_gain
+
+
+register_backend(NumpyBackend())

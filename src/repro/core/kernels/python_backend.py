@@ -1,0 +1,450 @@
+"""The pure-Python reference kernel backend.
+
+This is the original, loop-for-loop implementation of the paper's three
+algorithms, operating on *any* adjacency scan source — including true
+file-backed readers, which makes it the only backend usable on the
+semi-external disk path.  It doubles as the ground truth for the
+vectorized numpy backend: the property tests in
+``tests/test_kernel_backends.py`` assert that both backends return
+byte-identical independent sets and telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.kernels.base import KernelBackend, register_backend
+from repro.core.kernels.sc_store import SwapCandidateStore
+from repro.core.result import RoundStats
+from repro.core.states import VertexState as S
+from repro.errors import SolverError
+
+__all__ = ["PythonBackend"]
+
+# Internal compact states of the greedy bitmap-style pass.
+_INITIAL = 0
+_IN_SET = 1
+_EXCLUDED = 2
+
+_PairKey = FrozenSet[int]
+
+
+class PythonBackend(KernelBackend):
+    """Reference implementation: sequential Python loops over scan records."""
+
+    name = "python"
+    requires_in_memory = False
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: greedy.
+    # ------------------------------------------------------------------
+    def greedy_pass(self, source) -> FrozenSet[int]:
+        num_vertices = source.num_vertices
+        state = bytearray(num_vertices)  # all _INITIAL
+
+        for vertex, neighbors in source.scan():
+            if vertex >= num_vertices:
+                raise SolverError(
+                    f"scan produced vertex {vertex} outside the declared range of "
+                    f"{num_vertices} vertices"
+                )
+            if state[vertex] != _INITIAL:
+                continue
+            state[vertex] = _IN_SET
+            for u in neighbors:
+                if state[u] == _INITIAL:
+                    state[u] = _EXCLUDED
+
+        return frozenset(v for v in range(num_vertices) if state[v] == _IN_SET)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: one-k-swap.
+    # ------------------------------------------------------------------
+    def one_k_swap_pass(
+        self,
+        source,
+        initial_set: FrozenSet[int],
+        max_rounds: Optional[int],
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...]]:
+        num_vertices = source.num_vertices
+        state: List[S] = [S.NON_IS] * num_vertices
+        for v in initial_set:
+            state[v] = S.IS
+        isn: List[Optional[int]] = [None] * num_vertices
+
+        # --------------------------------------------------------------
+        # Lines 1-3: find the adjacent ("A") vertices and their IS neighbour.
+        # --------------------------------------------------------------
+        for vertex, neighbors in source.scan():
+            if state[vertex] is S.IS:
+                continue
+            is_neighbors = [u for u in neighbors if state[u] is S.IS]
+            if len(is_neighbors) == 1:
+                state[vertex] = S.ADJACENT
+                isn[vertex] = is_neighbors[0]
+
+        rounds: List[RoundStats] = []
+        current_size = len(initial_set)
+        can_swap = True
+
+        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+            can_swap = False
+            one_k_swaps = 0
+            zero_one_swaps = 0
+
+            # Number of "A" vertices currently pointing at each IS vertex; the
+            # paper stores this count in the (otherwise unused) ISN entries of
+            # the IS vertices so it costs no extra memory.
+            pointer_count: Dict[int, int] = defaultdict(int)
+            for v in range(num_vertices):
+                if state[v] is S.ADJACENT and isn[v] is not None:
+                    pointer_count[isn[v]] += 1
+
+            # ----------------------------------------------------------
+            # Pre-swap scan (Algorithm 2, lines 7-14).
+            # ----------------------------------------------------------
+            for vertex, neighbors in source.scan():
+                if state[vertex] is not S.ADJACENT:
+                    continue
+                anchor = isn[vertex]
+                if anchor is None:  # pragma: no cover - defensive only
+                    state[vertex] = S.NON_IS
+                    continue
+
+                if any(state[u] is S.PROTECTED for u in neighbors):
+                    # Case (i): conflict with an earlier swap candidate.
+                    state[vertex] = S.CONFLICT
+                    pointer_count[anchor] -= 1
+                    continue
+
+                if state[anchor] is S.IS:
+                    # Case (ii): does a 1-2 swap skeleton (vertex, v, anchor) exist?
+                    adjacent_partners = sum(
+                        1
+                        for u in neighbors
+                        if state[u] is S.ADJACENT and isn[u] == anchor
+                    )
+                    # pointer_count counts `vertex` itself, hence the -1.
+                    if pointer_count[anchor] - 1 - adjacent_partners > 0:
+                        state[vertex] = S.PROTECTED
+                        state[anchor] = S.RETROGRADE
+                        pointer_count[anchor] -= 1
+                        continue
+
+                if state[anchor] is S.RETROGRADE:
+                    # Case (iii): complete the swap started by an earlier vertex.
+                    state[vertex] = S.PROTECTED
+                    pointer_count[anchor] -= 1
+
+            # ----------------------------------------------------------
+            # Swap phase (lines 15-19): commit the state transitions.  This
+            # pass touches only the in-memory state array, not the disk file.
+            # ----------------------------------------------------------
+            for vertex in range(num_vertices):
+                if state[vertex] is S.PROTECTED:
+                    state[vertex] = S.IS
+                elif state[vertex] is S.RETROGRADE:
+                    state[vertex] = S.NON_IS
+                    one_k_swaps += 1
+                    can_swap = True
+
+            # ----------------------------------------------------------
+            # Post-swap scan (lines 20-28): 0↔1 swaps and "A" refresh.  The
+            # refresh also covers plain "N" vertices (as Algorithm 3 line 16
+            # does): a swap can reduce an N vertex to a single IS neighbour,
+            # and without re-labelling it "A" the cascading swaps of the
+            # Figure 5 worst case could never propagate.
+            # ----------------------------------------------------------
+            for vertex, neighbors in source.scan():
+                current = state[vertex]
+                if current not in (S.NON_IS, S.CONFLICT, S.ADJACENT):
+                    continue
+                is_neighbors = [u for u in neighbors if state[u] is S.IS]
+                if len(is_neighbors) == 1:
+                    state[vertex] = S.ADJACENT
+                    isn[vertex] = is_neighbors[0]
+                else:
+                    state[vertex] = S.NON_IS
+                    isn[vertex] = None
+                if state[vertex] is S.NON_IS:
+                    if all(state[u] in (S.CONFLICT, S.NON_IS) for u in neighbors):
+                        state[vertex] = S.IS
+                        isn[vertex] = None
+                        zero_one_swaps += 1
+
+            new_size = sum(1 for v in range(num_vertices) if state[v] is S.IS)
+            rounds.append(
+                RoundStats(
+                    round_index=len(rounds) + 1,
+                    gained=new_size - current_size,
+                    one_k_swaps=one_k_swaps,
+                    two_k_swaps=0,
+                    zero_one_swaps=zero_one_swaps,
+                    is_size_after=new_size,
+                )
+            )
+            current_size = new_size
+
+        # Final 0↔1 completion pass: a swap can remove the last IS neighbour of
+        # a vertex that then stays blocked behind an "A" neighbour during the
+        # round's post-swap phase; one extra sequential scan restores the
+        # maximality guarantee claimed in Section 5.3.
+        completion_gain = 0
+        for vertex, neighbors in source.scan():
+            if state[vertex] is not S.IS and not any(state[u] is S.IS for u in neighbors):
+                state[vertex] = S.IS
+                completion_gain += 1
+        if completion_gain and rounds:
+            last = rounds[-1]
+            rounds[-1] = RoundStats(
+                round_index=last.round_index,
+                gained=last.gained + completion_gain,
+                one_k_swaps=last.one_k_swaps,
+                two_k_swaps=last.two_k_swaps,
+                zero_one_swaps=last.zero_one_swaps + completion_gain,
+                is_size_after=last.is_size_after + completion_gain,
+            )
+
+        independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
+        return independent_set, tuple(rounds)
+
+    # ------------------------------------------------------------------
+    # Algorithms 3 & 4: two-k-swap.
+    # ------------------------------------------------------------------
+    def two_k_swap_pass(
+        self,
+        source,
+        initial_set: FrozenSet[int],
+        max_rounds: Optional[int],
+        max_pairs_per_key: int,
+        max_partner_checks: int,
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int]:
+        num_vertices = source.num_vertices
+        state: List[S] = [S.NON_IS] * num_vertices
+        for v in initial_set:
+            state[v] = S.IS
+        isn: List[Optional[FrozenSet[int]]] = [None] * num_vertices
+
+        # --------------------------------------------------------------
+        # Lines 1-3: adjacent vertices now have one *or two* IS neighbours.
+        # --------------------------------------------------------------
+        for vertex, neighbors in source.scan():
+            if state[vertex] is S.IS:
+                continue
+            is_neighbors = [u for u in neighbors if state[u] is S.IS]
+            if 1 <= len(is_neighbors) <= 2:
+                state[vertex] = S.ADJACENT
+                isn[vertex] = frozenset(is_neighbors)
+
+        rounds: List[RoundStats] = []
+        current_size = len(initial_set)
+        can_swap = True
+        max_sc_vertices = 0
+
+        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+            can_swap = False
+            one_k_swaps = 0
+            two_k_swaps = 0
+            zero_one_swaps = 0
+
+            sc = SwapCandidateStore(max_pairs_per_key=max_pairs_per_key)
+            protected_this_round: set = set()
+
+            # Per-anchor bookkeeping rebuilt at the start of the round:
+            #   single_count[w]  - number of "A" vertices whose only IS neighbour is w
+            #   members[w]       - "A" vertices having w among their IS neighbours
+            single_count: Dict[int, int] = defaultdict(int)
+            members: Dict[int, List[int]] = defaultdict(list)
+            for v in range(num_vertices):
+                if state[v] is S.ADJACENT and isn[v]:
+                    for w in isn[v]:
+                        members[w].append(v)
+                    if len(isn[v]) == 1:
+                        single_count[next(iter(isn[v]))] += 1
+
+            def _leaves_adjacent(vertex: int) -> None:
+                """Maintain the single-anchor counters when a vertex leaves state A."""
+
+                anchors = isn[vertex]
+                if anchors and len(anchors) == 1:
+                    single_count[next(iter(anchors))] -= 1
+
+            def _verify_no_protected_neighbor(vertex: int) -> bool:
+                """Random-lookup safety check used only for retroactive promotions."""
+
+                if not protected_this_round:
+                    return True
+                neighborhood = source.neighbors(vertex)
+                return not any(u in protected_this_round for u in neighborhood)
+
+            # ----------------------------------------------------------
+            # Pre-swap scan (Algorithm 3 lines 7-9, expanded in Algorithm 4).
+            # ----------------------------------------------------------
+            for vertex, neighbors in source.scan():
+                if state[vertex] is not S.ADJACENT:
+                    continue
+                anchors = isn[vertex]
+                if not anchors:  # pragma: no cover - defensive only
+                    state[vertex] = S.NON_IS
+                    continue
+                neighbor_set = set(neighbors)
+
+                # Algorithm 4 line 1-2: record swap candidates for this vertex.
+                if len(anchors) == 2 and all(state[w] is S.IS for w in anchors):
+                    w1, w2 = sorted(anchors)
+                    checked = 0
+                    for partner in members[w1] + members[w2]:
+                        if checked >= max_partner_checks:
+                            break
+                        checked += 1
+                        if partner == vertex or partner in neighbor_set:
+                            continue
+                        if state[partner] is not S.ADJACENT:
+                            continue
+                        partner_anchors = isn[partner]
+                        if not partner_anchors or not partner_anchors <= anchors:
+                            continue
+                        sc.add(anchors, (vertex, partner))
+                    max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
+
+                # Algorithm 4 line 3-4: conflict with an earlier protected vertex.
+                if any(state[u] is S.PROTECTED for u in neighbors):
+                    state[vertex] = S.CONFLICT
+                    _leaves_adjacent(vertex)
+                    continue
+
+                # Algorithm 4 line 5-8: complete a 2-3 swap skeleton.
+                candidate_keys: List[_PairKey] = []
+                if len(anchors) == 2:
+                    candidate_keys.append(anchors)
+                else:
+                    single_anchor = next(iter(anchors))
+                    candidate_keys.extend(
+                        key for key in sc.keys_for_anchor(single_anchor) if anchors <= key
+                    )
+                promoted = False
+                for key in candidate_keys:
+                    if not all(state[w] is S.IS for w in key):
+                        continue
+                    for first, second in sc.pairs(key):
+                        if vertex in (first, second):
+                            continue
+                        if first in neighbor_set or second in neighbor_set:
+                            continue
+                        if state[first] is not S.ADJACENT or state[second] is not S.ADJACENT:
+                            continue
+                        if not (isn[first] == key and (isn[second] or frozenset()) <= key):
+                            continue
+                        if not (_verify_no_protected_neighbor(first)
+                                and _verify_no_protected_neighbor(second)):
+                            continue
+                        # Commit the 2-3 swap skeleton (vertex, first, second, key).
+                        for member in (vertex, first, second):
+                            state[member] = S.PROTECTED
+                            _leaves_adjacent(member)
+                            protected_this_round.add(member)
+                        for w in key:
+                            state[w] = S.RETROGRADE
+                        sc.free(key)
+                        two_k_swaps += 1
+                        promoted = True
+                        break
+                    if promoted:
+                        break
+                if promoted:
+                    continue
+
+                # Algorithm 4 line 9-10: fall back to a 1-2 swap skeleton.
+                if len(anchors) == 1:
+                    anchor = next(iter(anchors))
+                    if state[anchor] is S.IS:
+                        adjacent_partners = sum(
+                            1
+                            for u in neighbors
+                            if state[u] is S.ADJACENT and isn[u] == anchors
+                        )
+                        if single_count[anchor] - 1 - adjacent_partners > 0:
+                            state[vertex] = S.PROTECTED
+                            protected_this_round.add(vertex)
+                            state[anchor] = S.RETROGRADE
+                            _leaves_adjacent(vertex)
+                            one_k_swaps += 1
+                            continue
+
+                # Algorithm 4 line 11-12: all IS neighbours already retrograde.
+                if all(state[w] is S.RETROGRADE for w in anchors):
+                    state[vertex] = S.PROTECTED
+                    protected_this_round.add(vertex)
+                    _leaves_adjacent(vertex)
+
+            max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
+
+            # ----------------------------------------------------------
+            # Swap phase (Algorithm 3 lines 10-14).
+            # ----------------------------------------------------------
+            for vertex in range(num_vertices):
+                if state[vertex] is S.PROTECTED:
+                    state[vertex] = S.IS
+                elif state[vertex] is S.RETROGRADE:
+                    state[vertex] = S.NON_IS
+                    can_swap = True
+
+            # ----------------------------------------------------------
+            # Post-swap scan (Algorithm 3 lines 15-23).
+            # ----------------------------------------------------------
+            for vertex, neighbors in source.scan():
+                current = state[vertex]
+                if current not in (S.CONFLICT, S.ADJACENT, S.NON_IS):
+                    continue
+                is_neighbors = [u for u in neighbors if state[u] is S.IS]
+                if 1 <= len(is_neighbors) <= 2:
+                    state[vertex] = S.ADJACENT
+                    isn[vertex] = frozenset(is_neighbors)
+                else:
+                    state[vertex] = S.NON_IS
+                    isn[vertex] = None
+                if state[vertex] is S.NON_IS:
+                    if all(state[u] in (S.CONFLICT, S.NON_IS) for u in neighbors):
+                        state[vertex] = S.IS
+                        isn[vertex] = None
+                        zero_one_swaps += 1
+
+            new_size = sum(1 for v in range(num_vertices) if state[v] is S.IS)
+            rounds.append(
+                RoundStats(
+                    round_index=len(rounds) + 1,
+                    gained=new_size - current_size,
+                    one_k_swaps=one_k_swaps,
+                    two_k_swaps=two_k_swaps,
+                    zero_one_swaps=zero_one_swaps,
+                    is_size_after=new_size,
+                    sc_vertices=sc.peak_vertices,
+                )
+            )
+            current_size = new_size
+
+        # Final 0↔1 completion pass (same rationale as in one_k_swap): guarantee
+        # maximality of the returned set with one extra sequential scan.
+        completion_gain = 0
+        for vertex, neighbors in source.scan():
+            if state[vertex] is not S.IS and not any(state[u] is S.IS for u in neighbors):
+                state[vertex] = S.IS
+                completion_gain += 1
+        if completion_gain and rounds:
+            last = rounds[-1]
+            rounds[-1] = RoundStats(
+                round_index=last.round_index,
+                gained=last.gained + completion_gain,
+                one_k_swaps=last.one_k_swaps,
+                two_k_swaps=last.two_k_swaps,
+                zero_one_swaps=last.zero_one_swaps + completion_gain,
+                is_size_after=last.is_size_after + completion_gain,
+                sc_vertices=last.sc_vertices,
+            )
+
+        independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
+        return independent_set, tuple(rounds), max_sc_vertices
+
+
+register_backend(PythonBackend())

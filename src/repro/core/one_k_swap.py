@@ -24,17 +24,22 @@ The algorithm solves both with the six-state machine of
 
 Every round performs a pre-swap scan, an in-memory swap pass and a
 post-swap scan; the loop terminates when a round performs no 1↔k swap.
+
+The round bodies are delegated to a pluggable kernel backend
+(:mod:`repro.core.kernels`): the ``python`` reference streams records from
+any scan source, while the ``numpy`` backend vectorizes every full-graph
+state sweep over the in-memory CSR arrays.  Both return identical sets
+and identical per-round telemetry.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+from typing import FrozenSet, Iterable, Optional, Sequence, Union
 
 from repro.core.greedy import greedy_mis
-from repro.core.result import MISResult, RoundStats
-from repro.core.states import VertexState as S
+from repro.core.kernels import resolve_backend
+from repro.core.result import MISResult
 from repro.errors import SolverError
 from repro.graphs.graph import Graph
 from repro.storage.memory import MemoryModel
@@ -47,11 +52,12 @@ def _initial_set(
     source: AdjacencyScanSource,
     initial: Union[None, MISResult, Iterable[int]],
     order: Union[str, Sequence[int]],
+    backend: Optional[str] = None,
 ) -> FrozenSet[int]:
     """Normalise the starting independent set (default: run the greedy pass)."""
 
     if initial is None:
-        return greedy_mis(source, order=order).independent_set
+        return greedy_mis(source, order=order, backend=backend).independent_set
     if isinstance(initial, MISResult):
         return initial.independent_set
     return frozenset(initial)
@@ -63,6 +69,7 @@ def one_k_swap(
     max_rounds: Optional[int] = None,
     order: Union[str, Sequence[int]] = "degree",
     memory_model: Optional[MemoryModel] = None,
+    backend: Optional[str] = None,
 ) -> MISResult:
     """Enlarge an independent set with 1↔k and 0↔1 swaps (Algorithm 2).
 
@@ -80,6 +87,9 @@ def one_k_swap(
         Scan order used when an in-memory graph is passed.
     memory_model:
         Memory model for the reported footprint.
+    backend:
+        Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
+        ``"auto"`` for the process default).
 
     Returns
     -------
@@ -91,159 +101,22 @@ def one_k_swap(
     source = as_scan_source(graph_or_source, order=order)
     model = memory_model if memory_model is not None else MemoryModel()
     num_vertices = source.num_vertices
+    kernel = resolve_backend(backend, source)
     started = time.perf_counter()
     io_before = source.stats.copy()
 
-    initial_set = _initial_set(source, initial, order)
+    initial_set = _initial_set(source, initial, order, backend)
     for v in initial_set:
         if not 0 <= v < num_vertices:
             raise SolverError(f"initial independent set contains unknown vertex {v}")
 
-    state: List[S] = [S.NON_IS] * num_vertices
-    for v in initial_set:
-        state[v] = S.IS
-    isn: List[Optional[int]] = [None] * num_vertices
-
-    # ------------------------------------------------------------------
-    # Lines 1-3: find the adjacent ("A") vertices and their IS neighbour.
-    # ------------------------------------------------------------------
-    for vertex, neighbors in source.scan():
-        if state[vertex] is S.IS:
-            continue
-        is_neighbors = [u for u in neighbors if state[u] is S.IS]
-        if len(is_neighbors) == 1:
-            state[vertex] = S.ADJACENT
-            isn[vertex] = is_neighbors[0]
-
-    rounds: List[RoundStats] = []
-    current_size = len(initial_set)
-    can_swap = True
-
-    while can_swap and (max_rounds is None or len(rounds) < max_rounds):
-        can_swap = False
-        one_k_swaps = 0
-        zero_one_swaps = 0
-
-        # Number of "A" vertices currently pointing at each IS vertex; the
-        # paper stores this count in the (otherwise unused) ISN entries of
-        # the IS vertices so it costs no extra memory.
-        pointer_count: Dict[int, int] = defaultdict(int)
-        for v in range(num_vertices):
-            if state[v] is S.ADJACENT and isn[v] is not None:
-                pointer_count[isn[v]] += 1
-
-        # --------------------------------------------------------------
-        # Pre-swap scan (Algorithm 2, lines 7-14).
-        # --------------------------------------------------------------
-        for vertex, neighbors in source.scan():
-            if state[vertex] is not S.ADJACENT:
-                continue
-            anchor = isn[vertex]
-            if anchor is None:  # pragma: no cover - defensive only
-                state[vertex] = S.NON_IS
-                continue
-
-            if any(state[u] is S.PROTECTED for u in neighbors):
-                # Case (i): conflict with an earlier swap candidate.
-                state[vertex] = S.CONFLICT
-                pointer_count[anchor] -= 1
-                continue
-
-            if state[anchor] is S.IS:
-                # Case (ii): does a 1-2 swap skeleton (vertex, v, anchor) exist?
-                adjacent_partners = sum(
-                    1
-                    for u in neighbors
-                    if state[u] is S.ADJACENT and isn[u] == anchor
-                )
-                # pointer_count counts `vertex` itself, hence the -1.
-                if pointer_count[anchor] - 1 - adjacent_partners > 0:
-                    state[vertex] = S.PROTECTED
-                    state[anchor] = S.RETROGRADE
-                    pointer_count[anchor] -= 1
-                    continue
-
-            if state[anchor] is S.RETROGRADE:
-                # Case (iii): complete the swap started by an earlier vertex.
-                state[vertex] = S.PROTECTED
-                pointer_count[anchor] -= 1
-
-        # --------------------------------------------------------------
-        # Swap phase (lines 15-19): commit the state transitions.  This
-        # pass touches only the in-memory state array, not the disk file.
-        # --------------------------------------------------------------
-        for vertex in range(num_vertices):
-            if state[vertex] is S.PROTECTED:
-                state[vertex] = S.IS
-            elif state[vertex] is S.RETROGRADE:
-                state[vertex] = S.NON_IS
-                one_k_swaps += 1
-                can_swap = True
-
-        # --------------------------------------------------------------
-        # Post-swap scan (lines 20-28): 0↔1 swaps and "A" refresh.  The
-        # refresh also covers plain "N" vertices (as Algorithm 3 line 16
-        # does): a swap can reduce an N vertex to a single IS neighbour,
-        # and without re-labelling it "A" the cascading swaps of the
-        # Figure 5 worst case could never propagate.
-        # --------------------------------------------------------------
-        for vertex, neighbors in source.scan():
-            current = state[vertex]
-            if current not in (S.NON_IS, S.CONFLICT, S.ADJACENT):
-                continue
-            is_neighbors = [u for u in neighbors if state[u] is S.IS]
-            if len(is_neighbors) == 1:
-                state[vertex] = S.ADJACENT
-                isn[vertex] = is_neighbors[0]
-            else:
-                state[vertex] = S.NON_IS
-                isn[vertex] = None
-            if state[vertex] is S.NON_IS:
-                if all(state[u] in (S.CONFLICT, S.NON_IS) for u in neighbors):
-                    state[vertex] = S.IS
-                    isn[vertex] = None
-                    zero_one_swaps += 1
-
-        new_size = sum(1 for v in range(num_vertices) if state[v] is S.IS)
-        rounds.append(
-            RoundStats(
-                round_index=len(rounds) + 1,
-                gained=new_size - current_size,
-                one_k_swaps=one_k_swaps,
-                two_k_swaps=0,
-                zero_one_swaps=zero_one_swaps,
-                is_size_after=new_size,
-            )
-        )
-        current_size = new_size
-
-    # Final 0↔1 completion pass: a swap can remove the last IS neighbour of
-    # a vertex that then stays blocked behind an "A" neighbour during the
-    # round's post-swap phase; one extra sequential scan restores the
-    # maximality guarantee claimed in Section 5.3.
-    completion_gain = 0
-    for vertex, neighbors in source.scan():
-        if state[vertex] is not S.IS and not any(state[u] is S.IS for u in neighbors):
-            state[vertex] = S.IS
-            completion_gain += 1
-    if completion_gain and rounds:
-        last = rounds[-1]
-        rounds[-1] = RoundStats(
-            round_index=last.round_index,
-            gained=last.gained + completion_gain,
-            one_k_swaps=last.one_k_swaps,
-            two_k_swaps=last.two_k_swaps,
-            zero_one_swaps=last.zero_one_swaps + completion_gain,
-            is_size_after=last.is_size_after + completion_gain,
-        )
-
-    independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
+    independent_set, rounds = kernel.one_k_swap_pass(source, initial_set, max_rounds)
     elapsed = time.perf_counter() - started
 
     return MISResult(
         algorithm="one_k_swap",
         independent_set=independent_set,
-        rounds=tuple(rounds),
+        rounds=rounds,
         io=source.stats.delta_since(io_before),
         memory_bytes=model.one_k_swap_bytes(num_vertices),
         elapsed_seconds=elapsed,

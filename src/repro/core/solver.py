@@ -60,6 +60,11 @@ class SemiExternalMISSolver:
         When true, the result is checked to be an independent set before
         it is returned (cheap insurance for library users; benchmarks
         switch it off).
+    backend:
+        Kernel backend executing the passes: ``"python"``, ``"numpy"`` or
+        ``None``/``"auto"`` for the process default (numpy when
+        available).  File-backed sources always stream through the python
+        backend regardless of this setting.
     """
 
     pipeline: str = "two_k_swap"
@@ -67,6 +72,7 @@ class SemiExternalMISSolver:
     order: Union[str, Sequence[int]] = "degree"
     validate: bool = False
     memory_model: MemoryModel = MemoryModel()
+    backend: Optional[str] = None
 
     def solve(self, graph_or_source: Union[Graph, AdjacencyScanSource]) -> MISResult:
         """Run the configured pipeline and return the final result."""
@@ -115,7 +121,7 @@ class SemiExternalMISSolver:
         """Dispatch one pass of the pipeline."""
 
         if pass_name in {"greedy", "baseline"}:
-            result = greedy_mis(source, memory_model=self.memory_model)
+            result = greedy_mis(source, memory_model=self.memory_model, backend=self.backend)
             if pass_name == "baseline":
                 result = result.with_algorithm("baseline")
             return result
@@ -125,6 +131,7 @@ class SemiExternalMISSolver:
                 initial=previous,
                 max_rounds=self.max_rounds,
                 memory_model=self.memory_model,
+                backend=self.backend,
             )
         if pass_name == "two_k_swap":
             return two_k_swap(
@@ -132,6 +139,7 @@ class SemiExternalMISSolver:
                 initial=previous,
                 max_rounds=self.max_rounds,
                 memory_model=self.memory_model,
+                backend=self.backend,
             )
         raise SolverError(f"unknown pass {pass_name!r}")
 
@@ -142,10 +150,15 @@ def solve_mis(
     max_rounds: Optional[int] = None,
     order: Union[str, Sequence[int]] = "degree",
     validate: bool = False,
+    backend: Optional[str] = None,
 ) -> MISResult:
     """One-shot convenience wrapper around :class:`SemiExternalMISSolver`."""
 
     solver = SemiExternalMISSolver(
-        pipeline=pipeline, max_rounds=max_rounds, order=order, validate=validate
+        pipeline=pipeline,
+        max_rounds=max_rounds,
+        order=order,
+        validate=validate,
+        backend=backend,
     )
     return solver.solve(graph_or_source)

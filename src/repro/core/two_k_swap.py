@@ -28,104 +28,27 @@ the "no new P neighbour" condition is checked with a *random* adjacency
 lookup of ``v1`` and ``v2`` (charged to ``IOStats.random_vertex_lookups``).
 These lookups are rare — a handful per round in practice — and could be
 deferred to the next sequential scan in a disk-resident deployment.
+
+The round bodies are delegated to a pluggable kernel backend
+(:mod:`repro.core.kernels`); the ``numpy`` backend vectorizes the
+adjacency labelling, swap commits, post-swap refresh and completion
+sweeps, keeping only the sequential swap-conflict scan scalar.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-    Union,
-)
+from typing import Iterable, Optional, Sequence, Union
 
-from repro.core.greedy import greedy_mis
-from repro.core.result import MISResult, RoundStats
-from repro.core.states import VertexState as S
+from repro.core.kernels import resolve_backend
+from repro.core.one_k_swap import _initial_set
+from repro.core.result import MISResult
 from repro.errors import SolverError
 from repro.graphs.graph import Graph
 from repro.storage.memory import MemoryModel
 from repro.storage.scan import AdjacencyScanSource, as_scan_source
 
 __all__ = ["two_k_swap"]
-
-_PairKey = FrozenSet[int]
-_Pair = Tuple[int, int]
-
-
-def _initial_set(
-    source: AdjacencyScanSource,
-    initial: Union[None, MISResult, Iterable[int]],
-    order: Union[str, Sequence[int]],
-) -> FrozenSet[int]:
-    """Normalise the starting independent set (default: run the greedy pass)."""
-
-    if initial is None:
-        return greedy_mis(source, order=order).independent_set
-    if isinstance(initial, MISResult):
-        return initial.independent_set
-    return frozenset(initial)
-
-
-class _SwapCandidateStore:
-    """Per-round store of swap-candidate pairs, keyed by the IS pair ``{w1, w2}``.
-
-    The store keeps, per key, at most ``max_pairs_per_key`` pairs — one
-    valid pair suffices to complete a skeleton, and the cap keeps the
-    memory bound of Lemma 6 comfortable.  The peak number of vertices held
-    is tracked for the Figure 10 experiment.
-    """
-
-    def __init__(self, max_pairs_per_key: int = 8) -> None:
-        self.max_pairs_per_key = max_pairs_per_key
-        self._pairs: Dict[_PairKey, List[_Pair]] = {}
-        self._keys_by_anchor: Dict[int, Set[_PairKey]] = defaultdict(set)
-        self._total_vertices = 0
-        self.peak_vertices = 0
-
-    def add(self, key: _PairKey, pair: _Pair) -> None:
-        """Record a candidate pair under ``key`` (ignored once the key is full)."""
-
-        bucket = self._pairs.setdefault(key, [])
-        if len(bucket) >= self.max_pairs_per_key or pair in bucket:
-            return
-        bucket.append(pair)
-        self._total_vertices += 2
-        self.peak_vertices = max(self.peak_vertices, self._total_vertices)
-        for anchor in key:
-            self._keys_by_anchor[anchor].add(key)
-
-    def keys_for_anchor(self, anchor: int) -> Tuple[_PairKey, ...]:
-        """All keys that contain the IS vertex ``anchor``."""
-
-        return tuple(self._keys_by_anchor.get(anchor, ()))
-
-    def pairs(self, key: _PairKey) -> Tuple[_Pair, ...]:
-        """The candidate pairs currently stored under ``key``."""
-
-        return tuple(self._pairs.get(key, ()))
-
-    def free(self, key: _PairKey) -> None:
-        """Drop every pair stored under ``key`` (Algorithm 4, line 8)."""
-
-        bucket = self._pairs.pop(key, None)
-        if bucket:
-            self._total_vertices -= 2 * len(bucket)
-        for anchor in key:
-            self._keys_by_anchor.get(anchor, set()).discard(key)
-
-    @property
-    def total_vertices(self) -> int:
-        """Number of vertices currently held across all pairs."""
-
-        return self._total_vertices
 
 
 def two_k_swap(
@@ -136,6 +59,7 @@ def two_k_swap(
     memory_model: Optional[MemoryModel] = None,
     max_pairs_per_key: int = 8,
     max_partner_checks: int = 64,
+    backend: Optional[str] = None,
 ) -> MISResult:
     """Enlarge an independent set with 2↔k, 1↔k and 0↔1 swaps (Algorithm 3).
 
@@ -158,6 +82,9 @@ def two_k_swap(
         Cap on how many potential partners are examined per scanned vertex
         when building swap candidates, bounding the per-vertex CPU cost at
         ``O(deg(u) + max_partner_checks)``.
+    backend:
+        Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
+        ``"auto"`` for the process default).
 
     Returns
     -------
@@ -169,243 +96,24 @@ def two_k_swap(
     source = as_scan_source(graph_or_source, order=order)
     model = memory_model if memory_model is not None else MemoryModel()
     num_vertices = source.num_vertices
+    kernel = resolve_backend(backend, source)
     started = time.perf_counter()
     io_before = source.stats.copy()
 
-    initial_set = _initial_set(source, initial, order)
+    initial_set = _initial_set(source, initial, order, backend)
     for v in initial_set:
         if not 0 <= v < num_vertices:
             raise SolverError(f"initial independent set contains unknown vertex {v}")
 
-    state: List[S] = [S.NON_IS] * num_vertices
-    for v in initial_set:
-        state[v] = S.IS
-    isn: List[Optional[FrozenSet[int]]] = [None] * num_vertices
-
-    # ------------------------------------------------------------------
-    # Lines 1-3: adjacent vertices now have one *or two* IS neighbours.
-    # ------------------------------------------------------------------
-    for vertex, neighbors in source.scan():
-        if state[vertex] is S.IS:
-            continue
-        is_neighbors = [u for u in neighbors if state[u] is S.IS]
-        if 1 <= len(is_neighbors) <= 2:
-            state[vertex] = S.ADJACENT
-            isn[vertex] = frozenset(is_neighbors)
-
-    rounds: List[RoundStats] = []
-    current_size = len(initial_set)
-    can_swap = True
-    max_sc_vertices = 0
-
-    while can_swap and (max_rounds is None or len(rounds) < max_rounds):
-        can_swap = False
-        one_k_swaps = 0
-        two_k_swaps = 0
-        zero_one_swaps = 0
-
-        sc = _SwapCandidateStore(max_pairs_per_key=max_pairs_per_key)
-        protected_this_round: Set[int] = set()
-
-        # Per-anchor bookkeeping rebuilt at the start of the round:
-        #   single_count[w]  - number of "A" vertices whose only IS neighbour is w
-        #   members[w]       - "A" vertices having w among their IS neighbours
-        single_count: Dict[int, int] = defaultdict(int)
-        members: Dict[int, List[int]] = defaultdict(list)
-        for v in range(num_vertices):
-            if state[v] is S.ADJACENT and isn[v]:
-                for w in isn[v]:
-                    members[w].append(v)
-                if len(isn[v]) == 1:
-                    single_count[next(iter(isn[v]))] += 1
-
-        def _leaves_adjacent(vertex: int) -> None:
-            """Maintain the single-anchor counters when a vertex leaves state A."""
-
-            anchors = isn[vertex]
-            if anchors and len(anchors) == 1:
-                single_count[next(iter(anchors))] -= 1
-
-        def _verify_no_protected_neighbor(vertex: int) -> bool:
-            """Random-lookup safety check used only for retroactive promotions."""
-
-            if not protected_this_round:
-                return True
-            neighborhood = source.neighbors(vertex)
-            return not any(u in protected_this_round for u in neighborhood)
-
-        # --------------------------------------------------------------
-        # Pre-swap scan (Algorithm 3 lines 7-9, expanded in Algorithm 4).
-        # --------------------------------------------------------------
-        for vertex, neighbors in source.scan():
-            if state[vertex] is not S.ADJACENT:
-                continue
-            anchors = isn[vertex]
-            if not anchors:  # pragma: no cover - defensive only
-                state[vertex] = S.NON_IS
-                continue
-            neighbor_set = set(neighbors)
-
-            # Algorithm 4 line 1-2: record swap candidates for this vertex.
-            if len(anchors) == 2 and all(state[w] is S.IS for w in anchors):
-                w1, w2 = sorted(anchors)
-                checked = 0
-                for partner in members[w1] + members[w2]:
-                    if checked >= max_partner_checks:
-                        break
-                    checked += 1
-                    if partner == vertex or partner in neighbor_set:
-                        continue
-                    if state[partner] is not S.ADJACENT:
-                        continue
-                    partner_anchors = isn[partner]
-                    if not partner_anchors or not partner_anchors <= anchors:
-                        continue
-                    sc.add(anchors, (vertex, partner))
-                max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
-
-            # Algorithm 4 line 3-4: conflict with an earlier protected vertex.
-            if any(state[u] is S.PROTECTED for u in neighbors):
-                state[vertex] = S.CONFLICT
-                _leaves_adjacent(vertex)
-                continue
-
-            # Algorithm 4 line 5-8: complete a 2-3 swap skeleton.
-            candidate_keys: List[_PairKey] = []
-            if len(anchors) == 2:
-                candidate_keys.append(anchors)
-            else:
-                single_anchor = next(iter(anchors))
-                candidate_keys.extend(
-                    key for key in sc.keys_for_anchor(single_anchor) if anchors <= key
-                )
-            promoted = False
-            for key in candidate_keys:
-                if not all(state[w] is S.IS for w in key):
-                    continue
-                for first, second in sc.pairs(key):
-                    if vertex in (first, second):
-                        continue
-                    if first in neighbor_set or second in neighbor_set:
-                        continue
-                    if state[first] is not S.ADJACENT or state[second] is not S.ADJACENT:
-                        continue
-                    if not (isn[first] == key and (isn[second] or frozenset()) <= key):
-                        continue
-                    if not (_verify_no_protected_neighbor(first)
-                            and _verify_no_protected_neighbor(second)):
-                        continue
-                    # Commit the 2-3 swap skeleton (vertex, first, second, key).
-                    for member in (vertex, first, second):
-                        state[member] = S.PROTECTED
-                        _leaves_adjacent(member)
-                        protected_this_round.add(member)
-                    for w in key:
-                        state[w] = S.RETROGRADE
-                    sc.free(key)
-                    two_k_swaps += 1
-                    promoted = True
-                    break
-                if promoted:
-                    break
-            if promoted:
-                continue
-
-            # Algorithm 4 line 9-10: fall back to a 1-2 swap skeleton.
-            if len(anchors) == 1:
-                anchor = next(iter(anchors))
-                if state[anchor] is S.IS:
-                    adjacent_partners = sum(
-                        1
-                        for u in neighbors
-                        if state[u] is S.ADJACENT and isn[u] == anchors
-                    )
-                    if single_count[anchor] - 1 - adjacent_partners > 0:
-                        state[vertex] = S.PROTECTED
-                        protected_this_round.add(vertex)
-                        state[anchor] = S.RETROGRADE
-                        _leaves_adjacent(vertex)
-                        one_k_swaps += 1
-                        continue
-
-            # Algorithm 4 line 11-12: all IS neighbours already retrograde.
-            if all(state[w] is S.RETROGRADE for w in anchors):
-                state[vertex] = S.PROTECTED
-                protected_this_round.add(vertex)
-                _leaves_adjacent(vertex)
-
-        max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
-
-        # --------------------------------------------------------------
-        # Swap phase (Algorithm 3 lines 10-14).
-        # --------------------------------------------------------------
-        for vertex in range(num_vertices):
-            if state[vertex] is S.PROTECTED:
-                state[vertex] = S.IS
-            elif state[vertex] is S.RETROGRADE:
-                state[vertex] = S.NON_IS
-                can_swap = True
-
-        # --------------------------------------------------------------
-        # Post-swap scan (Algorithm 3 lines 15-23).
-        # --------------------------------------------------------------
-        for vertex, neighbors in source.scan():
-            current = state[vertex]
-            if current not in (S.CONFLICT, S.ADJACENT, S.NON_IS):
-                continue
-            is_neighbors = [u for u in neighbors if state[u] is S.IS]
-            if 1 <= len(is_neighbors) <= 2:
-                state[vertex] = S.ADJACENT
-                isn[vertex] = frozenset(is_neighbors)
-            else:
-                state[vertex] = S.NON_IS
-                isn[vertex] = None
-            if state[vertex] is S.NON_IS:
-                if all(state[u] in (S.CONFLICT, S.NON_IS) for u in neighbors):
-                    state[vertex] = S.IS
-                    isn[vertex] = None
-                    zero_one_swaps += 1
-
-        new_size = sum(1 for v in range(num_vertices) if state[v] is S.IS)
-        rounds.append(
-            RoundStats(
-                round_index=len(rounds) + 1,
-                gained=new_size - current_size,
-                one_k_swaps=one_k_swaps,
-                two_k_swaps=two_k_swaps,
-                zero_one_swaps=zero_one_swaps,
-                is_size_after=new_size,
-                sc_vertices=sc.peak_vertices,
-            )
-        )
-        current_size = new_size
-
-    # Final 0↔1 completion pass (same rationale as in one_k_swap): guarantee
-    # maximality of the returned set with one extra sequential scan.
-    completion_gain = 0
-    for vertex, neighbors in source.scan():
-        if state[vertex] is not S.IS and not any(state[u] is S.IS for u in neighbors):
-            state[vertex] = S.IS
-            completion_gain += 1
-    if completion_gain and rounds:
-        last = rounds[-1]
-        rounds[-1] = RoundStats(
-            round_index=last.round_index,
-            gained=last.gained + completion_gain,
-            one_k_swaps=last.one_k_swaps,
-            two_k_swaps=last.two_k_swaps,
-            zero_one_swaps=last.zero_one_swaps + completion_gain,
-            is_size_after=last.is_size_after + completion_gain,
-            sc_vertices=last.sc_vertices,
-        )
-
-    independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
+    independent_set, rounds, max_sc_vertices = kernel.two_k_swap_pass(
+        source, initial_set, max_rounds, max_pairs_per_key, max_partner_checks
+    )
     elapsed = time.perf_counter() - started
 
     return MISResult(
         algorithm="two_k_swap",
         independent_set=independent_set,
-        rounds=tuple(rounds),
+        rounds=rounds,
         io=source.stats.delta_since(io_before),
         memory_bytes=model.two_k_swap_bytes(num_vertices, max_sc_vertices),
         elapsed_seconds=elapsed,

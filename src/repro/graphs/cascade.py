@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import List, Set, Tuple
 
 from repro.errors import GraphError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import HAVE_NUMPY, Graph
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
 
 __all__ = [
     "cascade_swap_graph",
@@ -45,6 +50,20 @@ def cascade_swap_graph(num_triples: int) -> Graph:
 
     if num_triples < 1:
         raise GraphError("a cascade-swap graph needs at least one triple")
+    if _np is not None:
+        a = 3 * _np.arange(num_triples, dtype=_np.int64)
+        within = _np.concatenate(
+            (_np.column_stack((a, a + 1)), _np.column_stack((a, a + 2)))
+        )
+        chain_a = a[:-1]
+        next_a = a[1:]
+        links = _np.concatenate(
+            (
+                _np.column_stack((chain_a + 1, next_a)),
+                _np.column_stack((chain_a + 2, next_a)),
+            )
+        )
+        return Graph(3 * num_triples, _np.concatenate((within, links)))
     edges: List[Tuple[int, int]] = []
     for index in range(num_triples):
         a, b, c = _triple_ids(index)

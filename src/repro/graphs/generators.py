@@ -4,6 +4,13 @@ These generators back the unit tests (graphs with known independence
 numbers), the property-based tests and several ablation benchmarks.  All
 random generators take an explicit ``seed`` so experiments are
 reproducible.
+
+The deterministic generators and the configuration-model pairing build
+their edge sets as int64 ndarrays (when numpy is available) and hand them
+straight to the vectorized CSR pipeline — no per-edge Python tuples.  The
+random generators that draw one variate per candidate pair keep their
+original sampling loops so seeded graphs stay bit-identical to the seed
+implementation.
 """
 
 from __future__ import annotations
@@ -12,7 +19,12 @@ import random
 from typing import List, Optional, Tuple
 
 from repro.errors import GraphError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import HAVE_NUMPY, Graph
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
 
 __all__ = [
     "empty_graph",
@@ -43,6 +55,9 @@ def empty_graph(num_vertices: int) -> Graph:
 def path_graph(num_vertices: int) -> Graph:
     """Path ``0 - 1 - ... - (n-1)``; independence number ``ceil(n / 2)``."""
 
+    if _np is not None and num_vertices > 1:
+        ids = _np.arange(num_vertices - 1, dtype=_np.int64)
+        return Graph(num_vertices, _np.column_stack((ids, ids + 1)))
     return Graph(num_vertices, [(i, i + 1) for i in range(num_vertices - 1)])
 
 
@@ -51,6 +66,9 @@ def cycle_graph(num_vertices: int) -> Graph:
 
     if num_vertices < 3:
         raise GraphError("a cycle needs at least 3 vertices")
+    if _np is not None:
+        ids = _np.arange(num_vertices, dtype=_np.int64)
+        return Graph(num_vertices, _np.column_stack((ids, (ids + 1) % num_vertices)))
     edges = [(i, (i + 1) % num_vertices) for i in range(num_vertices)]
     return Graph(num_vertices, edges)
 
@@ -60,12 +78,18 @@ def star_graph(num_leaves: int) -> Graph:
 
     if num_leaves < 0:
         raise GraphError("num_leaves must be non-negative")
+    if _np is not None and num_leaves > 0:
+        leaves = _np.arange(1, num_leaves + 1, dtype=_np.int64)
+        return Graph(num_leaves + 1, _np.column_stack((_np.zeros_like(leaves), leaves)))
     return Graph(num_leaves + 1, [(0, leaf) for leaf in range(1, num_leaves + 1)])
 
 
 def complete_graph(num_vertices: int) -> Graph:
     """Complete graph K_n; independence number 1 (or 0 for the empty graph)."""
 
+    if _np is not None:
+        rows, cols = _np.triu_indices(num_vertices, k=1)
+        return Graph(num_vertices, _np.column_stack((rows, cols)).astype(_np.int64))
     edges = [
         (u, v)
         for u in range(num_vertices)
@@ -79,6 +103,10 @@ def complete_bipartite_graph(left: int, right: int) -> Graph:
 
     if left < 0 or right < 0:
         raise GraphError("part sizes must be non-negative")
+    if _np is not None and left > 0 and right > 0:
+        us = _np.repeat(_np.arange(left, dtype=_np.int64), right)
+        vs = _np.tile(_np.arange(left, left + right, dtype=_np.int64), left)
+        return Graph(left + right, _np.column_stack((us, vs)))
     edges = [(u, left + v) for u in range(left) for v in range(right)]
     return Graph(left + right, edges)
 
@@ -88,6 +116,12 @@ def grid_graph(rows: int, cols: int) -> Graph:
 
     if rows < 1 or cols < 1:
         raise GraphError("grid dimensions must be positive")
+
+    if _np is not None:
+        ids = _np.arange(rows * cols, dtype=_np.int64).reshape(rows, cols)
+        horizontal = _np.column_stack((ids[:, :-1].reshape(-1), ids[:, 1:].reshape(-1)))
+        vertical = _np.column_stack((ids[:-1, :].reshape(-1), ids[1:, :].reshape(-1)))
+        return Graph(rows * cols, _np.concatenate((horizontal, vertical)))
 
     def vertex(r: int, c: int) -> int:
         return r * cols + c
@@ -172,10 +206,18 @@ def random_regular_graph(num_vertices: int, degree: int, seed: Optional[int] = N
     if (num_vertices * degree) % 2 == 1:
         raise GraphError("num_vertices * degree must be even")
     rng = random.Random(seed)
-    stubs: List[int] = []
-    for v in range(num_vertices):
-        stubs.extend([v] * degree)
+    if _np is not None:
+        stubs = _np.repeat(_np.arange(num_vertices, dtype=_np.int64), degree).tolist()
+    else:
+        stubs = []
+        for v in range(num_vertices):
+            stubs.extend([v] * degree)
     rng.shuffle(stubs)
+    if _np is not None:
+        pairs = _np.asarray(stubs, dtype=_np.int64)
+        pairs = pairs[: 2 * (pairs.size // 2)].reshape(-1, 2)
+        # Graph() drops the matching's self loops and parallel edges.
+        return Graph(num_vertices, pairs)
     edges = []
     for i in range(0, len(stubs) - 1, 2):
         u, v = stubs[i], stubs[i + 1]
@@ -210,6 +252,15 @@ def disjoint_union(*graphs: Graph) -> Graph:
     """Disjoint union of graphs; vertex ids are shifted block by block."""
 
     total = sum(g.num_vertices for g in graphs)
+    if _np is not None:
+        blocks = []
+        offset = 0
+        for g in graphs:
+            blocks.append(g.edge_array() + offset)
+            offset += g.num_vertices
+        if not blocks:
+            return Graph(total, [])
+        return Graph(total, _np.concatenate(blocks))
     edges = []
     offset = 0
     for g in graphs:

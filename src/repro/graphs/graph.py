@@ -1,4 +1,4 @@
-"""In-memory simple undirected graph backed by a CSR layout.
+"""In-memory simple undirected graph backed by a vectorized CSR layout.
 
 The semi-external algorithms in :mod:`repro.core` never require the whole
 edge set in memory — they stream it from a
@@ -7,6 +7,15 @@ provides the *in-memory* representation used by the graph generators, the
 in-memory baselines, the exact solver and the tests.  It intentionally
 mirrors the on-disk adjacency-list representation (per-vertex sorted
 neighbour lists) so converting between the two is a straight copy.
+
+The CSR arrays (``_offsets`` / ``_targets``) are ``int64`` NumPy ndarrays
+built by an O(E log E) sort-and-dedup pipeline: the edge list is
+symmetrised, lexicographically sorted and deduplicated with vectorized
+array operations — no per-vertex Python sets are ever materialised.  When
+NumPy is unavailable the same pipeline runs on plain Python lists (still
+O(E log E), still set-free), so the package imports everywhere; the
+vectorized kernel backend in :mod:`repro.core.kernels` then simply stays
+unregistered.
 
 Vertices are the integers ``0 .. n-1``.  The graph is simple: self loops
 and parallel edges passed to the builder are silently dropped, matching
@@ -18,11 +27,186 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left
 from collections import Counter
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError, VertexError
 
-__all__ = ["Graph", "GraphBuilder"]
+try:  # pragma: no cover - exercised implicitly on every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+__all__ = ["Graph", "GraphBuilder", "HAVE_NUMPY", "build_csr", "permutation_array"]
+
+#: Whether the vectorized NumPy construction pipeline is active.
+HAVE_NUMPY = _np is not None
+
+
+def _as_int64(values, what: str):
+    """Coerce to an int64 ndarray, rejecting non-integral dtypes.
+
+    ``np.asarray(..., dtype=int64)`` would silently truncate floats; the
+    pure-Python paths raise on them instead, so the vectorized paths must
+    too.
+    """
+
+    arr = _np.asarray(values)
+    if arr.size and not (
+        _np.issubdtype(arr.dtype, _np.integer) or arr.dtype == _np.bool_
+    ):
+        raise GraphError(f"{what} must be integers, got dtype {arr.dtype}")
+    return arr.astype(_np.int64, copy=False)
+
+
+def permutation_array(values, num_vertices: int):
+    """Return ``values`` as an int64 ndarray if it permutes ``0..n-1``, else ``None``.
+
+    Shared by :meth:`Graph.relabeled` and the explicit-scan-order
+    validation in :mod:`repro.storage.scan` (numpy builds only).
+    """
+
+    try:
+        arr = (
+            _as_int64(values, "permutation entries")
+            if len(values)
+            else _np.empty(0, dtype=_np.int64)
+        )
+    except GraphError:
+        return None
+    if arr.shape != (num_vertices,):
+        return None
+    if num_vertices == 0:
+        return arr
+    if arr.min() < 0 or arr.max() >= num_vertices:
+        return None
+    if not bool((_np.bincount(arr, minlength=num_vertices) == 1).all()):
+        return None
+    return arr
+
+
+def _first_invalid_endpoint(pairs, num_vertices: int) -> int:
+    """Return the first out-of-range endpoint in edge order (u before v)."""
+
+    flat = pairs.reshape(-1)
+    bad = flat[(flat < 0) | (flat >= num_vertices)]
+    return int(bad[0])
+
+
+def _csr_numpy(num_vertices: int, edges) -> Tuple["_np.ndarray", "_np.ndarray"]:
+    """Vectorized O(E log E) sort-and-dedup CSR construction."""
+
+    if _np is None:  # pragma: no cover - guarded by callers
+        raise GraphError("numpy is not available")
+    if isinstance(edges, _np.ndarray):
+        pairs = edges
+        if pairs.ndim == 1 and pairs.size == 0:
+            pairs = pairs.reshape(0, 2)
+        pairs = _as_int64(pairs, "edge endpoints")
+    else:
+        if not isinstance(edges, (list, tuple)):
+            edges = list(edges)
+        if len(edges) == 0:
+            pairs = _np.empty((0, 2), dtype=_np.int64)
+        else:
+            pairs = _as_int64(edges, "edge endpoints")
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise GraphError("edges must be (u, v) pairs")
+
+    if pairs.size:
+        lo = int(pairs.min())
+        hi = int(pairs.max())
+        if lo < 0 or hi >= num_vertices:
+            raise VertexError(_first_invalid_endpoint(pairs, num_vertices), num_vertices)
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+
+    # Symmetrise, sort by (source, target), drop duplicate directed edges.
+    offsets = _np.zeros(num_vertices + 1, dtype=_np.int64)
+    if not pairs.size:
+        return offsets, _np.empty(0, dtype=_np.int64)
+
+    sources = pairs[:, 0]
+    destinations = pairs[:, 1]
+    if num_vertices <= 2**31:
+        # Fuse each directed edge into one int64 key: a single-key sort is
+        # substantially faster than a two-column lexsort (and than
+        # np.unique, which pays for stability we do not need).
+        keys = _np.sort(
+            _np.concatenate(
+                (
+                    sources * num_vertices + destinations,
+                    destinations * num_vertices + sources,
+                )
+            )
+        )
+        keep = _np.empty(keys.size, dtype=bool)
+        keep[0] = True
+        _np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+        keys = keys[keep]
+        sym_src = keys // num_vertices
+        targets = keys % num_vertices
+    else:  # pragma: no cover - graphs beyond 2^31 vertices
+        sym = _np.concatenate([pairs, pairs[:, ::-1]])
+        order = _np.lexsort((sym[:, 1], sym[:, 0]))
+        sym = sym[order]
+        keep = _np.empty(sym.shape[0], dtype=bool)
+        keep[0] = True
+        _np.logical_or(
+            sym[1:, 0] != sym[:-1, 0], sym[1:, 1] != sym[:-1, 1], out=keep[1:]
+        )
+        sym = sym[keep]
+        sym_src = sym[:, 0]
+        targets = _np.ascontiguousarray(sym[:, 1])
+
+    counts = _np.bincount(sym_src, minlength=num_vertices)
+    _np.cumsum(counts, out=offsets[1:])
+    return offsets, targets
+
+
+def _csr_python(num_vertices: int, edges) -> Tuple[array, array]:
+    """The seed's per-vertex-set construction, kept as the pure-Python reference.
+
+    This is the pipeline the package falls back to when numpy is missing,
+    and the baseline the benchmark harness compares the vectorized
+    pipeline against.
+    """
+
+    adjacency: List[set] = [set() for _ in range(num_vertices)]
+    for u, v in edges:
+        if not (0 <= u < num_vertices):
+            raise VertexError(u, num_vertices)
+        if not (0 <= v < num_vertices):
+            raise VertexError(v, num_vertices)
+        if u == v:
+            continue
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    offsets = array("q", [0] * (num_vertices + 1))
+    targets = array("q")
+    running = 0
+    for v in range(num_vertices):
+        neighbours = sorted(adjacency[v])
+        targets.extend(neighbours)
+        running += len(neighbours)
+        offsets[v + 1] = running
+    return offsets, targets
+
+
+def build_csr(num_vertices: int, edges, backend: str = "auto"):
+    """Build ``(offsets, targets)`` CSR arrays from an edge iterable.
+
+    ``backend`` selects the construction pipeline: ``"numpy"`` for the
+    vectorized sort-and-dedup path, ``"python"`` for the set-free pure
+    Python reference, ``"auto"`` for numpy-when-available.  The benchmark
+    harness uses the explicit names to compare the two pipelines.
+    """
+
+    if backend == "auto":
+        backend = "numpy" if _np is not None else "python"
+    if backend == "numpy":
+        return _csr_numpy(num_vertices, edges)
+    if backend == "python":
+        return _csr_python(num_vertices, edges)
+    raise GraphError(f"unknown CSR build backend {backend!r}")
 
 
 class Graph:
@@ -33,8 +217,9 @@ class Graph:
     num_vertices:
         Number of vertices; vertex ids are ``0 .. num_vertices - 1``.
     edges:
-        Iterable of ``(u, v)`` pairs.  Duplicates, reversed duplicates and
-        self loops are removed.
+        Iterable of ``(u, v)`` pairs — or an ``(m, 2)`` integer ndarray,
+        which skips the Python-level conversion entirely.  Duplicates,
+        reversed duplicates and self loops are removed.
 
     Examples
     --------
@@ -47,33 +232,23 @@ class Graph:
     False
     """
 
-    __slots__ = ("_offsets", "_targets", "_num_vertices", "_num_edges")
+    __slots__ = (
+        "_offsets",
+        "_targets",
+        "_num_vertices",
+        "_num_edges",
+        "_degrees",
+        "_edge_sources",
+    )
 
     def __init__(self, num_vertices: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
         self._num_vertices = int(num_vertices)
-        adjacency: List[set] = [set() for _ in range(self._num_vertices)]
-        for u, v in edges:
-            if not (0 <= u < self._num_vertices):
-                raise VertexError(u, self._num_vertices)
-            if not (0 <= v < self._num_vertices):
-                raise VertexError(v, self._num_vertices)
-            if u == v:
-                continue
-            adjacency[u].add(v)
-            adjacency[v].add(u)
-        offsets = array("q", [0] * (self._num_vertices + 1))
-        targets = array("q")
-        running = 0
-        for v in range(self._num_vertices):
-            neighbours = sorted(adjacency[v])
-            targets.extend(neighbours)
-            running += len(neighbours)
-            offsets[v + 1] = running
-        self._offsets = offsets
-        self._targets = targets
-        self._num_edges = running // 2
+        self._offsets, self._targets = build_csr(self._num_vertices, edges)
+        self._num_edges = len(self._targets) // 2
+        self._degrees = None
+        self._edge_sources = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -139,24 +314,78 @@ class Graph:
         if not (0 <= v < self._num_vertices):
             raise VertexError(v, self._num_vertices)
 
+    def csr_arrays(self):
+        """Return the raw ``(offsets, targets)`` CSR arrays (zero-copy).
+
+        The arrays are int64 ndarrays when numpy is available (plain
+        ``array('q')`` otherwise).  Callers — chiefly the vectorized
+        kernel backend — must treat them as read-only.
+        """
+
+        return self._offsets, self._targets
+
+    def neighbors_array(self, v: int):
+        """Zero-copy slice of the sorted neighbours of ``v``."""
+
+        self._check_vertex(v)
+        return self._targets[self._offsets[v] : self._offsets[v + 1]]
+
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Return the sorted neighbours of ``v`` as a tuple."""
 
         self._check_vertex(v)
         start, end = self._offsets[v], self._offsets[v + 1]
+        if _np is not None:
+            return tuple(self._targets[start:end].tolist())
         return tuple(self._targets[start:end])
 
     def degree(self, v: int) -> int:
         """Return the degree of ``v``."""
 
         self._check_vertex(v)
-        return self._offsets[v + 1] - self._offsets[v]
+        return int(self._offsets[v + 1] - self._offsets[v])
+
+    def degrees_array(self):
+        """All vertex degrees as one (cached) vectorized diff of the offsets.
+
+        Returns an int64 ndarray when numpy is available, a tuple
+        otherwise.  Treat the result as read-only — it is shared between
+        calls.
+        """
+
+        if self._degrees is None:
+            if _np is not None:
+                self._degrees = _np.diff(self._offsets)
+            else:
+                offsets = self._offsets
+                self._degrees = tuple(
+                    offsets[v + 1] - offsets[v] for v in range(self._num_vertices)
+                )
+        return self._degrees
 
     def degrees(self) -> List[int]:
-        """Return the list of all vertex degrees indexed by vertex id."""
+        """Return a fresh list of all vertex degrees indexed by vertex id."""
 
-        offsets = self._offsets
-        return [offsets[v + 1] - offsets[v] for v in range(self._num_vertices)]
+        cached = self.degrees_array()
+        if _np is not None:
+            return cached.tolist()
+        return list(cached)
+
+    def edge_sources_array(self):
+        """Source vertex of every directed CSR slot (cached, numpy only).
+
+        ``edge_sources_array()[i]`` is the vertex whose adjacency list
+        holds ``targets[i]``; together with ``csr_arrays()`` this turns
+        per-edge sweeps into single ``np.bincount`` calls.
+        """
+
+        if _np is None:
+            raise GraphError("edge_sources_array requires numpy")
+        if self._edge_sources is None:
+            self._edge_sources = _np.repeat(
+                _np.arange(self._num_vertices, dtype=_np.int64), self.degrees_array()
+            )
+        return self._edge_sources
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` when the undirected edge ``{u, v}`` exists."""
@@ -165,16 +394,22 @@ class Graph:
         self._check_vertex(v)
         if u == v:
             return False
-        # Binary search the smaller adjacency list.
+        # Binary search the smaller adjacency list (zero-copy: the search
+        # runs directly on the CSR targets array).
         if self.degree(u) > self.degree(v):
             u, v = v, u
-        start, end = self._offsets[u], self._offsets[u + 1]
+        start, end = int(self._offsets[u]), int(self._offsets[u + 1])
         index = bisect_left(self._targets, v, start, end)
         return index < end and self._targets[index] == v
 
     def iter_edges(self) -> Iterator[Tuple[int, int]]:
         """Yield every undirected edge exactly once as ``(u, v)`` with ``u < v``."""
 
+        if _np is not None:
+            sources = self.edge_sources_array()
+            mask = sources < self._targets
+            yield from zip(sources[mask].tolist(), self._targets[mask].tolist())
+            return
         for u in range(self._num_vertices):
             start, end = self._offsets[u], self._offsets[u + 1]
             for index in range(start, end):
@@ -182,11 +417,31 @@ class Graph:
                 if u < v:
                     yield (u, v)
 
-    def iter_adjacency(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
-        """Yield ``(vertex, neighbours)`` in vertex-id order (one sequential pass)."""
+    def edge_array(self):
+        """All undirected edges as an ``(m, 2)`` int64 ndarray with u < v."""
 
+        if _np is None:
+            raise GraphError("edge_array requires numpy")
+        sources = self.edge_sources_array()
+        mask = sources < self._targets
+        return _np.column_stack((sources[mask], self._targets[mask]))
+
+    def iter_adjacency(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Yield ``(vertex, neighbours)`` in vertex-id order (one sequential pass).
+
+        The pass converts the CSR targets to a Python list once and
+        slices it per vertex, instead of paying a bounds-checked
+        ndarray-to-tuple conversion for every record.
+        """
+
+        if _np is not None:
+            targets = self._targets.tolist()
+            offsets = self._offsets.tolist()
+        else:
+            targets = list(self._targets)
+            offsets = list(self._offsets)
         for v in range(self._num_vertices):
-            yield v, self.neighbors(v)
+            yield v, tuple(targets[offsets[v] : offsets[v + 1]])
 
     # ------------------------------------------------------------------
     # Aggregate statistics
@@ -205,16 +460,31 @@ class Graph:
 
         if self._num_vertices == 0:
             return 0
-        return max(self.degrees())
+        degrees = self.degrees_array()
+        if _np is not None:
+            return int(degrees.max())
+        return max(degrees)
 
     def degree_histogram(self) -> Dict[int, int]:
         """Return a ``degree -> number of vertices`` histogram."""
 
-        return dict(Counter(self.degrees()))
+        if self._num_vertices == 0:
+            return {}
+        degrees = self.degrees_array()
+        if _np is not None:
+            counts = _np.bincount(degrees)
+            return {
+                int(degree): int(count)
+                for degree, count in enumerate(counts.tolist())
+                if count
+            }
+        return dict(Counter(degrees))
 
     def isolated_vertices(self) -> List[int]:
         """Return all vertices with degree zero."""
 
+        if _np is not None:
+            return _np.flatnonzero(self.degrees_array() == 0).tolist()
         return [v for v in range(self._num_vertices) if self.degree(v) == 0]
 
     # ------------------------------------------------------------------
@@ -228,9 +498,19 @@ class Graph:
         """
 
         selected = sorted(set(vertices))
-        for v in selected:
+        for v in selected[:1] + selected[-1:]:
             self._check_vertex(v)
         mapping = {old: new for new, old in enumerate(selected)}
+        if _np is not None:
+            new_id = _np.full(self._num_vertices, -1, dtype=_np.int64)
+            if selected:
+                new_id[_np.asarray(selected, dtype=_np.int64)] = _np.arange(
+                    len(selected), dtype=_np.int64
+                )
+            sources = self.edge_sources_array()
+            keep = (new_id[sources] >= 0) & (new_id[self._targets] >= 0)
+            edges = _np.column_stack((new_id[sources[keep]], new_id[self._targets[keep]]))
+            return Graph(len(selected), edges), mapping
         edges = []
         selected_set = set(selected)
         for old in selected:
@@ -247,11 +527,29 @@ class Graph:
         degree order.
         """
 
+        if _np is not None:
+            order_arr = permutation_array(list(order), self._num_vertices)
+            if order_arr is None:
+                raise GraphError("order must be a permutation of all vertex ids")
+            new_id = _np.empty(self._num_vertices, dtype=_np.int64)
+            new_id[order_arr] = _np.arange(self._num_vertices, dtype=_np.int64)
+            sources = self.edge_sources_array()
+            edges = _np.column_stack((new_id[sources], new_id[self._targets]))
+            return Graph(self._num_vertices, edges)
         if sorted(order) != list(range(self._num_vertices)):
             raise GraphError("order must be a permutation of all vertex ids")
         new_id = {old: new for new, old in enumerate(order)}
         edges = [(new_id[u], new_id[v]) for u, v in self.iter_edges()]
         return Graph(self._num_vertices, edges)
+
+    def degree_ascending_order_array(self):
+        """Vertex ids sorted by ascending degree as an ndarray (numpy only)."""
+
+        if _np is None:
+            raise GraphError("degree_ascending_order_array requires numpy")
+        # A stable argsort breaks degree ties by vertex id, exactly like
+        # sorting on the (degree, id) key.
+        return _np.argsort(self.degrees_array(), kind="stable")
 
     def degree_ascending_order(self) -> List[int]:
         """Return vertex ids sorted by ascending degree (ties by id).
@@ -261,6 +559,8 @@ class Graph:
         the greedy pass.
         """
 
+        if _np is not None:
+            return self.degree_ascending_order_array().tolist()
         return sorted(range(self._num_vertices), key=lambda v: (self.degree(v), v))
 
     def complement_edges_count(self) -> int:
@@ -281,14 +581,16 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return (
-            self._num_vertices == other._num_vertices
-            and self._offsets == other._offsets
-            and self._targets == other._targets
-        )
+        if self._num_vertices != other._num_vertices:
+            return False
+        if _np is not None:
+            return _np.array_equal(self._offsets, other._offsets) and _np.array_equal(
+                self._targets, other._targets
+            )
+        return self._offsets == other._offsets and self._targets == other._targets
 
     def __hash__(self) -> int:  # pragma: no cover - graphs are rarely hashed
-        return hash((self._num_vertices, tuple(self._targets)))
+        return hash((self._num_vertices, tuple(map(int, self._targets))))
 
     def __repr__(self) -> str:
         return f"Graph(num_vertices={self._num_vertices}, num_edges={self._num_edges})"

@@ -11,6 +11,9 @@ and knows the number of vertices.  Two implementations exist:
   :class:`repro.graphs.graph.Graph` plus a scan order.  It performs the
   same accounting (scans, random lookups) without serialisation overhead,
   which keeps the property-based tests and the parameter sweeps fast.
+  The scan order is held as an int64 ndarray (when numpy is available)
+  so the vectorized kernel backend can consume it zero-copy via
+  :meth:`InMemoryAdjacencyScan.order_array`.
 
 ``as_scan_source`` normalises whatever the caller passed (a graph or an
 existing source) into a scan source, which keeps the public solver API
@@ -22,7 +25,13 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
 
 from repro.errors import StorageError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import HAVE_NUMPY, Graph, permutation_array
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
+
 from repro.storage.io_stats import IOStats
 
 __all__ = ["AdjacencyScanSource", "InMemoryAdjacencyScan", "as_scan_source"]
@@ -75,17 +84,36 @@ class InMemoryAdjacencyScan:
     ) -> None:
         self._graph = graph
         self._stats = stats if stats is not None else IOStats()
+        self._csr_lists: Optional[Tuple[List[int], List[int]]] = None
+        num_vertices = graph.num_vertices
         if isinstance(order, str):
             if order == "degree":
-                self._order: List[int] = graph.degree_ascending_order()
+                if _np is not None:
+                    self._order = graph.degree_ascending_order_array()
+                else:
+                    self._order = graph.degree_ascending_order()
             elif order == "id":
-                self._order = list(range(graph.num_vertices))
+                if _np is not None:
+                    self._order = _np.arange(num_vertices, dtype=_np.int64)
+                else:
+                    self._order = list(range(num_vertices))
             else:
                 raise StorageError(f"unknown scan order {order!r}; use 'degree' or 'id'")
         else:
-            self._order = list(order)
-            if sorted(self._order) != list(range(graph.num_vertices)):
-                raise StorageError("explicit scan order must be a permutation of all vertices")
+            explicit = list(order)
+            if _np is not None:
+                arr = permutation_array(explicit, num_vertices)
+                if arr is None:
+                    raise StorageError(
+                        "explicit scan order must be a permutation of all vertices"
+                    )
+                self._order = arr
+            else:
+                if sorted(explicit) != list(range(num_vertices)):
+                    raise StorageError(
+                        "explicit scan order must be a permutation of all vertices"
+                    )
+                self._order = explicit
 
     @property
     def graph(self) -> Graph:
@@ -114,14 +142,38 @@ class InMemoryAdjacencyScan:
     def scan(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
         """Yield every record in the configured order, counting one scan."""
 
-        for vertex in self._order:
-            yield vertex, self._graph.neighbors(vertex)
+        graph = self._graph
+        if _np is not None:
+            # Slicing a Python list per record is about twice as fast as
+            # building a tuple from an ndarray view for every vertex; the
+            # graph is immutable, so the converted lists are cached across
+            # the many scans a swap run performs.
+            if self._csr_lists is None:
+                offsets, targets = graph.csr_arrays()
+                self._csr_lists = (offsets.tolist(), targets.tolist())
+            offsets_list, targets_list = self._csr_lists
+            for vertex in self._order.tolist():
+                yield vertex, tuple(
+                    targets_list[offsets_list[vertex] : offsets_list[vertex + 1]]
+                )
+        else:
+            for vertex in self._order:
+                yield vertex, graph.neighbors(vertex)
         self._stats.record_scan()
 
     def scan_order(self) -> List[int]:
         """Vertex ids in scan order."""
 
+        if _np is not None:
+            return self._order.tolist()
         return list(self._order)
+
+    def order_array(self):
+        """Scan order as an int64 ndarray (zero-copy; treat as read-only)."""
+
+        if _np is None:
+            raise StorageError("order_array requires numpy")
+        return self._order
 
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
         """Random lookup of one neighbour list (counted)."""
