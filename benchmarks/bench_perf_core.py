@@ -1,13 +1,14 @@
 """Core-kernel performance regression harness.
 
-Times the three hot paths of the system — CSR graph construction, the
-Algorithm-1 greedy pass and the Algorithm-2 one-k-swap pass — on PLRG
-graphs for both kernel backends (the pure-Python reference and the
-vectorized NumPy kernels) and writes the measurements, plus the
-numpy-over-python speedups, to ``BENCH_core.json`` at the repository
-root.  This file is the perf trajectory of the project: every PR runs at
-least the ``--smoke`` configuration in CI, and the committed JSON records
-the full sweep.
+Times the hot paths of the system — CSR graph construction, the
+Algorithm-1 greedy pass, the Algorithm-2 one-k-swap pass, the
+Algorithm-3/4 two-k-swap pass, and the **semi-external** file path
+(block-batched numpy kernels vs. the record-streaming python reference
+over the same adjacency file) — on PLRG graphs for both kernel backends
+and writes the measurements, plus the numpy-over-python speedups, to
+``BENCH_core.json`` at the repository root.  This file is the perf
+trajectory of the project: every PR runs at least the ``--smoke``
+configuration in CI, and the committed JSON records the full sweep.
 
 Usage
 -----
@@ -21,8 +22,12 @@ The build comparison feeds each pipeline its native input: the numpy
 pipeline receives the int64 edge ndarray the vectorized generators
 produce, the python reference receives the same edges as a list of pairs
 (the representation the original per-vertex-set builder consumed).  The
-independent sets computed by the two backends are asserted identical on
-every run, so the harness doubles as an end-to-end parity check.
+semi-external rows time a fresh ``AdjacencyFileReader`` (open + solve)
+over one shared in-memory block device, so both backends read exactly the
+same bytes.  The independent sets computed by the two backends are
+asserted identical on every run — and for the semi-external rows the
+``IOStats`` counters are asserted identical too — so the harness doubles
+as an end-to-end parity check.
 """
 
 from __future__ import annotations
@@ -37,13 +42,31 @@ from typing import Callable, Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core import greedy_mis, one_k_swap  # noqa: E402
+from repro.core import greedy_mis, one_k_swap, two_k_swap  # noqa: E402
 from repro.core.kernels import available_backends  # noqa: E402
-from repro.graphs.graph import Graph, build_csr  # noqa: E402
+from repro.graphs.graph import build_csr  # noqa: E402
 from repro.graphs.plrg import plrg_graph_with_vertex_count  # noqa: E402
+from repro.storage.adjacency_file import (  # noqa: E402
+    AdjacencyFileReader,
+    write_adjacency_file,
+)
+from repro.storage.io_stats import IOStats  # noqa: E402
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
 SMOKE_SIZES = (2_000,)
+
+#: Timing metrics shared by every row; speedups are computed for whichever
+#: of these a size has in both backend rows.
+TIMING_METRICS = (
+    "build_seconds",
+    "greedy_seconds",
+    "build_plus_greedy_seconds",
+    "one_k_swap_seconds",
+    "two_k_swap_seconds",
+    "semi_greedy_seconds",
+    "semi_build_plus_greedy_seconds",
+    "semi_one_k_swap_seconds",
+)
 
 
 def _best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -64,16 +87,28 @@ def bench_size(
     max_rounds: int,
     repeats: int,
     python_max: int,
+    two_k_python_max: int,
+    semi_python_max: int,
 ) -> List[Dict[str, object]]:
     """Benchmark both backends at one graph size; returns one row per backend."""
 
     graph = plrg_graph_with_vertex_count(num_vertices, beta, seed=seed)
     edge_ndarray = graph.edge_array()
     edge_pairs = [tuple(edge) for edge in edge_ndarray.tolist()]
+    # One shared file image: both backends read exactly the same bytes.
+    device = write_adjacency_file(graph, backing=None, stats=IOStats())
 
     rows: List[Dict[str, object]] = []
     results: Dict[str, Dict[str, object]] = {}
     run_python = graph.num_vertices <= python_max
+
+    def semi_greedy(backend: str):
+        reader = AdjacencyFileReader(device, stats=IOStats())
+        return greedy_mis(reader, backend=backend)
+
+    def semi_one_k(backend: str, initial):
+        reader = AdjacencyFileReader(device, stats=IOStats())
+        return one_k_swap(reader, initial=initial, max_rounds=max_rounds, backend=backend)
 
     for backend in ("python", "numpy"):
         if backend == "python" and not run_python:
@@ -104,29 +139,64 @@ def bench_size(
             ),
         )
 
-        results[backend] = {
+        row: Dict[str, object] = {
+            "n": graph.num_vertices,
+            "edges": graph.num_edges,
+            "backend": backend,
+            "build_seconds": build_seconds,
+            "greedy_seconds": greedy_seconds,
+            "build_plus_greedy_seconds": build_seconds + greedy_seconds,
+            "one_k_swap_seconds": one_k_seconds,
+            "greedy_size": greedy_result.size,
+            "one_k_size": one_k_result.size,
+        }
+        backend_results: Dict[str, object] = {
             "greedy_set": greedy_result.independent_set,
             "one_k_set": one_k_result.independent_set,
         }
-        rows.append(
-            {
-                "n": graph.num_vertices,
-                "edges": graph.num_edges,
-                "backend": backend,
-                "build_seconds": build_seconds,
-                "greedy_seconds": greedy_seconds,
-                "build_plus_greedy_seconds": build_seconds + greedy_seconds,
-                "one_k_swap_seconds": one_k_seconds,
-                "greedy_size": greedy_result.size,
-                "one_k_size": one_k_result.size,
-            }
-        )
+
+        if backend == "numpy" or graph.num_vertices <= two_k_python_max:
+            two_k_result = two_k_swap(
+                graph, initial=greedy_result, max_rounds=max_rounds, backend=backend
+            )
+            row["two_k_swap_seconds"] = _best_of(
+                repeats,
+                lambda: two_k_swap(
+                    graph, initial=greedy_result, max_rounds=max_rounds, backend=backend
+                ),
+            )
+            row["two_k_size"] = two_k_result.size
+            backend_results["two_k_set"] = two_k_result.independent_set
+
+        if backend == "numpy" or graph.num_vertices <= semi_python_max:
+            semi_result = semi_greedy(backend)
+            row["semi_greedy_seconds"] = _best_of(repeats, lambda: semi_greedy(backend))
+            # Semi-external "build" is opening the reader — included in the
+            # timed callable — so build+greedy equals the greedy timing.
+            row["semi_build_plus_greedy_seconds"] = row["semi_greedy_seconds"]
+            row["semi_greedy_size"] = semi_result.size
+            backend_results["semi_greedy_set"] = semi_result.independent_set
+            backend_results["semi_greedy_io"] = semi_result.io.as_dict()
+
+            semi_one_k_result = semi_one_k(backend, semi_result.independent_set)
+            row["semi_one_k_swap_seconds"] = _best_of(
+                repeats, lambda: semi_one_k(backend, semi_result.independent_set)
+            )
+            row["semi_one_k_size"] = semi_one_k_result.size
+            backend_results["semi_one_k_set"] = semi_one_k_result.independent_set
+            backend_results["semi_one_k_io"] = semi_one_k_result.io.as_dict()
+
+        results[backend] = backend_results
+        rows.append(row)
 
     if "python" in results and "numpy" in results:
-        if results["python"]["greedy_set"] != results["numpy"]["greedy_set"]:
-            raise AssertionError(f"greedy backend mismatch at n={graph.num_vertices}")
-        if results["python"]["one_k_set"] != results["numpy"]["one_k_set"]:
-            raise AssertionError(f"one_k_swap backend mismatch at n={graph.num_vertices}")
+        python_res, numpy_res = results["python"], results["numpy"]
+        for key in python_res:
+            if key in numpy_res and python_res[key] != numpy_res[key]:
+                raise AssertionError(
+                    f"backend mismatch at n={graph.num_vertices}: {key}"
+                )
+    device.close()
     return rows
 
 
@@ -144,17 +214,15 @@ def compute_speedups(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float
         if "python" not in backends or "numpy" not in backends:
             continue
         python_row, numpy_row = backends["python"], backends["numpy"]
-        speedups[str(size)] = {
+        ratios = {
             metric.replace("_seconds", ""): round(
                 float(python_row[metric]) / max(float(numpy_row[metric]), 1e-12), 2
             )
-            for metric in (
-                "build_seconds",
-                "greedy_seconds",
-                "build_plus_greedy_seconds",
-                "one_k_swap_seconds",
-            )
+            for metric in TIMING_METRICS
+            if metric in python_row and metric in numpy_row
         }
+        if ratios:
+            speedups[str(size)] = ratios
     return speedups
 
 
@@ -171,7 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--beta", type=float, default=2.1, help="PLRG beta")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--max-rounds", type=int, default=3, help="one-k-swap round cap (paper: 3)"
+        "--max-rounds", type=int, default=3, help="swap round cap (paper: 3)"
     )
     parser.add_argument("--repeats", type=int, default=None, help="best-of-N timing")
     parser.add_argument(
@@ -179,6 +247,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1_000_000,
         help="skip the python backend above this vertex count",
+    )
+    parser.add_argument(
+        "--two-k-python-max",
+        type=int,
+        default=200_000,
+        help="skip the python two-k-swap timing above this vertex count",
+    )
+    parser.add_argument(
+        "--semi-python-max",
+        type=int,
+        default=200_000,
+        help="skip the python semi-external timings above this vertex count",
     )
     parser.add_argument(
         "--output",
@@ -203,17 +283,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"benchmarking n~{size:,} (beta={args.beta}) ...", flush=True)
         rows.extend(
             bench_size(
-                size, args.beta, args.seed, args.max_rounds, repeats, args.python_max
+                size,
+                args.beta,
+                args.seed,
+                args.max_rounds,
+                repeats,
+                args.python_max,
+                args.two_k_python_max,
+                args.semi_python_max,
             )
         )
         for row in rows:
             if row.get("n") and "build_seconds" in row and not row.get("_printed"):
                 row["_printed"] = True
+                semi = (
+                    f"  semi_greedy {row['semi_greedy_seconds']:.4f}s"
+                    if "semi_greedy_seconds" in row
+                    else ""
+                )
+                two_k = (
+                    f"  two_k {row['two_k_swap_seconds']:.4f}s"
+                    if "two_k_swap_seconds" in row
+                    else ""
+                )
                 print(
                     f"  n={row['n']:>9,} {row['backend']:>6}: "
                     f"build {row['build_seconds']:.4f}s  "
                     f"greedy {row['greedy_seconds']:.4f}s  "
                     f"one_k {row['one_k_swap_seconds']:.4f}s"
+                    f"{two_k}{semi}"
                 )
     for row in rows:
         row.pop("_printed", None)
@@ -221,8 +319,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     speedups = compute_speedups(rows)
     report = {
         "benchmark": "bench_perf_core",
-        "description": "CSR build + greedy + one-k-swap timings per kernel backend "
-        "on PLRG graphs; speedups are python-time / numpy-time.",
+        "description": "CSR build + greedy + one-k-swap + two-k-swap + semi-external "
+        "(block-batched file path) timings per kernel backend on PLRG graphs; "
+        "speedups are python-time / numpy-time.",
         "config": {
             "beta": args.beta,
             "seed": args.seed,
@@ -230,6 +329,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "repeats": repeats,
             "smoke": bool(args.smoke),
             "backends": list(available_backends()),
+            "two_k_python_max": args.two_k_python_max,
+            "semi_python_max": args.semi_python_max,
         },
         "results": rows,
         "speedups_numpy_over_python": speedups,
@@ -238,10 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
     for size, ratios in speedups.items():
-        print(
-            f"  n={int(size):,}: build {ratios['build']}x, greedy {ratios['greedy']}x, "
-            f"build+greedy {ratios['build_plus_greedy']}x, one_k {ratios['one_k_swap']}x"
-        )
+        parts = ", ".join(f"{name} {ratio}x" for name, ratio in sorted(ratios.items()))
+        print(f"  n={int(size):,}: {parts}")
     return 0
 
 

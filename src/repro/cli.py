@@ -32,7 +32,7 @@ from typing import List, Optional
 from repro import __version__
 from repro.analysis.plrg_theory import PLRGTheory
 from repro.analysis.upper_bound import independence_upper_bound
-from repro.core.kernels import available_backends, get_backend
+from repro.core.kernels import available_backends
 from repro.core.solver import PIPELINES, solve_mis
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.graphs.generators import erdos_renyi_gnm
@@ -80,10 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=["auto"] + list(available_backends()),
         default="auto",
-        help="kernel backend; 'numpy' loads the graph in memory to run the "
-        "vectorized kernels, 'python' streams the file records; 'auto' "
-        "(default) keeps the semi-external streaming model for files, "
-        "i.e. the python backend",
+        help="kernel backend; 'numpy' (the default when available) runs "
+        "the vectorized kernels over block-batched semi-external scans "
+        "of the file, 'python' streams the records one at a time; both "
+        "produce bit-identical results and I/O counters",
     )
     solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
@@ -146,21 +146,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_solve(args: argparse.Namespace) -> int:
     reader = AdjacencyFileReader(args.input)
     backend = None if args.backend == "auto" else args.backend
-    if backend is not None and get_backend(backend).requires_in_memory:
-        # The vectorized kernels need the CSR arrays: materialise the graph
-        # and scan it in the file's record order.
-        graph = reader.to_graph()
-        result = solve_mis(
-            graph,
-            pipeline=args.pipeline,
-            max_rounds=args.max_rounds,
-            order=reader.scan_order(),
-            backend=backend,
-        )
-    else:
-        result = solve_mis(
-            reader, pipeline=args.pipeline, max_rounds=args.max_rounds, backend=backend
-        )
+    # Every backend consumes the file semi-externally: the numpy kernels
+    # run over block-batched scans, the python reference streams records.
+    result = solve_mis(
+        reader, pipeline=args.pipeline, max_rounds=args.max_rounds, backend=backend
+    )
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))

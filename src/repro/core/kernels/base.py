@@ -8,13 +8,15 @@ Algorithms 3/4 two-k-swap) against a scan source.  Two backends ship:
   :class:`~repro.storage.scan.AdjacencyScanSource`, including true
   file-backed readers.  This is the original, line-for-line algorithm of
   the paper and the ground truth the vectorized backend is tested against.
-* ``numpy`` — vectorized state sweeps over the in-memory CSR arrays of a
-  :class:`~repro.storage.scan.InMemoryAdjacencyScan`.  Every full-graph
-  O(n)/O(E) sweep (bitmap initialisation, adjacency labelling, pointer
-  counting, swap commits, completion passes) runs as ndarray operations;
-  only the inherently sequential per-round swap-conflict logic stays
-  scalar.  Results — independent sets, per-round telemetry and I/O
-  counters — are bit-identical to the python backend.
+* ``numpy`` — vectorized state sweeps, either over the in-memory CSR
+  arrays of a :class:`~repro.storage.scan.InMemoryAdjacencyScan` or over
+  the block-batched ndarray chunks a file-backed source yields through
+  ``scan_batches`` (the semi-external path).  Every full-graph O(n)/O(E)
+  sweep (bitmap initialisation, adjacency labelling, pointer counting,
+  swap commits, completion passes) runs as ndarray operations; only the
+  inherently sequential per-round swap-conflict logic stays scalar.
+  Results — independent sets, per-round telemetry and I/O counters — are
+  bit-identical to the python backend.
 
 The default backend is auto-detected at import time (``numpy`` when the
 library is importable, ``python`` otherwise) and can be overridden with
@@ -22,9 +24,13 @@ the ``REPRO_KERNEL_BACKEND`` environment variable,
 :func:`set_default_backend`, the ``backend=`` argument of the solver
 entry points, or the ``--backend`` CLI flag.
 
-Backends are *selected per call*: requesting the numpy backend for a
-file-backed scan source silently falls back to the python backend,
-because the semi-external file path is inherently record-streaming.
+Backends are *selected per call*: each backend reports through
+:meth:`KernelBackend.supports` whether it can execute against the given
+scan source, and :func:`resolve_backend` falls back to the streaming
+``python`` reference when it cannot.  The numpy backend supports
+in-memory sources and every source exposing block-batched scans (notably
+:class:`~repro.storage.adjacency_file.AdjacencyFileReader`); only custom
+record-streaming sources without ``scan_batches`` still fall back.
 """
 
 from __future__ import annotations
@@ -62,8 +68,10 @@ class KernelBackend(abc.ABC):
     #: Registry key and CLI name of the backend.
     name: str = "abstract"
 
-    #: Whether the backend can only run against an in-memory CSR graph.
-    requires_in_memory: bool = False
+    def supports(self, source) -> bool:
+        """Whether this backend can execute against ``source``."""
+
+        return True
 
     @abc.abstractmethod
     def greedy_pass(self, source) -> FrozenSet[int]:
@@ -75,8 +83,13 @@ class KernelBackend(abc.ABC):
         source,
         initial_set: FrozenSet[int],
         max_rounds: Optional[int],
-    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...]]:
-        """Algorithm 2: 1↔k/0↔1 swap rounds until a fixpoint (or ``max_rounds``)."""
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
+        """Algorithm 2: 1↔k/0↔1 swap rounds until a fixpoint (or ``max_rounds``).
+
+        The final element reports whether the oscillation guard stopped a
+        ``max_rounds=None`` run after detecting a repeated
+        ``(state, ISN)`` configuration.
+        """
 
     @abc.abstractmethod
     def two_k_swap_pass(
@@ -86,8 +99,12 @@ class KernelBackend(abc.ABC):
         max_rounds: Optional[int],
         max_pairs_per_key: int,
         max_partner_checks: int,
-    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int]:
-        """Algorithms 3/4: 2↔k swap rounds; also returns the peak SC size."""
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
+        """Algorithms 3/4: 2↔k swap rounds; also returns the peak SC size.
+
+        The final element is the oscillation-guard flag, as in
+        :meth:`one_k_swap_pass`.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -160,21 +177,15 @@ def get_backend(name: Optional[str] = None) -> KernelBackend:
 def resolve_backend(name: Optional[str], source) -> KernelBackend:
     """Pick the backend that will actually run against ``source``.
 
-    A backend that requires an in-memory CSR graph (the numpy backend)
-    falls back to the streaming ``python`` reference when the source is a
-    file-backed reader — the semi-external disk path cannot be vectorized
-    without violating the sequential-scan I/O model.
+    When the requested backend cannot execute against ``source`` (per
+    :meth:`KernelBackend.supports`), the streaming ``python`` reference is
+    used instead.  The numpy backend supports in-memory sources and every
+    source exposing block-batched scans (``scan_batches``), which covers
+    the file-backed semi-external path; only custom record-streaming
+    sources without batch support still fall back.
     """
 
     backend = get_backend(name)
-    if backend.requires_in_memory and not _is_in_memory(source):
+    if not backend.supports(source):
         return _REGISTRY["python"]
     return backend
-
-
-def _is_in_memory(source) -> bool:
-    """Whether ``source`` exposes an in-memory CSR graph the kernels can use."""
-
-    from repro.storage.scan import InMemoryAdjacencyScan
-
-    return isinstance(source, InMemoryAdjacencyScan)

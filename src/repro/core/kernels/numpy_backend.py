@@ -1,8 +1,19 @@
 """Vectorized NumPy kernel backend.
 
-The backend runs the paper's algorithms directly against the int64 CSR
-arrays of an in-memory graph.  Every full-graph O(n)/O(E) sweep is an
-ndarray operation:
+The backend runs the paper's algorithms as ndarray sweeps through two
+interchangeable executions:
+
+* **in-memory** — directly against the int64 CSR arrays of an
+  :class:`~repro.storage.scan.InMemoryAdjacencyScan`;
+* **block-batched (semi-external)** — against the
+  :class:`~repro.storage.scan.AdjacencyBatch` chunks a file-backed source
+  yields through ``scan_batches``, so the vectorized kernels run on true
+  adjacency files without materialising the graph.  Per-vertex arrays
+  (states, ISN, counters) stay in memory — the semi-external model — while
+  the edge data streams through in block-sized ndarray fragments, charged
+  to ``IOStats`` exactly like the record-streaming reference.
+
+Every full-graph O(n)/O(E) sweep is an ndarray operation:
 
 * the greedy exclusion writes are fancy-indexed stores into a ``uint8``
   state bitmap;
@@ -10,28 +21,33 @@ ndarray operation:
   ``np.bincount`` over the CSR edge slots, and the identity of a unique
   IS neighbour falls out of a weighted bincount (the sum of IS neighbour
   ids *is* the neighbour when the count is one);
+* the two-k-swap partner search joins candidates against a lexsorted
+  ``(anchor, member)`` ISN index instead of probing per-vertex dicts;
 * pointer counts, swap commits (P→IS, R→N) and set sizes are mask
   operations;
 * the 0↔1 post-swap scan keeps incremental ``count`` / ``sum`` / ``min``
   / ``blocker`` arrays so each scanned vertex costs O(1), with a fancy
-  neighbour update only when a vertex changes state class.
+  neighbour update only when a vertex changes state class.  The batched
+  execution rebuilds the entries of the current chunk's vertices from the
+  live state instead — mathematically the same values, since the
+  incremental updates exist precisely to keep the arrays consistent with
+  the live state.
 
 Only the per-round swap-conflict resolution — which the paper defines
 through the scan order's right of preemption and is therefore inherently
 sequential — stays a scalar loop, and that loop runs over the (usually
 small) pre-filtered "A" candidate subset instead of all n vertices.
 
-Every pass produces results bit-identical to the ``python`` reference
-backend, including the per-round telemetry and the ``IOStats`` counters
-(one ``record_scan`` per logical sweep, one ``record_vertex_lookup`` per
-re-verification lookup).  The property tests in
-``tests/test_kernel_backends.py`` enforce this on randomized graphs.
+Both executions produce results bit-identical to the ``python`` reference
+backend, including the per-round telemetry and the ``IOStats`` counters.
+The property tests in ``tests/test_kernel_backends.py`` and
+``tests/test_semi_external.py`` enforce this on randomized graphs.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, List, Optional, Tuple
+import hashlib
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,6 +55,8 @@ from repro.core.kernels.base import KernelBackend, register_backend
 from repro.core.kernels.sc_store import SwapCandidateStore
 from repro.core.result import RoundStats
 from repro.core.states import VertexState as S
+from repro.errors import SolverError
+from repro.storage.scan import InMemoryAdjacencyScan
 
 __all__ = ["NumpyBackend"]
 
@@ -50,9 +68,23 @@ _PRO = int(S.PROTECTED)
 _CON = int(S.CONFLICT)
 _RET = int(S.RETROGRADE)
 
-#: Chunk size of the greedy scan: vertices already excluded are skipped in
-#: bulk instead of paying one Python iteration each.
+#: Chunk size of the in-memory greedy scan: vertices already excluded are
+#: skipped in bulk instead of paying one Python iteration each.
 _GREEDY_CHUNK = 8192
+
+#: Partner lists at most this long are filtered with the reference's
+#: scalar checks — ndarray ufuncs only pay off once the candidate list is
+#: long enough to amortise their per-call overhead.
+_JOIN_SCALAR_CUTOFF = 16
+
+
+def _fingerprint(*arrays) -> bytes:
+    """Digest of the solver state used by the oscillation guard."""
+
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        digest.update(array.tobytes())
+    return digest.digest()
 
 
 def _int_bincount(values, weights, minlength: int):
@@ -61,68 +93,358 @@ def _int_bincount(values, weights, minlength: int):
     return np.bincount(values, weights=weights, minlength=minlength).astype(np.int64)
 
 
+def _record_min(values, local_offsets, sentinel: int):
+    """Per-record minimum of ``values`` segmented by ``local_offsets``.
+
+    ``values`` holds one entry per CSR slot of the batch; entries that
+    must not participate carry ``sentinel``.  Records with no slots
+    return garbage — callers mask them out via the slot counts.
+    """
+
+    extended = np.append(values, sentinel)
+    return np.minimum.reduceat(extended, local_offsets[:-1])
+
+
+def _local_sources(num_records: int, lens):
+    """Batch-local source index of every CSR slot (``bincount`` key)."""
+
+    return np.repeat(np.arange(num_records, dtype=np.int64), lens)
+
+
+class _TwoKRound:
+    """Per-round context of the two-k pre-swap scan.
+
+    Shared by the in-memory and block-batched executions.  The round
+    bookkeeping the reference builds with per-vertex dict appends — the
+    ``ISN`` membership lists and the single-anchor pointer counts — is
+    built here as one lexsorted ``(anchor, member)`` join, and the partner
+    search over ``members(w1) + members(w2)`` is filtered with vectorized
+    compares instead of per-partner Python checks.  The candidate
+    processing itself mirrors Algorithm 4 line for line.
+    """
+
+    __slots__ = (
+        "state",
+        "isn1",
+        "isn2",
+        "sc",
+        "source",
+        "max_partner_checks",
+        "protected",
+        "one_k_swaps",
+        "two_k_swaps",
+        "max_sc_vertices",
+        "mem_sorted",
+        "mem_starts",
+        "single_count",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        state,
+        isn1,
+        isn2,
+        sc: SwapCandidateStore,
+        source,
+        max_partner_checks: int,
+    ) -> None:
+        self.state = state
+        self.isn1 = isn1
+        self.isn2 = isn2
+        self.sc = sc
+        self.source = source
+        self.max_partner_checks = max_partner_checks
+        self.protected: Set[int] = set()
+        self.one_k_swaps = 0
+        self.two_k_swaps = 0
+        self.max_sc_vertices = 0
+
+        # The membership join: every "A" vertex contributes the pairs
+        # (anchor, vertex) for its one or two IS anchors; sorting by
+        # (anchor, member) yields members(w) as one contiguous ascending
+        # slice per anchor — identical content and order to the
+        # reference's insertion-ordered dict-of-lists.
+        adj_idx = np.flatnonzero(state == _ADJ)
+        first_anchor = isn1[adj_idx]
+        second_anchor = isn2[adj_idx]
+        has_second = second_anchor >= 0
+        anchors = np.concatenate((first_anchor, second_anchor[has_second]))
+        members = np.concatenate((adj_idx, adj_idx[has_second]))
+        order = np.lexsort((members, anchors))
+        self.mem_sorted = members[order]
+        counts = np.bincount(anchors, minlength=num_vertices)
+        self.mem_starts = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.mem_starts[1:])
+        self.single_count = np.bincount(
+            isn1[adj_idx[~has_second]], minlength=num_vertices
+        ).astype(np.int64)
+
+    def processor(self):
+        """Build the per-candidate closure running Algorithm 4.
+
+        Everything hot is captured as a closure variable (not an attribute
+        lookup), matching the cost profile of a fully inlined loop; only
+        the rare counter updates go through ``self``.
+        """
+
+        ctx = self
+        state = self.state
+        isn1 = self.isn1
+        isn2 = self.isn2
+        sc = self.sc
+        source = self.source
+        max_partner_checks = self.max_partner_checks
+        protected = self.protected
+        single_count = self.single_count
+        mem_sorted = self.mem_sorted
+        mem_starts = self.mem_starts
+
+        def members(anchor: int):
+            return mem_sorted[mem_starts[anchor] : mem_starts[anchor + 1]]
+
+        def leaves_adjacent(vertex: int) -> None:
+            if isn2[vertex] < 0 and isn1[vertex] >= 0:
+                single_count[isn1[vertex]] -= 1
+
+        def verify_no_protected_neighbor(vertex: int) -> bool:
+            if not protected:
+                return True
+            neighborhood = source.neighbors(vertex)
+            return not any(u in protected for u in neighborhood)
+
+        def process(v: int, nbrs) -> None:
+            """Algorithm 4 for one scanned "A" candidate with neighbours ``nbrs``."""
+
+            w1 = int(isn1[v])
+            w2 = int(isn2[v])
+            nstate = state[nbrs]
+            neighbor_set = None
+
+            # Algorithm 4 line 1-2: record swap candidates via the join.
+            # Short partner lists are filtered with the reference's scalar
+            # checks, long ones with vectorized compares — identical
+            # outcomes, different constant factors.
+            if w2 >= 0 and state[w1] == _IS and state[w2] == _IS:
+                key = frozenset((w1, w2))
+                first_members = members(w1)
+                second_members = members(w2)
+                total = first_members.size + second_members.size
+                if 0 < total <= _JOIN_SCALAR_CUTOFF:
+                    neighbor_set = set(nbrs.tolist())
+                    checked = 0
+                    for partner in first_members.tolist() + second_members.tolist():
+                        if checked >= max_partner_checks:
+                            break
+                        checked += 1
+                        if partner == v or partner in neighbor_set:
+                            continue
+                        if state[partner] != _ADJ:
+                            continue
+                        p1 = isn1[partner]
+                        p2 = isn2[partner]
+                        if p1 != w1 and p1 != w2:
+                            continue
+                        if p2 >= 0 and p2 != w1 and p2 != w2:
+                            continue
+                        sc.add(key, (v, partner))
+                elif total:
+                    partners = np.concatenate((first_members, second_members))
+                    if partners.size > max_partner_checks:
+                        partners = partners[:max_partner_checks]
+                    keep = (partners != v) & (state[partners] == _ADJ)
+                    p1 = isn1[partners]
+                    p2 = isn2[partners]
+                    keep &= (p1 == w1) | (p1 == w2)
+                    keep &= (p2 < 0) | (p2 == w1) | (p2 == w2)
+                    if keep.any():
+                        keep &= ~np.isin(partners, nbrs)
+                        for partner in partners[keep].tolist():
+                            sc.add(key, (v, partner))
+                ctx.max_sc_vertices = max(ctx.max_sc_vertices, sc.peak_vertices)
+
+            # Algorithm 4 line 3-4: conflict with an earlier P vertex.
+            if (nstate == _PRO).any():
+                state[v] = _CON
+                leaves_adjacent(v)
+                return
+
+            # Algorithm 4 line 5-8: complete a 2-3 swap skeleton.
+            if w2 >= 0:
+                candidate_keys = [frozenset((w1, w2))]
+            else:
+                candidate_keys = list(sc.keys_for_anchor(w1))
+            promoted = False
+            for key in candidate_keys:
+                kl, kh = sorted(key)
+                if state[kl] != _IS or state[kh] != _IS:
+                    continue
+                for first_v, second_v in sc.pairs(key):
+                    if v in (first_v, second_v):
+                        continue
+                    if neighbor_set is None:
+                        neighbor_set = set(nbrs.tolist())
+                    if first_v in neighbor_set or second_v in neighbor_set:
+                        continue
+                    if state[first_v] != _ADJ or state[second_v] != _ADJ:
+                        continue
+                    # isn[first] == key, isn[second] <= key.
+                    if isn1[first_v] != kl or isn2[first_v] != kh:
+                        continue
+                    s1 = isn1[second_v]
+                    s2 = isn2[second_v]
+                    if s1 != kl and s1 != kh:
+                        continue
+                    if s2 >= 0 and s2 != kl and s2 != kh:
+                        continue
+                    if not (
+                        verify_no_protected_neighbor(first_v)
+                        and verify_no_protected_neighbor(second_v)
+                    ):
+                        continue
+                    for member in (v, first_v, second_v):
+                        state[member] = _PRO
+                        leaves_adjacent(member)
+                        protected.add(member)
+                    state[kl] = _RET
+                    state[kh] = _RET
+                    sc.free(key)
+                    ctx.two_k_swaps += 1
+                    promoted = True
+                    break
+                if promoted:
+                    break
+            if promoted:
+                return
+
+            # Algorithm 4 line 9-10: fall back to a 1-2 swap skeleton.
+            if w2 < 0:
+                if state[w1] == _IS:
+                    adjacent_partners = int(
+                        ((nstate == _ADJ) & (isn1[nbrs] == w1) & (isn2[nbrs] < 0)).sum()
+                    )
+                    if single_count[w1] - 1 - adjacent_partners > 0:
+                        state[v] = _PRO
+                        protected.add(v)
+                        state[w1] = _RET
+                        leaves_adjacent(v)
+                        ctx.one_k_swaps += 1
+                        return
+
+            # Algorithm 4 line 11-12: all IS neighbours already retrograde.
+            if state[w1] == _RET and (w2 < 0 or state[w2] == _RET):
+                state[v] = _PRO
+                protected.add(v)
+                leaves_adjacent(v)
+
+        return process
+
+
 class NumpyBackend(KernelBackend):
-    """Vectorized kernels over the in-memory CSR arrays."""
+    """Vectorized kernels over in-memory CSR arrays or block-batched scans."""
 
     name = "numpy"
-    requires_in_memory = True
+
+    def supports(self, source) -> bool:
+        """In-memory sources and every source with block-batched scans."""
+
+        return isinstance(source, InMemoryAdjacencyScan) or hasattr(
+            source, "scan_batches"
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1: greedy.
     # ------------------------------------------------------------------
     def greedy_pass(self, source) -> FrozenSet[int]:
+        if isinstance(source, InMemoryAdjacencyScan):
+            return self._greedy_in_memory(source)
+        return self._greedy_batched(source)
+
+    @staticmethod
+    def _greedy_commit(state, rank_of, cand, lens, nbrs) -> None:
+        """Resolve one chunk of still-initial candidates and commit it.
+
+        The greedy scan is sequential by definition — a vertex joins the
+        set only if no earlier neighbour did — but the sequential
+        dependency is *local*: a candidate that is still unexcluded when
+        its chunk starts can only be rejected by an earlier candidate of
+        the same chunk (an accepted vertex from an earlier chunk would
+        already have excluded it).  So the (rare) intra-chunk conflicts
+        are resolved with a scalar fold over the chunk-internal edges
+        only, and acceptances/exclusions then commit as two fancy stores
+        — a neighbour of an accepted vertex can never itself be accepted,
+        so the exclusion store needs no mask.
+        """
+
+        c = cand.size
+        rank_of[cand] = np.arange(c, dtype=np.int64)
+        nbr_rank = rank_of[nbrs]
+        rank_of[cand] = -1
+
+        accepted = np.ones(c, dtype=bool)
+        internal = nbr_rank >= 0
+        if internal.any():
+            src_rank = np.repeat(np.arange(c, dtype=np.int64), lens)[internal]
+            dst_rank = nbr_rank[internal]
+            earlier = dst_rank < src_rank
+            # Edges arrive sorted by source rank, so each source sees
+            # the final verdict of all earlier ranks.
+            flags: List[bool] = accepted.tolist()
+            for s, d in zip(src_rank[earlier].tolist(), dst_rank[earlier].tolist()):
+                if flags[d] and flags[s]:
+                    flags[s] = False
+            accepted = np.asarray(flags, dtype=bool)
+
+        state[cand[accepted]] = 1
+        state[nbrs[np.repeat(accepted, lens)]] = 2
+
+    def _greedy_in_memory(self, source) -> FrozenSet[int]:
         graph = source.graph
         offsets, targets = graph.csr_arrays()
         order = source.order_array()
         n = graph.num_vertices
         state = np.zeros(n, dtype=np.uint8)
 
-        # The greedy scan is sequential by definition — a vertex joins the
-        # set only if no earlier neighbour did — but the sequential
-        # dependency is *local*: a candidate that is still unexcluded when
-        # its chunk starts can only be rejected by an earlier candidate of
-        # the same chunk (an accepted vertex from an earlier chunk would
-        # already have excluded it).  So the scan runs chunk-wise: gather
-        # the still-initial candidates, pull their neighbourhoods out of
-        # the CSR arrays in one shot, and resolve the (rare) intra-chunk
-        # conflicts with a scalar fold over the chunk-internal edges only.
-        # Acceptances and exclusions then commit as two fancy stores — a
-        # neighbour of an accepted vertex can never itself be accepted, so
-        # the exclusion store needs no mask.
         rank_of = np.full(n, -1, dtype=np.int64)
         for start in range(0, order.size, _GREEDY_CHUNK):
             chunk = order[start : start + _GREEDY_CHUNK]
             cand = chunk[state[chunk] == 0]
-            c = cand.size
-            if c == 0:
+            if cand.size == 0:
                 continue
             lens = offsets[cand + 1] - offsets[cand]
             cum = np.concatenate(([0], np.cumsum(lens)))
             gather = np.arange(cum[-1], dtype=np.int64) + np.repeat(
                 offsets[cand] - cum[:-1], lens
             )
-            nbrs = targets[gather]
-            rank_of[cand] = np.arange(c, dtype=np.int64)
-            nbr_rank = rank_of[nbrs]
-            rank_of[cand] = -1
-
-            accepted = np.ones(c, dtype=bool)
-            internal = nbr_rank >= 0
-            if internal.any():
-                src_rank = np.repeat(np.arange(c, dtype=np.int64), lens)[internal]
-                dst_rank = nbr_rank[internal]
-                earlier = dst_rank < src_rank
-                # Edges arrive sorted by source rank, so each source sees
-                # the final verdict of all earlier ranks.
-                flags: List[bool] = accepted.tolist()
-                for s, d in zip(src_rank[earlier].tolist(), dst_rank[earlier].tolist()):
-                    if flags[d] and flags[s]:
-                        flags[s] = False
-                accepted = np.asarray(flags, dtype=bool)
-
-            state[cand[accepted]] = 1
-            state[nbrs[np.repeat(accepted, lens)]] = 2
+            self._greedy_commit(state, rank_of, cand, lens, targets[gather])
         source.stats.record_scan()
+
+        return frozenset(np.flatnonzero(state == 1).tolist())
+
+    def _greedy_batched(self, source) -> FrozenSet[int]:
+        """Greedy over block-batched chunks; the batch is the scan chunk."""
+
+        n = source.num_vertices
+        state = np.zeros(n, dtype=np.uint8)
+        rank_of = np.full(n, -1, dtype=np.int64)
+        for verts, local_offsets, tgts in source.scan_batches():
+            if verts.size and (int(verts.max()) >= n or int(verts.min()) < 0):
+                bad = verts[(verts >= n) | (verts < 0)][0]
+                raise SolverError(
+                    f"scan produced vertex {int(bad)} outside the declared range of "
+                    f"{n} vertices"
+                )
+            mask = state[verts] == 0
+            if not mask.any():
+                continue
+            cand = verts[mask]
+            lens = (local_offsets[1:] - local_offsets[:-1])[mask]
+            cum = np.concatenate(([0], np.cumsum(lens)))
+            gather = np.arange(cum[-1], dtype=np.int64) + np.repeat(
+                local_offsets[:-1][mask] - cum[:-1], lens
+            )
+            self._greedy_commit(state, rank_of, cand, lens, tgts[gather])
+        # scan_batches charges the sequential scan on exhaustion.
 
         return frozenset(np.flatnonzero(state == 1).tolist())
 
@@ -134,37 +456,55 @@ class NumpyBackend(KernelBackend):
         source,
         initial_set: FrozenSet[int],
         max_rounds: Optional[int],
-    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...]]:
-        graph = source.graph
-        offsets, targets = graph.csr_arrays()
-        edge_src = graph.edge_sources_array()
-        order = source.order_array()
-        n = graph.num_vertices
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
+        in_memory = isinstance(source, InMemoryAdjacencyScan)
+        n = source.num_vertices
 
         state = np.full(n, _NON, dtype=np.uint8)
         if initial_set:
             state[np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))] = _IS
         isn = np.full(n, -1, dtype=np.int64)
 
-        # Lines 1-3 (vectorized): count the IS neighbours of every vertex
-        # with one bincount over the CSR slots; where the count is exactly
-        # one, the weighted sum of IS neighbour ids is that neighbour.
-        is_slot = state[targets] == _IS
-        src_sel = edge_src[is_slot]
-        cnt = np.bincount(src_sel, minlength=n)
-        nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
-        a_mask = (state != _IS) & (cnt == 1)
-        state[a_mask] = _ADJ
-        isn[a_mask] = nbr_sum[a_mask]
-        source.stats.record_scan()
+        if in_memory:
+            graph = source.graph
+            offsets, targets = graph.csr_arrays()
+            edge_src = graph.edge_sources_array()
+            order = source.order_array()
+
+            # Lines 1-3 (vectorized): count the IS neighbours of every
+            # vertex with one bincount over the CSR slots; where the count
+            # is exactly one, the weighted sum of IS neighbour ids is that
+            # neighbour.
+            is_slot = state[targets] == _IS
+            src_sel = edge_src[is_slot]
+            cnt = np.bincount(src_sel, minlength=n)
+            nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
+            a_mask = (state != _IS) & (cnt == 1)
+            state[a_mask] = _ADJ
+            isn[a_mask] = nbr_sum[a_mask]
+            source.stats.record_scan()
+        else:
+            # Same labelling, one block-batched chunk at a time.
+            for verts, local_offsets, tgts in source.scan_batches():
+                lens = local_offsets[1:] - local_offsets[:-1]
+                local_src = _local_sources(verts.size, lens)
+                is_slot = state[tgts] == _IS
+                src_sel = local_src[is_slot]
+                cnt = np.bincount(src_sel, minlength=verts.size)
+                nbr_sum = _int_bincount(src_sel, tgts[is_slot], verts.size)
+                a_mask = (state[verts] != _IS) & (cnt == 1)
+                adjacent = verts[a_mask]
+                state[adjacent] = _ADJ
+                isn[adjacent] = nbr_sum[a_mask]
 
         rounds: List[RoundStats] = []
         current_size = len(initial_set)
         can_swap = True
+        oscillation = False
+        history = {_fingerprint(state, isn)} if max_rounds is None else None
 
         while can_swap and (max_rounds is None or len(rounds) < max_rounds):
             can_swap = False
-            one_k_swaps = 0
             zero_one_swaps = 0
 
             # |ISN^-1(w)| for every IS vertex w, as one bincount.
@@ -182,37 +522,19 @@ class NumpyBackend(KernelBackend):
             # other "A" vertex is mutated by a candidate's processing, so
             # the pre-filter stays exact for the whole sweep.
             # ----------------------------------------------------------
-            for v in order[state[order] == _ADJ].tolist():
-                anchor = isn[v]
-                if anchor < 0:  # pragma: no cover - defensive only
-                    state[v] = _NON
-                    continue
-                nbrs = targets[offsets[v] : offsets[v + 1]]
-                nstate = state[nbrs]
-
-                if (nstate == _PRO).any():
-                    # Case (i): conflict with an earlier swap candidate.
-                    state[v] = _CON
-                    pointer_count[anchor] -= 1
-                    continue
-
-                anchor_state = state[anchor]
-                if anchor_state == _IS:
-                    # Case (ii): does a 1-2 swap skeleton exist?
-                    adjacent_partners = int(
-                        ((nstate == _ADJ) & (isn[nbrs] == anchor)).sum()
-                    )
-                    if pointer_count[anchor] - 1 - adjacent_partners > 0:
-                        state[v] = _PRO
-                        state[anchor] = _RET
-                        pointer_count[anchor] -= 1
-                        continue
-
-                if anchor_state == _RET:
-                    # Case (iii): complete the swap started by an earlier vertex.
-                    state[v] = _PRO
-                    pointer_count[anchor] -= 1
-            source.stats.record_scan()
+            process = self._one_k_processor(state, isn, pointer_count)
+            if in_memory:
+                for v in order[state[order] == _ADJ].tolist():
+                    process(v, targets[offsets[v] : offsets[v + 1]])
+                source.stats.record_scan()
+            else:
+                for verts, local_offsets, tgts in source.scan_batches():
+                    vertex_list = verts.tolist()
+                    offset_list = local_offsets.tolist()
+                    for i in np.flatnonzero(state[verts] == _ADJ).tolist():
+                        process(
+                            vertex_list[i], tgts[offset_list[i] : offset_list[i + 1]]
+                        )
 
             # Swap phase (lines 15-19), fully vectorized.
             retro = state == _RET
@@ -227,36 +549,80 @@ class NumpyBackend(KernelBackend):
             # then costs O(1) per vertex, updating the incremental arrays
             # with one fancy store only when a vertex changes class.
             # `blocker` counts neighbours whose state blocks a 0-1 swap
-            # (IS or A — P and R cannot exist after the swap phase).
+            # (IS or A — P and R cannot exist after the swap phase).  The
+            # batched execution rebuilds the current chunk's entries from
+            # the live state instead — the same values by construction.
             # ----------------------------------------------------------
-            is_slot = state[targets] == _IS
-            src_sel = edge_src[is_slot]
-            cnt = np.bincount(src_sel, minlength=n).astype(np.int64)
-            nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
-            blocker_slot = is_slot | (state[targets] == _ADJ)
-            blocker = np.bincount(edge_src[blocker_slot], minlength=n).astype(np.int64)
+            if in_memory:
+                is_slot = state[targets] == _IS
+                src_sel = edge_src[is_slot]
+                cnt = np.bincount(src_sel, minlength=n).astype(np.int64)
+                nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
+                blocker_slot = is_slot | (state[targets] == _ADJ)
+                blocker = np.bincount(edge_src[blocker_slot], minlength=n).astype(
+                    np.int64
+                )
 
-            for v in order[state[order] != _IS].tolist():
-                old = state[v]
-                if cnt[v] == 1:
-                    state[v] = _ADJ
-                    isn[v] = nbr_sum[v]
-                    if old != _ADJ:
-                        blocker[targets[offsets[v] : offsets[v + 1]]] += 1
-                else:
-                    state[v] = _NON
-                    isn[v] = -1
-                    if old == _ADJ:
-                        blocker[targets[offsets[v] : offsets[v + 1]]] -= 1
-                    if blocker[v] == 0:
-                        # 0-1 swap: no neighbour is IS or A.
-                        state[v] = _IS
-                        zero_one_swaps += 1
-                        nbrs = targets[offsets[v] : offsets[v + 1]]
-                        cnt[nbrs] += 1
-                        nbr_sum[nbrs] += v
-                        blocker[nbrs] += 1
-            source.stats.record_scan()
+                for v in order[state[order] != _IS].tolist():
+                    old = state[v]
+                    if cnt[v] == 1:
+                        state[v] = _ADJ
+                        isn[v] = nbr_sum[v]
+                        if old != _ADJ:
+                            blocker[targets[offsets[v] : offsets[v + 1]]] += 1
+                    else:
+                        state[v] = _NON
+                        isn[v] = -1
+                        if old == _ADJ:
+                            blocker[targets[offsets[v] : offsets[v + 1]]] -= 1
+                        if blocker[v] == 0:
+                            # 0-1 swap: no neighbour is IS or A.
+                            state[v] = _IS
+                            zero_one_swaps += 1
+                            nbrs = targets[offsets[v] : offsets[v + 1]]
+                            cnt[nbrs] += 1
+                            nbr_sum[nbrs] += v
+                            blocker[nbrs] += 1
+                source.stats.record_scan()
+            else:
+                cnt = np.zeros(n, dtype=np.int64)
+                nbr_sum = np.zeros(n, dtype=np.int64)
+                blocker = np.zeros(n, dtype=np.int64)
+                for verts, local_offsets, tgts in source.scan_batches():
+                    lens = local_offsets[1:] - local_offsets[:-1]
+                    local_src = _local_sources(verts.size, lens)
+                    is_slot = state[tgts] == _IS
+                    src_sel = local_src[is_slot]
+                    cnt[verts] = np.bincount(src_sel, minlength=verts.size)
+                    nbr_sum[verts] = _int_bincount(src_sel, tgts[is_slot], verts.size)
+                    blocker[verts] = np.bincount(
+                        local_src[is_slot | (state[tgts] == _ADJ)],
+                        minlength=verts.size,
+                    )
+                    vertex_list = verts.tolist()
+                    offset_list = local_offsets.tolist()
+                    # Mirror of the in-memory post-swap body above, with
+                    # neighbour slices taken from the batch fragment.
+                    for i in np.flatnonzero(state[verts] != _IS).tolist():
+                        v = vertex_list[i]
+                        old = state[v]
+                        if cnt[v] == 1:
+                            state[v] = _ADJ
+                            isn[v] = nbr_sum[v]
+                            if old != _ADJ:
+                                blocker[tgts[offset_list[i] : offset_list[i + 1]]] += 1
+                        else:
+                            state[v] = _NON
+                            isn[v] = -1
+                            if old == _ADJ:
+                                blocker[tgts[offset_list[i] : offset_list[i + 1]]] -= 1
+                            if blocker[v] == 0:
+                                state[v] = _IS
+                                zero_one_swaps += 1
+                                nbrs = tgts[offset_list[i] : offset_list[i + 1]]
+                                cnt[nbrs] += 1
+                                nbr_sum[nbrs] += v
+                                blocker[nbrs] += 1
 
             new_size = int((state == _IS).sum())
             rounds.append(
@@ -271,6 +637,13 @@ class NumpyBackend(KernelBackend):
             )
             current_size = new_size
 
+            if history is not None and can_swap:
+                fingerprint = _fingerprint(state, isn)
+                if fingerprint in history:
+                    oscillation = True
+                    break
+                history.add(fingerprint)
+
         completion_gain = self._completion_pass(source, state)
         if completion_gain and rounds:
             last = rounds[-1]
@@ -284,7 +657,46 @@ class NumpyBackend(KernelBackend):
             )
 
         independent_set = frozenset(np.flatnonzero(state == _IS).tolist())
-        return independent_set, tuple(rounds)
+        return independent_set, tuple(rounds), oscillation
+
+    @staticmethod
+    def _one_k_processor(state, isn, pointer_count):
+        """Per-candidate closure for Algorithm 2 lines 7-14.
+
+        Shared by the in-memory and block-batched pre-swap scans; the hot
+        arrays are closure variables, so calling it costs the same as the
+        inlined loop body.
+        """
+
+        def process(v, nbrs) -> None:
+            anchor = isn[v]
+            if anchor < 0:  # pragma: no cover - defensive only
+                state[v] = _NON
+                return
+            nstate = state[nbrs]
+
+            if (nstate == _PRO).any():
+                # Case (i): conflict with an earlier swap candidate.
+                state[v] = _CON
+                pointer_count[anchor] -= 1
+                return
+
+            anchor_state = state[anchor]
+            if anchor_state == _IS:
+                # Case (ii): does a 1-2 swap skeleton exist?
+                adjacent_partners = int(((nstate == _ADJ) & (isn[nbrs] == anchor)).sum())
+                if pointer_count[anchor] - 1 - adjacent_partners > 0:
+                    state[v] = _PRO
+                    state[anchor] = _RET
+                    pointer_count[anchor] -= 1
+                    return
+
+            if anchor_state == _RET:
+                # Case (iii): complete the swap started by an earlier vertex.
+                state[v] = _PRO
+                pointer_count[anchor] -= 1
+
+        return process
 
     # ------------------------------------------------------------------
     # Algorithms 3 & 4: two-k-swap.
@@ -296,12 +708,9 @@ class NumpyBackend(KernelBackend):
         max_rounds: Optional[int],
         max_pairs_per_key: int,
         max_partner_checks: int,
-    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int]:
-        graph = source.graph
-        offsets, targets = graph.csr_arrays()
-        edge_src = graph.edge_sources_array()
-        order = source.order_array()
-        n = graph.num_vertices
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
+        in_memory = isinstance(source, InMemoryAdjacencyScan)
+        n = source.num_vertices
 
         state = np.full(n, _NON, dtype=np.uint8)
         if initial_set:
@@ -310,170 +719,91 @@ class NumpyBackend(KernelBackend):
         isn1 = np.full(n, -1, dtype=np.int64)
         isn2 = np.full(n, -1, dtype=np.int64)
 
-        # Lines 1-3 (vectorized): per-vertex IS-neighbour count via
-        # bincount; the one-or-two neighbour ids are read off the sorted
-        # IS slot list with a searchsorted first-occurrence index.
-        is_slot = state[targets] == _IS
-        src_sel = edge_src[is_slot]
-        tgt_sel = targets[is_slot]
-        cnt = np.bincount(src_sel, minlength=n)
-        first = np.searchsorted(src_sel, np.arange(n, dtype=np.int64), side="left")
-        a_mask = (state != _IS) & (cnt >= 1) & (cnt <= 2)
-        state[a_mask] = _ADJ
-        isn1[a_mask] = tgt_sel[first[a_mask]]
-        two_mask = a_mask & (cnt == 2)
-        isn2[two_mask] = tgt_sel[first[two_mask] + 1]
-        source.stats.record_scan()
+        if in_memory:
+            graph = source.graph
+            offsets, targets = graph.csr_arrays()
+            edge_src = graph.edge_sources_array()
+            order = source.order_array()
+
+            # Lines 1-3 (vectorized): per-vertex IS-neighbour count via
+            # bincount; the one-or-two neighbour ids are read off the
+            # sorted IS slot list with a searchsorted first-occurrence
+            # index.
+            is_slot = state[targets] == _IS
+            src_sel = edge_src[is_slot]
+            tgt_sel = targets[is_slot]
+            cnt = np.bincount(src_sel, minlength=n)
+            first = np.searchsorted(src_sel, np.arange(n, dtype=np.int64), side="left")
+            a_mask = (state != _IS) & (cnt >= 1) & (cnt <= 2)
+            state[a_mask] = _ADJ
+            isn1[a_mask] = tgt_sel[first[a_mask]]
+            two_mask = a_mask & (cnt == 2)
+            isn2[two_mask] = tgt_sel[first[two_mask] + 1]
+            source.stats.record_scan()
+        else:
+            # Same labelling per batch; with neighbour lists in arbitrary
+            # record order the smaller id comes from a per-record minimum,
+            # the larger from the id sum.
+            for verts, local_offsets, tgts in source.scan_batches():
+                lens = local_offsets[1:] - local_offsets[:-1]
+                local_src = _local_sources(verts.size, lens)
+                is_slot = state[tgts] == _IS
+                src_sel = local_src[is_slot]
+                cnt = np.bincount(src_sel, minlength=verts.size)
+                nbr_sum = _int_bincount(src_sel, tgts[is_slot], verts.size)
+                nbr_min = _record_min(np.where(is_slot, tgts, n), local_offsets, n)
+                a_mask = (state[verts] != _IS) & (cnt >= 1) & (cnt <= 2)
+                state[verts[a_mask]] = _ADJ
+                one_mask = a_mask & (cnt == 1)
+                isn1[verts[one_mask]] = nbr_sum[one_mask]
+                two_mask = a_mask & (cnt == 2)
+                low = nbr_min[two_mask]
+                isn1[verts[two_mask]] = low
+                isn2[verts[two_mask]] = nbr_sum[two_mask] - low
 
         rounds: List[RoundStats] = []
         current_size = len(initial_set)
         can_swap = True
         max_sc_vertices = 0
+        oscillation = False
+        history = {_fingerprint(state, isn1, isn2)} if max_rounds is None else None
 
         while can_swap and (max_rounds is None or len(rounds) < max_rounds):
             can_swap = False
-            one_k_swaps = 0
-            two_k_swaps = 0
             zero_one_swaps = 0
 
             sc = SwapCandidateStore(max_pairs_per_key=max_pairs_per_key)
-            protected_this_round: set = set()
-
-            # Per-anchor bookkeeping, rebuilt vectorized at round start.
-            adj_idx = np.flatnonzero(state == _ADJ)
-            single_idx = adj_idx[isn2[adj_idx] < 0]
-            single_count = np.bincount(isn1[single_idx], minlength=n).astype(np.int64)
-            members: Dict[int, List[int]] = defaultdict(list)
-            for v, w1, w2 in zip(
-                adj_idx.tolist(), isn1[adj_idx].tolist(), isn2[adj_idx].tolist()
-            ):
-                members[w1].append(v)
-                if w2 >= 0:
-                    members[w2].append(v)
-
-            def _leaves_adjacent(vertex: int) -> None:
-                if isn2[vertex] < 0 and isn1[vertex] >= 0:
-                    single_count[isn1[vertex]] -= 1
-
-            def _verify_no_protected_neighbor(vertex: int) -> bool:
-                if not protected_this_round:
-                    return True
-                neighborhood = source.neighbors(vertex)
-                return not any(u in protected_this_round for u in neighborhood)
+            round_ctx = _TwoKRound(
+                n, state, isn1, isn2, sc, source, max_partner_checks
+            )
+            process = round_ctx.processor()
 
             # ----------------------------------------------------------
             # Pre-swap scan (Algorithm 4).  Scalar over the "A" candidate
             # subset: skeleton promotions can flip later candidates to P,
             # hence the state re-check per vertex.
             # ----------------------------------------------------------
-            for v in order[state[order] == _ADJ].tolist():
-                if state[v] != _ADJ:
-                    continue
-                w1 = int(isn1[v])
-                w2 = int(isn2[v])
-                nbrs = targets[offsets[v] : offsets[v + 1]]
-                nstate = state[nbrs]
-                neighbor_set = set(nbrs.tolist())
-
-                # Algorithm 4 line 1-2: record swap candidates.
-                if w2 >= 0 and state[w1] == _IS and state[w2] == _IS:
-                    key = frozenset((w1, w2))
-                    checked = 0
-                    for partner in members[w1] + members[w2]:
-                        if checked >= max_partner_checks:
-                            break
-                        checked += 1
-                        if partner == v or partner in neighbor_set:
-                            continue
-                        if state[partner] != _ADJ:
-                            continue
-                        p1 = isn1[partner]
-                        p2 = isn2[partner]
-                        if p1 != w1 and p1 != w2:
-                            continue
-                        if p2 >= 0 and p2 != w1 and p2 != w2:
-                            continue
-                        sc.add(key, (v, partner))
-                    max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
-
-                # Algorithm 4 line 3-4: conflict with an earlier P vertex.
-                if (nstate == _PRO).any():
-                    state[v] = _CON
-                    _leaves_adjacent(v)
-                    continue
-
-                # Algorithm 4 line 5-8: complete a 2-3 swap skeleton.
-                if w2 >= 0:
-                    candidate_keys = [frozenset((w1, w2))]
-                else:
-                    candidate_keys = list(sc.keys_for_anchor(w1))
-                promoted = False
-                for key in candidate_keys:
-                    kl, kh = sorted(key)
-                    if state[kl] != _IS or state[kh] != _IS:
+            if in_memory:
+                for v in order[state[order] == _ADJ].tolist():
+                    if state[v] != _ADJ:
                         continue
-                    for first_v, second_v in sc.pairs(key):
-                        if v in (first_v, second_v):
+                    process(v, targets[offsets[v] : offsets[v + 1]])
+                source.stats.record_scan()
+            else:
+                for verts, local_offsets, tgts in source.scan_batches():
+                    vertex_list = verts.tolist()
+                    offset_list = local_offsets.tolist()
+                    for i in np.flatnonzero(state[verts] == _ADJ).tolist():
+                        v = vertex_list[i]
+                        if state[v] != _ADJ:
                             continue
-                        if first_v in neighbor_set or second_v in neighbor_set:
-                            continue
-                        if state[first_v] != _ADJ or state[second_v] != _ADJ:
-                            continue
-                        # isn[first] == key, isn[second] <= key.
-                        if isn1[first_v] != kl or isn2[first_v] != kh:
-                            continue
-                        s1 = isn1[second_v]
-                        s2 = isn2[second_v]
-                        if s1 != kl and s1 != kh:
-                            continue
-                        if s2 >= 0 and s2 != kl and s2 != kh:
-                            continue
-                        if not (
-                            _verify_no_protected_neighbor(first_v)
-                            and _verify_no_protected_neighbor(second_v)
-                        ):
-                            continue
-                        for member in (v, first_v, second_v):
-                            state[member] = _PRO
-                            _leaves_adjacent(member)
-                            protected_this_round.add(member)
-                        state[kl] = _RET
-                        state[kh] = _RET
-                        sc.free(key)
-                        two_k_swaps += 1
-                        promoted = True
-                        break
-                    if promoted:
-                        break
-                if promoted:
-                    continue
+                        process(v, tgts[offset_list[i] : offset_list[i + 1]])
 
-                # Algorithm 4 line 9-10: fall back to a 1-2 swap skeleton.
-                if w2 < 0:
-                    if state[w1] == _IS:
-                        adjacent_partners = int(
-                            (
-                                (nstate == _ADJ)
-                                & (isn1[nbrs] == w1)
-                                & (isn2[nbrs] < 0)
-                            ).sum()
-                        )
-                        if single_count[w1] - 1 - adjacent_partners > 0:
-                            state[v] = _PRO
-                            protected_this_round.add(v)
-                            state[w1] = _RET
-                            _leaves_adjacent(v)
-                            one_k_swaps += 1
-                            continue
-
-                # Algorithm 4 line 11-12: all IS neighbours already retrograde.
-                if state[w1] == _RET and (w2 < 0 or state[w2] == _RET):
-                    state[v] = _PRO
-                    protected_this_round.add(v)
-                    _leaves_adjacent(v)
-            source.stats.record_scan()
-
-            max_sc_vertices = max(max_sc_vertices, sc.peak_vertices)
+            one_k_swaps = round_ctx.one_k_swaps
+            two_k_swaps = round_ctx.two_k_swaps
+            max_sc_vertices = max(
+                max_sc_vertices, round_ctx.max_sc_vertices, sc.peak_vertices
+            )
 
             # Swap phase (Algorithm 3 lines 10-14), fully vectorized.
             retro = state == _RET
@@ -486,48 +816,107 @@ class NumpyBackend(KernelBackend):
             # count / sum / min arrays give the one-or-two IS neighbour
             # identities in O(1) per scanned vertex.
             # ----------------------------------------------------------
-            is_slot = state[targets] == _IS
-            src_sel = edge_src[is_slot]
-            tgt_sel = targets[is_slot]
-            cnt = np.bincount(src_sel, minlength=n).astype(np.int64)
-            nbr_sum = _int_bincount(src_sel, tgt_sel, n)
-            first = np.searchsorted(src_sel, np.arange(n, dtype=np.int64), side="left")
-            nbr_min = np.full(n, n, dtype=np.int64)  # n acts as +infinity
-            has_is = cnt >= 1
-            nbr_min[has_is] = tgt_sel[first[has_is]]
-            blocker_slot = is_slot | (state[targets] == _ADJ)
-            blocker = np.bincount(edge_src[blocker_slot], minlength=n).astype(np.int64)
+            if in_memory:
+                is_slot = state[targets] == _IS
+                src_sel = edge_src[is_slot]
+                tgt_sel = targets[is_slot]
+                cnt = np.bincount(src_sel, minlength=n).astype(np.int64)
+                nbr_sum = _int_bincount(src_sel, tgt_sel, n)
+                first = np.searchsorted(
+                    src_sel, np.arange(n, dtype=np.int64), side="left"
+                )
+                nbr_min = np.full(n, n, dtype=np.int64)  # n acts as +infinity
+                has_is = cnt >= 1
+                nbr_min[has_is] = tgt_sel[first[has_is]]
+                blocker_slot = is_slot | (state[targets] == _ADJ)
+                blocker = np.bincount(edge_src[blocker_slot], minlength=n).astype(
+                    np.int64
+                )
 
-            for v in order[state[order] != _IS].tolist():
-                old = state[v]
-                c = cnt[v]
-                if 1 <= c <= 2:
-                    state[v] = _ADJ
-                    if c == 1:
-                        isn1[v] = nbr_sum[v]
-                        isn2[v] = -1
+                for v in order[state[order] != _IS].tolist():
+                    old = state[v]
+                    c = cnt[v]
+                    if 1 <= c <= 2:
+                        state[v] = _ADJ
+                        if c == 1:
+                            isn1[v] = nbr_sum[v]
+                            isn2[v] = -1
+                        else:
+                            low = nbr_min[v]
+                            isn1[v] = low
+                            isn2[v] = nbr_sum[v] - low
+                        if old != _ADJ:
+                            blocker[targets[offsets[v] : offsets[v + 1]]] += 1
                     else:
-                        low = nbr_min[v]
-                        isn1[v] = low
-                        isn2[v] = nbr_sum[v] - low
-                    if old != _ADJ:
-                        blocker[targets[offsets[v] : offsets[v + 1]]] += 1
-                else:
-                    state[v] = _NON
-                    isn1[v] = -1
-                    isn2[v] = -1
-                    if old == _ADJ:
-                        blocker[targets[offsets[v] : offsets[v + 1]]] -= 1
-                    if blocker[v] == 0:
-                        # 0-1 swap: no neighbour is IS or A.
-                        state[v] = _IS
-                        zero_one_swaps += 1
-                        nbrs = targets[offsets[v] : offsets[v + 1]]
-                        cnt[nbrs] += 1
-                        nbr_sum[nbrs] += v
-                        nbr_min[nbrs] = np.minimum(nbr_min[nbrs], v)
-                        blocker[nbrs] += 1
-            source.stats.record_scan()
+                        state[v] = _NON
+                        isn1[v] = -1
+                        isn2[v] = -1
+                        if old == _ADJ:
+                            blocker[targets[offsets[v] : offsets[v + 1]]] -= 1
+                        if blocker[v] == 0:
+                            # 0-1 swap: no neighbour is IS or A.
+                            state[v] = _IS
+                            zero_one_swaps += 1
+                            nbrs = targets[offsets[v] : offsets[v + 1]]
+                            cnt[nbrs] += 1
+                            nbr_sum[nbrs] += v
+                            nbr_min[nbrs] = np.minimum(nbr_min[nbrs], v)
+                            blocker[nbrs] += 1
+                source.stats.record_scan()
+            else:
+                cnt = np.zeros(n, dtype=np.int64)
+                nbr_sum = np.zeros(n, dtype=np.int64)
+                nbr_min = np.full(n, n, dtype=np.int64)
+                blocker = np.zeros(n, dtype=np.int64)
+                for verts, local_offsets, tgts in source.scan_batches():
+                    lens = local_offsets[1:] - local_offsets[:-1]
+                    local_src = _local_sources(verts.size, lens)
+                    is_slot = state[tgts] == _IS
+                    src_sel = local_src[is_slot]
+                    local_cnt = np.bincount(src_sel, minlength=verts.size)
+                    cnt[verts] = local_cnt
+                    nbr_sum[verts] = _int_bincount(src_sel, tgts[is_slot], verts.size)
+                    local_min = _record_min(np.where(is_slot, tgts, n), local_offsets, n)
+                    nbr_min[verts] = n
+                    has_is = local_cnt >= 1
+                    nbr_min[verts[has_is]] = local_min[has_is]
+                    blocker[verts] = np.bincount(
+                        local_src[is_slot | (state[tgts] == _ADJ)],
+                        minlength=verts.size,
+                    )
+                    vertex_list = verts.tolist()
+                    offset_list = local_offsets.tolist()
+                    # Mirror of the in-memory post-swap body above, with
+                    # neighbour slices taken from the batch fragment.
+                    for i in np.flatnonzero(state[verts] != _IS).tolist():
+                        v = vertex_list[i]
+                        old = state[v]
+                        c = cnt[v]
+                        if 1 <= c <= 2:
+                            state[v] = _ADJ
+                            if c == 1:
+                                isn1[v] = nbr_sum[v]
+                                isn2[v] = -1
+                            else:
+                                low = nbr_min[v]
+                                isn1[v] = low
+                                isn2[v] = nbr_sum[v] - low
+                            if old != _ADJ:
+                                blocker[tgts[offset_list[i] : offset_list[i + 1]]] += 1
+                        else:
+                            state[v] = _NON
+                            isn1[v] = -1
+                            isn2[v] = -1
+                            if old == _ADJ:
+                                blocker[tgts[offset_list[i] : offset_list[i + 1]]] -= 1
+                            if blocker[v] == 0:
+                                state[v] = _IS
+                                zero_one_swaps += 1
+                                nbrs = tgts[offset_list[i] : offset_list[i + 1]]
+                                cnt[nbrs] += 1
+                                nbr_sum[nbrs] += v
+                                nbr_min[nbrs] = np.minimum(nbr_min[nbrs], v)
+                                blocker[nbrs] += 1
 
             new_size = int((state == _IS).sum())
             rounds.append(
@@ -543,6 +932,13 @@ class NumpyBackend(KernelBackend):
             )
             current_size = new_size
 
+            if history is not None and can_swap:
+                fingerprint = _fingerprint(state, isn1, isn2)
+                if fingerprint in history:
+                    oscillation = True
+                    break
+                history.add(fingerprint)
+
         completion_gain = self._completion_pass(source, state)
         if completion_gain and rounds:
             last = rounds[-1]
@@ -557,7 +953,7 @@ class NumpyBackend(KernelBackend):
             )
 
         independent_set = frozenset(np.flatnonzero(state == _IS).tolist())
-        return independent_set, tuple(rounds), max_sc_vertices
+        return independent_set, tuple(rounds), max_sc_vertices, oscillation
 
     # ------------------------------------------------------------------
     # Shared final 0↔1 completion pass.
@@ -572,22 +968,46 @@ class NumpyBackend(KernelBackend):
         candidates and bumps its neighbours' counts on each insertion.
         """
 
-        graph = source.graph
-        offsets, targets = graph.csr_arrays()
-        edge_src = graph.edge_sources_array()
-        order = source.order_array()
-        n = graph.num_vertices
+        if isinstance(source, InMemoryAdjacencyScan):
+            graph = source.graph
+            offsets, targets = graph.csr_arrays()
+            edge_src = graph.edge_sources_array()
+            order = source.order_array()
+            n = graph.num_vertices
 
-        cnt = np.bincount(edge_src[state[targets] == _IS], minlength=n).astype(np.int64)
+            cnt = np.bincount(edge_src[state[targets] == _IS], minlength=n).astype(
+                np.int64
+            )
+            completion_gain = 0
+            order_state = state[order]
+            for v in order[(order_state != _IS) & (cnt[order] == 0)].tolist():
+                if cnt[v] != 0:
+                    continue
+                state[v] = _IS
+                cnt[targets[offsets[v] : offsets[v + 1]]] += 1
+                completion_gain += 1
+            source.stats.record_scan()
+            return completion_gain
+
+        n = source.num_vertices
+        cnt = np.zeros(n, dtype=np.int64)
         completion_gain = 0
-        order_state = state[order]
-        for v in order[(order_state != _IS) & (cnt[order] == 0)].tolist():
-            if cnt[v] != 0:
-                continue
-            state[v] = _IS
-            cnt[targets[offsets[v] : offsets[v + 1]]] += 1
-            completion_gain += 1
-        source.stats.record_scan()
+        for verts, local_offsets, tgts in source.scan_batches():
+            lens = local_offsets[1:] - local_offsets[:-1]
+            local_src = _local_sources(verts.size, lens)
+            cnt[verts] = np.bincount(
+                local_src[state[tgts] == _IS], minlength=verts.size
+            )
+            vertex_list = verts.tolist()
+            offset_list = local_offsets.tolist()
+            candidates = (state[verts] != _IS) & (cnt[verts] == 0)
+            for i in np.flatnonzero(candidates).tolist():
+                v = vertex_list[i]
+                if cnt[v] != 0:
+                    continue
+                state[v] = _IS
+                cnt[tgts[offset_list[i] : offset_list[i + 1]]] += 1
+                completion_gain += 1
         return completion_gain
 
 

@@ -11,6 +11,7 @@ byte-identical independent sets and telemetry.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -30,11 +31,26 @@ _EXCLUDED = 2
 _PairKey = FrozenSet[int]
 
 
+def _fingerprint(state: List[S], isn_encoding: str) -> bytes:
+    """Digest of the solver state used by the oscillation guard.
+
+    The swap loops evolve deterministically from ``(state, ISN)``, so a
+    repeated fingerprint proves the ``max_rounds=None`` loop would cycle
+    forever.  Each backend hashes its own canonical encoding; only the
+    repetition round matters for cross-backend parity, and that is fixed
+    by the (bit-identical) state evolution itself.
+    """
+
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(bytes(int(s) for s in state))
+    digest.update(isn_encoding.encode())
+    return digest.digest()
+
+
 class PythonBackend(KernelBackend):
     """Reference implementation: sequential Python loops over scan records."""
 
     name = "python"
-    requires_in_memory = False
 
     # ------------------------------------------------------------------
     # Algorithm 1: greedy.
@@ -66,7 +82,7 @@ class PythonBackend(KernelBackend):
         source,
         initial_set: FrozenSet[int],
         max_rounds: Optional[int],
-    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...]]:
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
         num_vertices = source.num_vertices
         state: List[S] = [S.NON_IS] * num_vertices
         for v in initial_set:
@@ -87,6 +103,10 @@ class PythonBackend(KernelBackend):
         rounds: List[RoundStats] = []
         current_size = len(initial_set)
         can_swap = True
+        oscillation = False
+        history = (
+            {_fingerprint(state, repr(isn))} if max_rounds is None else None
+        )
 
         while can_swap and (max_rounds is None or len(rounds) < max_rounds):
             can_swap = False
@@ -186,6 +206,13 @@ class PythonBackend(KernelBackend):
             )
             current_size = new_size
 
+            if history is not None and can_swap:
+                fingerprint = _fingerprint(state, repr(isn))
+                if fingerprint in history:
+                    oscillation = True
+                    break
+                history.add(fingerprint)
+
         # Final 0↔1 completion pass: a swap can remove the last IS neighbour of
         # a vertex that then stays blocked behind an "A" neighbour during the
         # round's post-swap phase; one extra sequential scan restores the
@@ -207,7 +234,7 @@ class PythonBackend(KernelBackend):
             )
 
         independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
-        return independent_set, tuple(rounds)
+        return independent_set, tuple(rounds), oscillation
 
     # ------------------------------------------------------------------
     # Algorithms 3 & 4: two-k-swap.
@@ -219,7 +246,7 @@ class PythonBackend(KernelBackend):
         max_rounds: Optional[int],
         max_pairs_per_key: int,
         max_partner_checks: int,
-    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int]:
+    ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
         num_vertices = source.num_vertices
         state: List[S] = [S.NON_IS] * num_vertices
         for v in initial_set:
@@ -241,6 +268,14 @@ class PythonBackend(KernelBackend):
         current_size = len(initial_set)
         can_swap = True
         max_sc_vertices = 0
+        oscillation = False
+
+        def _isn_encoding() -> str:
+            return repr([None if a is None else tuple(sorted(a)) for a in isn])
+
+        history = (
+            {_fingerprint(state, _isn_encoding())} if max_rounds is None else None
+        )
 
         while can_swap and (max_rounds is None or len(rounds) < max_rounds):
             can_swap = False
@@ -424,6 +459,13 @@ class PythonBackend(KernelBackend):
             )
             current_size = new_size
 
+            if history is not None and can_swap:
+                fingerprint = _fingerprint(state, _isn_encoding())
+                if fingerprint in history:
+                    oscillation = True
+                    break
+                history.add(fingerprint)
+
         # Final 0↔1 completion pass (same rationale as in one_k_swap): guarantee
         # maximality of the returned set with one extra sequential scan.
         completion_gain = 0
@@ -444,7 +486,7 @@ class PythonBackend(KernelBackend):
             )
 
         independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
-        return independent_set, tuple(rounds), max_sc_vertices
+        return independent_set, tuple(rounds), max_sc_vertices, oscillation
 
 
 register_backend(PythonBackend())

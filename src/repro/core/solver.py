@@ -63,8 +63,9 @@ class SemiExternalMISSolver:
     backend:
         Kernel backend executing the passes: ``"python"``, ``"numpy"`` or
         ``None``/``"auto"`` for the process default (numpy when
-        available).  File-backed sources always stream through the python
-        backend regardless of this setting.
+        available).  The numpy backend runs file-backed sources through
+        block-batched semi-external scans; only custom streaming sources
+        without ``scan_batches`` fall back to the python backend.
     """
 
     pipeline: str = "two_k_swap"

@@ -71,7 +71,11 @@ def two_k_swap(
         Starting independent set (a :class:`MISResult`, an iterable of
         vertices, or ``None`` to run greedy first).
     max_rounds:
-        Optional early-stop bound on the number of swap rounds.
+        Optional early-stop bound on the number of swap rounds.  With
+        ``max_rounds=None`` an oscillation guard stops the loop when a
+        ``(state, ISN)`` configuration repeats (reported as
+        ``extras["oscillation_guard"] = 1.0``); see
+        :func:`repro.core.one_k_swap.one_k_swap`.
     order:
         Scan order used when an in-memory graph is passed.
     memory_model:
@@ -105,11 +109,14 @@ def two_k_swap(
         if not 0 <= v < num_vertices:
             raise SolverError(f"initial independent set contains unknown vertex {v}")
 
-    independent_set, rounds, max_sc_vertices = kernel.two_k_swap_pass(
+    independent_set, rounds, max_sc_vertices, oscillation = kernel.two_k_swap_pass(
         source, initial_set, max_rounds, max_pairs_per_key, max_partner_checks
     )
     elapsed = time.perf_counter() - started
 
+    extras = {"max_sc_vertices": float(max_sc_vertices)}
+    if oscillation:
+        extras["oscillation_guard"] = 1.0
     return MISResult(
         algorithm="two_k_swap",
         independent_set=independent_set,
@@ -118,5 +125,5 @@ def two_k_swap(
         memory_bytes=model.two_k_swap_bytes(num_vertices, max_sc_vertices),
         elapsed_seconds=elapsed,
         initial_size=len(initial_set),
-        extras={"max_sc_vertices": float(max_sc_vertices)},
+        extras=extras,
     )

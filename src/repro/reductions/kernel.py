@@ -21,6 +21,13 @@ account for:
 Reductions operate on *tokens*: original vertex ids plus fresh ids created
 by folds, so folds can stack on top of each other; reconstruction unwinds
 them in reverse order.
+
+The candidate sweep runs off the graph's cached CSR degree arrays: the
+initial worklist is one vectorized ``degree <= 2`` filter, degrees are
+maintained incrementally in a flat array over tokens, and adjacency sets
+are never materialised per vertex — liveness is a boolean mask over the
+zero-copy CSR neighbour slices, with only the fold-created edges held in
+an explicit overlay.
 """
 
 from __future__ import annotations
@@ -32,8 +39,13 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tup
 from repro.core.result import MISResult
 from repro.core.solver import solve_mis
 from repro.errors import SolverError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import HAVE_NUMPY, Graph
 from repro.storage.io_stats import IOStats
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
 
 __all__ = ["ReductionStats", "ReducedGraph", "reduce_graph", "reduced_mis"]
 
@@ -128,36 +140,92 @@ class ReducedGraph:
 
 
 def reduce_graph(graph: Graph) -> ReducedGraph:
-    """Apply the isolated / pendant / triangle / fold rules exhaustively."""
+    """Apply the isolated / pendant / triangle / fold rules exhaustively.
 
-    adjacency: Dict[int, Set[int]] = {
-        v: set(graph.neighbors(v)) for v in graph.vertices()
-    }
-    next_token = graph.num_vertices
+    The sweep never materialises per-vertex adjacency sets: degrees live
+    in one flat array over tokens (seeded from the graph's cached CSR
+    degrees), a vertex's live neighbourhood is its zero-copy CSR slice
+    filtered by an ``alive`` mask, and only fold-created edges are stored
+    explicitly.  Every fold removes three vertices and adds one token, so
+    at most ``n // 2`` tokens beyond the original ids can ever exist.
+    """
+
+    n = graph.num_vertices
+    capacity = n + n // 2 + 2
+    # Flat per-token scalars as plain Python lists: the rule loop touches
+    # them item-wise millions of times, where list indexing beats ndarray
+    # scalar access several-fold.  The ndarrays are used where they win —
+    # the vectorized worklist seeding below and the CSR degree source.
+    deg: List[int] = list(graph.degrees()) + [0] * (capacity - n)
+    alive: List[bool] = [True] * n + [False] * (capacity - n)
+    csr_offsets, csr_targets = graph.csr_arrays()
+    if _np is not None:
+        offsets_list = csr_offsets.tolist()
+        targets_list = csr_targets.tolist()
+    else:
+        offsets_list = list(csr_offsets)
+        targets_list = list(csr_targets)
+    # Fold-created edges (always incident to a token >= n), symmetric.
+    extra: Dict[int, Set[int]] = {}
+    next_token = n
     forced: Set[int] = set()
     folds: List[_Fold] = []
     stats = ReductionStats()
 
-    def remove_vertex(vertex: int) -> None:
-        for neighbor in adjacency.pop(vertex, set()):
-            adjacency[neighbor].discard(vertex)
+    def live_neighbors(vertex: int) -> List[int]:
+        """Current neighbours of ``vertex`` (CSR part ascending, overlay unordered)."""
 
-    # Worklist of vertices whose degree may have dropped into a reducible range.
-    pending: List[int] = list(adjacency)
+        if vertex < n:
+            out = [
+                w
+                for w in targets_list[offsets_list[vertex] : offsets_list[vertex + 1]]
+                if alive[w]
+            ]
+        else:
+            out = []
+        added = extra.get(vertex)
+        if added:
+            out.extend(w for w in added if alive[w])
+        return out
+
+    def has_live_edge(u: int, w: int) -> bool:
+        if u < n and w < n:
+            return graph.has_edge(u, w)
+        added = extra.get(u)
+        return bool(added and w in added)
+
+    # Worklist seeded by one vectorized degree filter; rule applications
+    # re-schedule any vertex whose degree drops into the reducible range.
+    if _np is not None:
+        pending: List[int] = _np.flatnonzero(graph.degrees_array() <= 2).tolist()
+    else:
+        pending = [v for v in range(n) if deg[v] <= 2]
     in_pending: Set[int] = set(pending)
 
     def schedule(vertex: int) -> None:
-        if vertex in adjacency and vertex not in in_pending:
+        if alive[vertex] and vertex not in in_pending:
             pending.append(vertex)
             in_pending.add(vertex)
+
+    def remove_vertex(vertex: int) -> None:
+        neighbors = live_neighbors(vertex)
+        alive[vertex] = False
+        extra.pop(vertex, None)
+        for neighbor in neighbors:
+            remaining = deg[neighbor] - 1
+            deg[neighbor] = remaining
+            if remaining <= 2 and neighbor not in in_pending:
+                pending.append(neighbor)
+                in_pending.add(neighbor)
 
     while pending:
         vertex = pending.pop()
         in_pending.discard(vertex)
-        if vertex not in adjacency:
+        if not alive[vertex]:
             continue
-        neighbors = adjacency[vertex]
-        degree = len(neighbors)
+        degree = deg[vertex]
+        if degree > 2:
+            continue
 
         if degree == 0:
             forced.add(vertex)
@@ -166,56 +234,58 @@ def reduce_graph(graph: Graph) -> ReducedGraph:
             continue
 
         if degree == 1:
-            (only_neighbor,) = neighbors
-            affected = adjacency[only_neighbor] - {vertex}
+            (only_neighbor,) = live_neighbors(vertex)
             forced.add(vertex)
             remove_vertex(vertex)
             remove_vertex(only_neighbor)
             stats.pendant += 1
-            for other in affected:
-                schedule(other)
             continue
 
-        if degree == 2:
-            left, right = sorted(neighbors)
-            if right in adjacency[left]:
-                # Triangle rule: take the degree-2 vertex.
-                affected = (adjacency[left] | adjacency[right]) - {vertex, left, right}
-                forced.add(vertex)
-                remove_vertex(vertex)
-                remove_vertex(left)
-                remove_vertex(right)
-                stats.triangle += 1
-                for other in affected:
-                    schedule(other)
-            else:
-                # Fold rule: merge {vertex, left, right} into a fresh token.
-                folded = next_token
-                next_token += 1
-                merged = (adjacency[left] | adjacency[right]) - {vertex, left, right}
-                remove_vertex(vertex)
-                remove_vertex(left)
-                remove_vertex(right)
-                adjacency[folded] = set()
-                for other in merged:
-                    if other in adjacency:
-                        adjacency[folded].add(other)
-                        adjacency[other].add(folded)
-                folds.append(_Fold(folded=folded, vertex=vertex, left=left, right=right))
-                stats.folds += 1
+        first, second = live_neighbors(vertex)
+        left, right = (first, second) if first < second else (second, first)
+        if has_live_edge(left, right):
+            # Triangle rule: take the degree-2 vertex.
+            forced.add(vertex)
+            remove_vertex(vertex)
+            remove_vertex(left)
+            remove_vertex(right)
+            stats.triangle += 1
+        else:
+            # Fold rule: merge {vertex, left, right} into a fresh token.
+            folded = next_token
+            next_token += 1
+            merged = set(live_neighbors(left)) | set(live_neighbors(right))
+            merged -= {vertex, left, right}
+            remove_vertex(vertex)
+            remove_vertex(left)
+            remove_vertex(right)
+            alive[folded] = True
+            folded_edges = extra.setdefault(folded, set())
+            for other in merged:
+                folded_edges.add(other)
+                other_edges = extra.get(other)
+                if other_edges is None:
+                    extra[other] = {folded}
+                else:
+                    other_edges.add(folded)
+                deg[other] += 1
+            deg[folded] = len(merged)
+            folds.append(_Fold(folded=folded, vertex=vertex, left=left, right=right))
+            stats.folds += 1
+            if deg[folded] <= 2:
                 schedule(folded)
-                for other in merged:
-                    schedule(other)
-            continue
 
     # Materialise the kernel over compact ids.
-    tokens = sorted(adjacency)
+    if _np is not None:
+        tokens = _np.flatnonzero(alive[:next_token]).tolist()
+    else:
+        tokens = [v for v in range(next_token) if alive[v]]
     index_of = {token: index for index, token in enumerate(tokens)}
     edges = [
-        (index_of[u], index_of[v])
+        (index_of[u], index_of[w])
         for u in tokens
-        for v in adjacency[u]
-        if u < v
+        for w in live_neighbors(u)
+        if u < w
     ]
     kernel = Graph(len(tokens), edges)
     return ReducedGraph(

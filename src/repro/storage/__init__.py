@@ -24,7 +24,12 @@ from repro.storage.adjacency_file import (
     AdjacencyFileReader,
     write_adjacency_file,
 )
-from repro.storage.scan import AdjacencyScanSource, InMemoryAdjacencyScan, as_scan_source
+from repro.storage.scan import (
+    AdjacencyBatch,
+    AdjacencyScanSource,
+    InMemoryAdjacencyScan,
+    as_scan_source,
+)
 from repro.storage.external_sort import (
     external_sort_by_degree,
     greedy_total_io_cost,
@@ -35,6 +40,7 @@ from repro.storage.memory import MemoryBudget, MemoryModel
 __all__ = [
     "IOStats",
     "BlockDevice",
+    "AdjacencyBatch",
     "AdjacencyFileReader",
     "write_adjacency_file",
     "AdjacencyScanSource",

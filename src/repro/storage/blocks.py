@@ -19,15 +19,21 @@ from __future__ import annotations
 
 import io
 import os
-from typing import BinaryIO, Optional, Union
+from typing import BinaryIO, Optional, Tuple, Union
 
 from repro.errors import StorageError
 from repro.storage.io_stats import IOStats
 
-__all__ = ["BlockDevice", "DEFAULT_BLOCK_SIZE"]
+__all__ = ["BlockDevice", "DEFAULT_BLOCK_SIZE", "DEFAULT_BATCH_BLOCKS"]
 
 #: Default block size of 64 KiB — a typical unit of sequential disk transfer.
 DEFAULT_BLOCK_SIZE = 64 * 1024
+
+#: Default number of device blocks a batched sequential reader requests per
+#: read (see :meth:`repro.storage.adjacency_file.AdjacencyFileReader.scan_batches`).
+#: Sixteen 64 KiB blocks = 1 MiB per request, large enough to amortise the
+#: per-batch ndarray parsing without hoarding memory.
+DEFAULT_BATCH_BLOCKS = 16
 
 
 class BlockDevice:
@@ -105,6 +111,13 @@ class BlockDevice:
 
         return self._blocks_spanned(0, self.size)
 
+    def batch_bytes(self, num_blocks: int = DEFAULT_BATCH_BLOCKS) -> int:
+        """Preferred size in bytes of one batched sequential read request."""
+
+        if num_blocks <= 0:
+            raise StorageError(f"num_blocks must be positive, got {num_blocks}")
+        return self.block_size * num_blocks
+
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
@@ -180,3 +193,18 @@ class BlockDevice:
 
         self._next_sequential_offset = -1
         self._last_block_read = -1
+
+    def sequential_cursor(self) -> Tuple[int, int]:
+        """Snapshot of the sequential read-ahead state.
+
+        Pair with :meth:`restore_sequential_cursor` to service a random
+        probe from a separate buffer without perturbing the accounting of
+        an ongoing sequential scan.
+        """
+
+        return (self._next_sequential_offset, self._last_block_read)
+
+    def restore_sequential_cursor(self, cursor: Tuple[int, int]) -> None:
+        """Restore a read-ahead state captured by :meth:`sequential_cursor`."""
+
+        self._next_sequential_offset, self._last_block_read = cursor

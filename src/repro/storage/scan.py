@@ -15,6 +15,12 @@ and knows the number of vertices.  Two implementations exist:
   so the vectorized kernel backend can consume it zero-copy via
   :meth:`InMemoryAdjacencyScan.order_array`.
 
+Both sources also expose ``scan_batches``, the block-batched variant of
+``scan`` used by the vectorized semi-external execution: the records come
+back as contiguous :class:`AdjacencyBatch` ndarray chunks instead of
+per-vertex tuples, with identical ordering and identical ``IOStats``
+charges (one sequential scan per full iteration).
+
 ``as_scan_source`` normalises whatever the caller passed (a graph or an
 existing source) into a scan source, which keeps the public solver API
 convenient: ``greedy_mis(graph)`` just works.
@@ -22,7 +28,17 @@ convenient: ``greedy_mis(graph)`` just works.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
+from typing import (
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 from repro.errors import StorageError
 from repro.graphs.graph import HAVE_NUMPY, Graph, permutation_array
@@ -32,9 +48,77 @@ if HAVE_NUMPY:
 else:  # pragma: no cover - the container ships numpy
     _np = None
 
+from repro.storage.blocks import DEFAULT_BATCH_BLOCKS, DEFAULT_BLOCK_SIZE
 from repro.storage.io_stats import IOStats
 
-__all__ = ["AdjacencyScanSource", "InMemoryAdjacencyScan", "as_scan_source"]
+__all__ = [
+    "AdjacencyBatch",
+    "AdjacencyScanSource",
+    "DEFAULT_BATCH_BYTES",
+    "InMemoryAdjacencyScan",
+    "as_scan_source",
+    "batch_bounds",
+]
+
+
+class AdjacencyBatch(NamedTuple):
+    """One block-sized chunk of a batched sequential scan.
+
+    The batch covers a contiguous run of records in scan order as three
+    int64 ndarrays forming a *local* CSR fragment:
+
+    ``vertices``
+        Vertex id of each record in the batch, in scan order.
+    ``offsets``
+        ``len(vertices) + 1`` offsets into ``targets``; the neighbours of
+        ``vertices[i]`` are ``targets[offsets[i]:offsets[i + 1]]``.
+    ``targets``
+        The concatenated neighbour lists of the batch, in record order.
+
+    Batches are produced by ``scan_batches`` on the scan sources; one full
+    iteration is one logical sequential scan (charged once to ``IOStats``
+    on exhaustion, exactly like the record-streaming ``scan``).
+    """
+
+    vertices: "object"
+    offsets: "object"
+    targets: "object"
+
+
+#: Target payload of one :class:`AdjacencyBatch` when the source has no
+#: block device to derive a batch size from (matches the file default of
+#: ``DEFAULT_BATCH_BLOCKS`` 64 KiB blocks).
+DEFAULT_BATCH_BYTES = DEFAULT_BLOCK_SIZE * DEFAULT_BATCH_BLOCKS
+
+
+def batch_bounds(record_bytes, max_batch_bytes: int):
+    """Group contiguous records into batches of roughly ``max_batch_bytes``.
+
+    ``record_bytes`` is an int64 ndarray of per-record on-disk sizes in
+    scan order.  A record belongs to batch ``start_offset // max_batch_bytes``
+    where ``start_offset`` is its byte position relative to the first
+    record, so every batch is a contiguous record range spanning at most
+    ``max_batch_bytes`` of start offsets (one oversized record can make a
+    batch run past the nominal limit — records are never split).  Returns
+    the batch boundaries as an int64 ndarray ``[0, ..., num_records]``.
+    """
+
+    if _np is None:  # pragma: no cover - callers are numpy-only
+        raise StorageError("batch_bounds requires numpy")
+    num_records = len(record_bytes)
+    if num_records == 0:
+        return _np.zeros(1, dtype=_np.int64)
+    starts = _np.zeros(num_records, dtype=_np.int64)
+    _np.cumsum(record_bytes[:-1], out=starts[1:])
+    bucket = starts // max(int(max_batch_bytes), 1)
+    cuts = _np.flatnonzero(_np.diff(bucket)) + 1
+    return _np.concatenate(
+        (
+            _np.zeros(1, dtype=_np.int64),
+            cuts,
+            _np.full(1, num_records, dtype=_np.int64),
+        )
+    )
 
 
 @runtime_checkable
@@ -159,6 +243,44 @@ class InMemoryAdjacencyScan:
         else:
             for vertex in self._order:
                 yield vertex, graph.neighbors(vertex)
+        self._stats.record_scan()
+
+    def scan_batches(
+        self, max_batch_bytes: Optional[int] = None
+    ) -> Iterator[AdjacencyBatch]:
+        """Yield the scan as block-sized :class:`AdjacencyBatch` chunks.
+
+        The batches cover exactly the records ``scan()`` would yield, in
+        the same order, grouped so each batch models roughly
+        ``max_batch_bytes`` of the on-disk record encoding (8-byte record
+        header + 4 bytes per neighbour, see :mod:`repro.storage.format`).
+        One full iteration charges one sequential scan, identical to
+        ``scan()``.  Requires numpy; the vectorized kernel backend is the
+        main consumer.
+        """
+
+        if _np is None:
+            raise StorageError("scan_batches requires numpy")
+        if max_batch_bytes is None:
+            max_batch_bytes = DEFAULT_BATCH_BYTES
+        from repro.storage import format as fmt
+
+        graph = self._graph
+        offsets, targets = graph.csr_arrays()
+        order = self._order
+        lens = offsets[order + 1] - offsets[order]
+        record_bytes = fmt.RECORD_HEADER_SIZE + fmt.VERTEX_ID_BYTES * lens
+        bounds = batch_bounds(record_bytes, max_batch_bytes)
+        for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            verts = order[a:b]
+            batch_lens = lens[a:b]
+            local_offsets = _np.zeros(batch_lens.size + 1, dtype=_np.int64)
+            _np.cumsum(batch_lens, out=local_offsets[1:])
+            total = int(local_offsets[-1])
+            gather = _np.arange(total, dtype=_np.int64) + _np.repeat(
+                offsets[verts] - local_offsets[:-1], batch_lens
+            )
+            yield AdjacencyBatch(verts, local_offsets, targets[gather])
         self._stats.record_scan()
 
     def scan_order(self) -> List[int]:

@@ -97,20 +97,29 @@ class TestRegistry:
         with pytest.raises(SolverError):
             set_default_backend("fortran")
 
-    def test_numpy_backend_falls_back_to_python_for_file_sources(self):
+    def test_numpy_backend_runs_file_sources_via_batched_scans(self):
         graph = erdos_renyi_gnm(30, 60, seed=5)
         device = write_adjacency_file(graph)
         reader = AdjacencyFileReader(device)
-        assert resolve_backend("numpy", reader).name == "python"
+        assert resolve_backend("numpy", reader).name == "numpy"
         source = InMemoryAdjacencyScan(graph)
         assert resolve_backend("numpy", source).name == "numpy"
         reader.close()
+
+    def test_numpy_backend_falls_back_for_sources_without_batches(self):
+        class _RecordStreamOnly:
+            """Scan source without scan_batches (custom streaming reader)."""
+
+            num_vertices = 0
+            num_edges = 0
+
+        assert resolve_backend("numpy", _RecordStreamOnly()).name == "python"
 
     def test_file_source_solve_matches_in_memory(self):
         graph = erdos_renyi_gnm(40, 90, seed=6)
         device = write_adjacency_file(graph)
         reader = AdjacencyFileReader(device)
-        from_file = greedy_mis(reader, backend="numpy")  # silently streams python
+        from_file = greedy_mis(reader, backend="numpy")  # block-batched scans
         in_memory = greedy_mis(graph, backend="numpy")
         assert from_file.independent_set == in_memory.independent_set
         reader.close()
