@@ -2,10 +2,12 @@
 
 Times the hot paths of the system — CSR graph construction, the
 Algorithm-1 greedy pass, the Algorithm-2 one-k-swap pass, the
-Algorithm-3/4 two-k-swap pass, and the **semi-external** file path
+Algorithm-3/4 two-k-swap pass, the **semi-external** file path
 (block-batched numpy kernels vs. the record-streaming python reference
-over the same adjacency file) — on PLRG graphs for both kernel backends
-and writes the measurements, plus the numpy-over-python speedups, to
+over the same adjacency file) and the **in-memory comparators** of
+Tables 5–6 (the (1,2)-swap local search and the DynamicUpdate
+minimum-degree greedy) — on PLRG graphs for both kernel backends and
+writes the measurements, plus the numpy-over-python speedups, to
 ``BENCH_core.json`` at the repository root.  This file is the perf
 trajectory of the project: every PR runs at least the ``--smoke``
 configuration in CI, and the committed JSON records the full sweep.
@@ -42,6 +44,8 @@ from typing import Callable, Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.baselines.dynamic_update import dynamic_update_mis  # noqa: E402
+from repro.baselines.local_search import local_search_mis  # noqa: E402
 from repro.core import greedy_mis, one_k_swap, two_k_swap  # noqa: E402
 from repro.core.kernels import available_backends  # noqa: E402
 from repro.graphs.graph import build_csr  # noqa: E402
@@ -66,6 +70,8 @@ TIMING_METRICS = (
     "semi_greedy_seconds",
     "semi_build_plus_greedy_seconds",
     "semi_one_k_swap_seconds",
+    "local_search_seconds",
+    "dynamic_update_seconds",
 )
 
 
@@ -89,6 +95,7 @@ def bench_size(
     python_max: int,
     two_k_python_max: int,
     semi_python_max: int,
+    comparator_python_max: int,
 ) -> List[Dict[str, object]]:
     """Benchmark both backends at one graph size; returns one row per backend."""
 
@@ -167,6 +174,31 @@ def bench_size(
             )
             row["two_k_size"] = two_k_result.size
             backend_results["two_k_set"] = two_k_result.independent_set
+
+        if backend == "numpy" or graph.num_vertices <= comparator_python_max:
+            # In-memory comparators (Tables 5-6): local search seeded with
+            # the greedy set, DynamicUpdate constructive.
+            local_result = local_search_mis(
+                graph, initial=greedy_result, backend=backend
+            )
+            row["local_search_seconds"] = _best_of(
+                repeats,
+                lambda: local_search_mis(
+                    graph, initial=greedy_result, backend=backend
+                ),
+            )
+            row["local_search_size"] = local_result.size
+            backend_results["local_search_set"] = local_result.independent_set
+            backend_results["local_search_iterations"] = local_result.extras[
+                "iterations"
+            ]
+
+            dynamic_result = dynamic_update_mis(graph, backend=backend)
+            row["dynamic_update_seconds"] = _best_of(
+                repeats, lambda: dynamic_update_mis(graph, backend=backend)
+            )
+            row["dynamic_update_size"] = dynamic_result.size
+            backend_results["dynamic_update_set"] = dynamic_result.independent_set
 
         if backend == "numpy" or graph.num_vertices <= semi_python_max:
             semi_result = semi_greedy(backend)
@@ -261,6 +293,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the python semi-external timings above this vertex count",
     )
     parser.add_argument(
+        "--comparator-python-max",
+        type=int,
+        default=1_000_000,
+        help="skip the python in-memory comparator timings above this vertex count",
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_core.json"),
         help="path of the JSON report (default: BENCH_core.json at the repo root)",
@@ -291,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.python_max,
                 args.two_k_python_max,
                 args.semi_python_max,
+                args.comparator_python_max,
             )
         )
         for row in rows:
@@ -306,12 +345,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                     if "two_k_swap_seconds" in row
                     else ""
                 )
+                comparators = (
+                    f"  local {row['local_search_seconds']:.4f}s"
+                    f"  dynupd {row['dynamic_update_seconds']:.4f}s"
+                    if "local_search_seconds" in row
+                    else ""
+                )
                 print(
                     f"  n={row['n']:>9,} {row['backend']:>6}: "
                     f"build {row['build_seconds']:.4f}s  "
                     f"greedy {row['greedy_seconds']:.4f}s  "
                     f"one_k {row['one_k_swap_seconds']:.4f}s"
-                    f"{two_k}{semi}"
+                    f"{two_k}{semi}{comparators}"
                 )
     for row in rows:
         row.pop("_printed", None)
@@ -320,7 +365,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = {
         "benchmark": "bench_perf_core",
         "description": "CSR build + greedy + one-k-swap + two-k-swap + semi-external "
-        "(block-batched file path) timings per kernel backend on PLRG graphs; "
+        "(block-batched file path) + in-memory comparator (local search, "
+        "DynamicUpdate) timings per kernel backend on PLRG graphs; "
         "speedups are python-time / numpy-time.",
         "config": {
             "beta": args.beta,
@@ -331,6 +377,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "backends": list(available_backends()),
             "two_k_python_max": args.two_k_python_max,
             "semi_python_max": args.semi_python_max,
+            "comparator_python_max": args.comparator_python_max,
         },
         "results": rows,
         "speedups_numpy_over_python": speedups,

@@ -8,15 +8,24 @@ vertices, and repeat until the graph is empty.  It achieves the
 the whole graph (and a mutable copy of it) in main memory, which is why
 the paper reports "N/A" for it on the billion-edge datasets.
 
-The implementation uses a bucket queue over current degrees so the total
-running time is ``O(|V| + |E|)``.
+The computational pass runs on a pluggable kernel backend
+(:mod:`repro.core.kernels`) over the graph's flat CSR/degree arrays: the
+``python`` reference keeps a bucket queue of flat int64 arrays (total
+running time ``O(|V| + |E|)``), the ``numpy`` backend processes whole
+minimum-degree rounds as vectorized "waves".  Tie-breaking is
+deterministic (each round snapshots the minimum-degree vertices in
+ascending-id order), so both backends return **bit-identical selection
+sequences** — the seed's LIFO bucket order was arbitrary, exactly like
+the reduction-rule application order revisited in the CSR reductions
+port.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Optional
 
+from repro.core.kernels import resolve_graph_backend
 from repro.core.result import MISResult
 from repro.errors import MemoryBudgetError
 from repro.graphs.graph import Graph
@@ -25,13 +34,12 @@ from repro.storage.memory import MemoryModel
 
 __all__ = ["dynamic_update_mis"]
 
-_REMOVED = -1
-
 
 def dynamic_update_mis(
     graph: Graph,
     memory_model: Optional[MemoryModel] = None,
     memory_limit_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> MISResult:
     """Run the in-memory DynamicUpdate greedy.
 
@@ -45,11 +53,18 @@ def dynamic_update_mis(
         Optional limit emulating a machine with bounded RAM; when the
         modeled footprint exceeds it, :class:`MemoryBudgetError` is raised
         — this is how the Table 6 benchmark reproduces the "N/A" entries.
+    backend:
+        Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
+        ``"auto"`` for the process default).
 
     Returns
     -------
     MISResult
         A maximal independent set (algorithm name ``"dynamic_update"``).
+        DynamicUpdate is constructive — there is no improvement phase —
+        so ``initial_size`` equals the size of the set it built and the
+        improvement gain is zero, consistent with how the swap pipelines
+        report the set they started from.
     """
 
     model = memory_model if memory_model is not None else MemoryModel()
@@ -58,51 +73,15 @@ def dynamic_update_mis(
         raise MemoryBudgetError(required, memory_limit_bytes, what="DynamicUpdate")
 
     started = time.perf_counter()
-    num_vertices = graph.num_vertices
-    degree: List[int] = graph.degrees()
-    # Bucket queue: buckets[d] holds vertices whose current degree may be d.
-    max_degree = max(degree, default=0)
-    buckets: List[List[int]] = [[] for _ in range(max_degree + 1)]
-    for v in range(num_vertices):
-        buckets[degree[v]].append(v)
-
-    in_set: List[bool] = [False] * num_vertices
-    alive: List[bool] = [True] * num_vertices
-    cursor = 0
-    independent: List[int] = []
-
-    while cursor <= max_degree:
-        bucket = buckets[cursor]
-        if not bucket:
-            cursor += 1
-            continue
-        vertex = bucket.pop()
-        if not alive[vertex] or degree[vertex] != cursor:
-            # Stale entry: the vertex was removed or its degree changed.
-            continue
-        # Select the vertex, remove its closed neighbourhood.
-        in_set[vertex] = True
-        independent.append(vertex)
-        alive[vertex] = False
-        for neighbor in graph.neighbors(vertex):
-            if not alive[neighbor]:
-                continue
-            alive[neighbor] = False
-            for second in graph.neighbors(neighbor):
-                if alive[second]:
-                    degree[second] -= 1
-                    buckets[degree[second]].append(second)
-                    if degree[second] < cursor:
-                        cursor = degree[second]
-        degree[vertex] = _REMOVED
-
+    kernel = resolve_graph_backend(backend, graph)
+    selection = kernel.dynamic_update_pass(graph)
     elapsed = time.perf_counter() - started
     return MISResult(
         algorithm="dynamic_update",
-        independent_set=frozenset(independent),
+        independent_set=frozenset(selection),
         rounds=(),
         io=IOStats(),
         memory_bytes=required,
         elapsed_seconds=elapsed,
-        initial_size=0,
+        initial_size=len(selection),
     )

@@ -3,45 +3,46 @@
 The related-work section cites fast local search as the strongest
 in-memory heuristic family for MIS.  This comparator implements the core
 move of that family: repeatedly find an IS vertex ``v`` with (at least)
-two non-adjacent "free-after-removal" neighbours and replace ``v`` by two
-of them, then re-maximalise.  Unlike the paper's semi-external swaps it
-assumes random access to the whole adjacency structure, so it serves as an
-"unconstrained memory" quality reference in the ablation benchmarks.
+two non-adjacent "free-after-removal" neighbours, replace ``v`` by two of
+them, and re-maximalise the freed neighbourhood.  Unlike the paper's
+semi-external swaps it assumes random access to the whole adjacency
+structure, so it serves as an "unconstrained memory" quality reference in
+the ablation benchmarks — and, like DynamicUpdate, it reports "N/A" when
+a :func:`memory limit <local_search_mis>` emulating a smaller machine is
+exceeded (Table 6).
+
+The computational pass runs on a pluggable kernel backend
+(:mod:`repro.core.kernels`): the ``python`` reference keeps an
+*incremental tightness array* and per-sweep candidate snapshots instead
+of re-running a full maximalisation over all ``n`` vertices after every
+accepted move (the seed behaviour), and the ``numpy`` backend vectorizes
+the sweep prefilters and swap commits over the CSR arrays.  Both return
+bit-identical sets and iteration counts.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set, Union
+from typing import Iterable, Optional, Set, Union
 
 from repro.core.greedy import greedy_mis
+from repro.core.kernels import resolve_graph_backend
 from repro.core.result import MISResult
+from repro.errors import MemoryBudgetError, SolverError, VertexError
 from repro.graphs.graph import Graph
 from repro.storage.io_stats import IOStats
+from repro.storage.memory import MemoryModel
 
 __all__ = ["local_search_mis"]
-
-
-def _tight_count(graph: Graph, selected: Set[int], vertex: int) -> int:
-    """Number of IS neighbours of ``vertex``."""
-
-    return sum(1 for u in graph.neighbors(vertex) if u in selected)
-
-
-def _maximalise(graph: Graph, selected: Set[int]) -> None:
-    """Add every vertex with no IS neighbour (in ascending-degree order)."""
-
-    for v in graph.degree_ascending_order():
-        if v in selected:
-            continue
-        if all(u not in selected for u in graph.neighbors(v)):
-            selected.add(v)
 
 
 def local_search_mis(
     graph: Graph,
     initial: Union[None, MISResult, Iterable[int]] = None,
     max_iterations: int = 100_000,
+    memory_model: Optional[MemoryModel] = None,
+    memory_limit_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> MISResult:
     """Improve an independent set with in-memory (1,2) swaps.
 
@@ -53,59 +54,69 @@ def local_search_mis(
         Starting independent set; defaults to the degree-ordered greedy.
     max_iterations:
         Upper bound on the number of improving moves, a safety valve for
-        adversarial instances.
+        adversarial instances.  ``0`` performs **no work at all** — the
+        initial set is returned untouched (not even maximalised), so the
+        bound really limits the work done on a caller-supplied set.
+    memory_model:
+        Model used to report the (large) in-memory footprint.
+    memory_limit_bytes:
+        Optional limit emulating a machine with bounded RAM; when the
+        modeled footprint exceeds it, :class:`MemoryBudgetError` is
+        raised — how the Table 6 benchmark reproduces the "N/A" entries,
+        exactly as for :func:`~repro.baselines.dynamic_update.dynamic_update_mis`.
+    backend:
+        Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
+        ``"auto"`` for the process default).  Falls back to the reference
+        when the graph's CSR arrays are not ndarrays.
     """
+
+    if max_iterations < 0:
+        raise SolverError(
+            f"max_iterations must be non-negative, got {max_iterations}"
+        )
+    model = memory_model if memory_model is not None else MemoryModel()
+    required = model.local_search_bytes(graph.num_vertices, graph.num_edges)
+    if memory_limit_bytes is not None and required > memory_limit_bytes:
+        raise MemoryBudgetError(required, memory_limit_bytes, what="local search")
 
     started = time.perf_counter()
     if initial is None:
-        selected: Set[int] = set(greedy_mis(graph).independent_set)
+        selected: Set[int] = set(greedy_mis(graph, backend=backend).independent_set)
     elif isinstance(initial, MISResult):
         selected = set(initial.independent_set)
     else:
         selected = set(initial)
+    for vertex in selected:
+        if not (0 <= vertex < graph.num_vertices):
+            raise VertexError(vertex, graph.num_vertices)
     initial_size = len(selected)
-    _maximalise(graph, selected)
 
-    iterations = 0
-    improved = True
-    while improved and iterations < max_iterations:
-        improved = False
-        for vertex in list(selected):
-            # Candidates: neighbours whose only IS neighbour is `vertex`.
-            candidates: List[int] = [
-                u
-                for u in graph.neighbors(vertex)
-                if u not in selected and _tight_count(graph, selected, u) == 1
-            ]
-            if len(candidates) < 2:
-                continue
-            # Find two non-adjacent candidates.
-            replacement = None
-            for i, first in enumerate(candidates):
-                for second in candidates[i + 1 :]:
-                    if not graph.has_edge(first, second):
-                        replacement = (first, second)
-                        break
-                if replacement:
-                    break
-            if replacement is None:
-                continue
-            selected.discard(vertex)
-            selected.add(replacement[0])
-            selected.add(replacement[1])
-            _maximalise(graph, selected)
-            improved = True
-            iterations += 1
-            if iterations >= max_iterations:
-                break
+    if max_iterations == 0:
+        # The safety valve bounds *all* mutation: no maximalisation, no
+        # swaps.  The result may therefore not be maximal.
+        elapsed = time.perf_counter() - started
+        return MISResult(
+            algorithm="local_search",
+            independent_set=frozenset(selected),
+            rounds=(),
+            io=IOStats(),
+            memory_bytes=required,
+            elapsed_seconds=elapsed,
+            initial_size=initial_size,
+            extras={"iterations": 0.0},
+        )
 
+    kernel = resolve_graph_backend(backend, graph)
+    independent_set, iterations = kernel.local_search_pass(
+        graph, frozenset(selected), max_iterations
+    )
     elapsed = time.perf_counter() - started
     return MISResult(
         algorithm="local_search",
-        independent_set=frozenset(selected),
+        independent_set=independent_set,
         rounds=(),
         io=IOStats(),
-        memory_bytes=0,
+        memory_bytes=required,
         elapsed_seconds=elapsed,
         initial_size=initial_size,
         extras={"iterations": float(iterations)},

@@ -8,6 +8,11 @@ Sub-commands
 ``solve``
     Run one of the pipelines on an adjacency file (or generate a graph on
     the fly) and print the result summary.
+``compare``
+    Run the semi-external pipelines next to the in-memory comparators
+    (local search, DynamicUpdate) on one file — a Table 5/6-style
+    side-by-side of sizes, times and modeled memory, with an optional
+    memory limit that reproduces the paper's "N/A" entries.
 ``bound``
     Compute the Algorithm-5 upper bound on the independence number.
 ``theory``
@@ -27,13 +32,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro import __version__
 from repro.analysis.plrg_theory import PLRGTheory
 from repro.analysis.upper_bound import independence_upper_bound
+from repro.baselines.dynamic_update import dynamic_update_mis
+from repro.baselines.local_search import local_search_mis
 from repro.core.kernels import available_backends
 from repro.core.solver import PIPELINES, solve_mis
+from repro.storage.memory import MemoryModel
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.graphs.generators import erdos_renyi_gnm
 from repro.graphs.graph import Graph
@@ -86,6 +94,33 @@ def build_parser() -> argparse.ArgumentParser:
         "produce bit-identical results and I/O counters",
     )
     solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="run pipelines and in-memory comparators side by side (Tables 5/6)",
+    )
+    compare.add_argument("input", help="path of a binary adjacency file")
+    compare.add_argument(
+        "--algorithms",
+        default="greedy,one_k_swap,two_k_swap,local_search,dynamic_update",
+        help="comma-separated subset of: "
+        + ",".join(sorted(set(PIPELINES) | set(COMPARATORS))),
+    )
+    compare.add_argument("--max-rounds", type=int, default=None)
+    compare.add_argument(
+        "--backend",
+        choices=["auto"] + list(available_backends()),
+        default="auto",
+        help="kernel backend for the pipelines and the comparators",
+    )
+    compare.add_argument(
+        "--memory-limit-bytes",
+        type=int,
+        default=None,
+        help="emulate a machine with this much RAM: in-memory comparators "
+        "whose modeled footprint exceeds it report N/A (Table 6)",
+    )
+    compare.add_argument("--json", action="store_true", help="emit rows as JSON")
 
     bound = subparsers.add_parser("bound", help="Algorithm 5 upper bound for a file")
     bound.add_argument("input", help="path of a binary adjacency file")
@@ -161,6 +196,100 @@ def _command_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: In-memory comparator algorithms runnable from ``repro-mis compare``.
+COMPARATORS = ("local_search", "dynamic_update")
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    known = set(PIPELINES) | set(COMPARATORS)
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    backend = None if args.backend == "auto" else args.backend
+
+    reader = AdjacencyFileReader(args.input)
+    graph: Optional[Graph] = None
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        if name in PIPELINES:
+            result = solve_mis(
+                reader, pipeline=name, max_rounds=args.max_rounds, backend=backend
+            )
+            rows.append(
+                {
+                    "algorithm": name,
+                    "model": "semi-external",
+                    "size": result.size,
+                    "memory_bytes": result.memory_bytes,
+                    "elapsed_seconds": round(result.elapsed_seconds, 6),
+                    "not_applicable": False,
+                }
+            )
+            continue
+        # In-memory comparators need the whole graph resident.  Check the
+        # modeled footprint against the budget from the file header first,
+        # so that emulating a small machine never materialises the graph.
+        required = MemoryModel().algorithm_bytes(
+            name, reader.num_vertices, num_edges=reader.num_edges
+        )
+        if (
+            args.memory_limit_bytes is not None
+            and required > args.memory_limit_bytes
+        ):
+            rows.append(
+                {
+                    "algorithm": name,
+                    "model": "in-memory",
+                    "size": "N/A",
+                    "memory_bytes": required,
+                    "elapsed_seconds": "N/A",
+                    "not_applicable": True,
+                }
+            )
+            continue
+        if graph is None:
+            graph = reader.to_graph()
+        runner = local_search_mis if name == "local_search" else dynamic_update_mis
+        result = runner(
+            graph,
+            memory_limit_bytes=args.memory_limit_bytes,
+            backend=backend,
+        )
+        rows.append(
+            {
+                "algorithm": name,
+                "model": "in-memory",
+                "size": result.size,
+                "memory_bytes": result.memory_bytes,
+                "elapsed_seconds": round(result.elapsed_seconds, 6),
+                "not_applicable": False,
+            }
+        )
+    reader.close()
+
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(
+            format_table(
+                ["algorithm", "model", "size", "memory bytes", "seconds"],
+                [
+                    [
+                        row["algorithm"],
+                        row["model"],
+                        row["size"],
+                        row["memory_bytes"],
+                        row["elapsed_seconds"],
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+    return 0
+
+
 def _command_bound(args: argparse.Namespace) -> int:
     reader = AdjacencyFileReader(args.input)
     bound = independence_upper_bound(reader)
@@ -229,6 +358,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _command_generate,
         "solve": _command_solve,
+        "compare": _command_compare,
         "bound": _command_bound,
         "theory": _command_theory,
         "datasets": _command_datasets,

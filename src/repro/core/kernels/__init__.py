@@ -14,6 +14,7 @@ from repro.core.kernels.base import (
     get_backend,
     register_backend,
     resolve_backend,
+    resolve_graph_backend,
     set_default_backend,
 )
 from repro.core.kernels.python_backend import PythonBackend
@@ -35,5 +36,6 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_backend",
+    "resolve_graph_backend",
     "set_default_backend",
 ]

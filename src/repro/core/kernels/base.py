@@ -49,6 +49,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_backend",
+    "resolve_graph_backend",
     "set_default_backend",
 ]
 
@@ -70,6 +71,19 @@ class KernelBackend(abc.ABC):
 
     def supports(self, source) -> bool:
         """Whether this backend can execute against ``source``."""
+
+        return True
+
+    def supports_graph(self, graph) -> bool:
+        """Whether this backend can execute against an in-memory graph.
+
+        The in-memory comparator passes (:meth:`local_search_pass`,
+        :meth:`dynamic_update_pass`) run directly on the CSR arrays of a
+        :class:`~repro.graphs.graph.Graph`; a backend that requires a
+        specific array representation (the numpy backend needs int64
+        ndarrays) reports it here and :func:`resolve_graph_backend` falls
+        back to the reference implementation.
+        """
 
         return True
 
@@ -104,6 +118,43 @@ class KernelBackend(abc.ABC):
 
         The final element is the oscillation-guard flag, as in
         :meth:`one_k_swap_pass`.
+        """
+
+    @abc.abstractmethod
+    def local_search_pass(
+        self,
+        graph,
+        initial_set: FrozenSet[int],
+        max_iterations: int,
+    ) -> Tuple[FrozenSet[int], int]:
+        """In-memory (1,2)-swap local search over the CSR arrays.
+
+        Starting from ``initial_set`` the pass maximalises the set once
+        (ascending ``(degree, id)`` order), then performs sweeps over the
+        ascending-id snapshot of the independent set: each IS vertex with
+        two non-adjacent *loose* neighbours (unselected vertices whose only
+        IS neighbour is the vertex itself) is replaced by the
+        lexicographically first such pair, followed by a local
+        re-maximalisation of the freed neighbourhood.  Sweeps repeat until
+        none improves or ``max_iterations`` accepted moves were made.
+
+        Returns the final independent set and the number of accepted
+        moves.  The procedure is fully deterministic, so every backend
+        returns bit-identical results.
+        """
+
+    @abc.abstractmethod
+    def dynamic_update_pass(self, graph) -> Tuple[int, ...]:
+        """In-memory DynamicUpdate (minimum-degree greedy) over CSR arrays.
+
+        The classic greedy of Halldórsson & Radhakrishnan with a
+        deterministic round rule: each round snapshots every alive vertex
+        of the current minimum degree in ascending-id order and processes
+        the snapshot sequentially (selecting a vertex removes its closed
+        neighbourhood and updates degrees; snapshot members whose degree
+        changed are skipped).  Vertices whose degree *drops to* the round's
+        degree mid-round wait for a later round.  Returns the selection
+        sequence, which is bit-identical across backends.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -187,5 +238,21 @@ def resolve_backend(name: Optional[str], source) -> KernelBackend:
 
     backend = get_backend(name)
     if not backend.supports(source):
+        return _REGISTRY["python"]
+    return backend
+
+
+def resolve_graph_backend(name: Optional[str], graph) -> KernelBackend:
+    """Pick the backend that will run the in-memory comparator passes.
+
+    Mirrors :func:`resolve_backend` for passes that operate on a
+    :class:`~repro.graphs.graph.Graph` instead of a scan source: when the
+    requested backend cannot execute against the graph's CSR arrays (per
+    :meth:`KernelBackend.supports_graph` — e.g. the numpy backend on a
+    graph built without numpy), the ``python`` reference runs instead.
+    """
+
+    backend = get_backend(name)
+    if not backend.supports_graph(graph):
         return _REGISTRY["python"]
     return backend

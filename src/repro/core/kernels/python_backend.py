@@ -7,11 +7,19 @@ semi-external disk path.  It doubles as the ground truth for the
 vectorized numpy backend: the property tests in
 ``tests/test_kernel_backends.py`` assert that both backends return
 byte-identical independent sets and telemetry.
+
+The backend also carries the reference implementations of the in-memory
+comparator passes (Tables 5–6): the (1,2)-swap local search and the
+DynamicUpdate minimum-degree greedy, both running on flat CSR/degree
+arrays instead of per-vertex dict-and-set structures.
+``tests/test_comparator_kernels.py`` pins the vectorized versions to
+these loops.
 """
 
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_left
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -487,6 +495,155 @@ class PythonBackend(KernelBackend):
 
         independent_set = frozenset(v for v in range(num_vertices) if state[v] is S.IS)
         return independent_set, tuple(rounds), max_sc_vertices, oscillation
+
+    # ------------------------------------------------------------------
+    # In-memory comparators (Tables 5-6).
+    # ------------------------------------------------------------------
+    def local_search_pass(
+        self,
+        graph,
+        initial_set: FrozenSet[int],
+        max_iterations: int,
+    ) -> Tuple[FrozenSet[int], int]:
+        num_vertices = graph.num_vertices
+        offsets, targets = _csr_lists(graph)
+        selected = bytearray(num_vertices)
+        for v in initial_set:
+            selected[v] = 1
+        # tight[u] = number of selected neighbours of u (0 for IS members).
+        tight = [0] * num_vertices
+        for v in initial_set:
+            for u in targets[offsets[v] : offsets[v + 1]]:
+                tight[u] += 1
+
+        degree_order = graph.degree_ascending_order()
+
+        def _select(vertex: int) -> None:
+            selected[vertex] = 1
+            for u in targets[offsets[vertex] : offsets[vertex + 1]]:
+                tight[u] += 1
+
+        # Initial maximalisation in ascending (degree, id) order.
+        for v in degree_order:
+            if not selected[v] and tight[v] == 0:
+                _select(v)
+
+        degrees = graph.degrees()
+        iterations = 0
+        improved = True
+        while improved and iterations < max_iterations:
+            improved = False
+            snapshot = [v for v in range(num_vertices) if selected[v]]
+            for vertex in snapshot:
+                if not selected[vertex]:
+                    continue
+                # Loose neighbours: unselected, their only IS neighbour is
+                # `vertex` (tight == 1 and adjacency to `vertex` imply it).
+                start, end = offsets[vertex], offsets[vertex + 1]
+                candidates = [
+                    u
+                    for u in targets[start:end]
+                    if not selected[u] and tight[u] == 1
+                ]
+                if len(candidates) < 2:
+                    continue
+                replacement = None
+                for index, first in enumerate(candidates):
+                    first_start, first_end = offsets[first], offsets[first + 1]
+                    for second in candidates[index + 1 :]:
+                        slot = bisect_left(targets, second, first_start, first_end)
+                        if slot >= first_end or targets[slot] != second:
+                            replacement = (first, second)
+                            break
+                    if replacement:
+                        break
+                if replacement is None:
+                    continue
+                # Commit the (1,2) swap.
+                selected[vertex] = 0
+                for u in targets[start:end]:
+                    tight[u] -= 1
+                _select(replacement[0])
+                _select(replacement[1])
+                iterations += 1
+                improved = True
+                # Local re-maximalisation: only neighbours of the removed
+                # vertex can have become free.
+                freed = [
+                    u
+                    for u in targets[start:end]
+                    if not selected[u] and tight[u] == 0
+                ]
+                freed.sort(key=lambda u: (degrees[u], u))
+                for u in freed:
+                    if not selected[u] and tight[u] == 0:
+                        _select(u)
+                if iterations >= max_iterations:
+                    break
+
+        independent_set = frozenset(
+            v for v in range(num_vertices) if selected[v]
+        )
+        return independent_set, iterations
+
+    def dynamic_update_pass(self, graph) -> Tuple[int, ...]:
+        num_vertices = graph.num_vertices
+        if num_vertices == 0:
+            return ()
+        offsets, targets = _csr_lists(graph)
+        degree = [offsets[v + 1] - offsets[v] for v in range(num_vertices)]
+        alive = bytearray([1]) * num_vertices
+        max_degree = max(degree)
+        # Flat bucket queue over current degrees; entries can be stale (a
+        # vertex whose degree changed) and are skipped on inspection.
+        buckets: List[List[int]] = [[] for _ in range(max_degree + 1)]
+        for v in range(num_vertices):
+            buckets[degree[v]].append(v)
+
+        selection: List[int] = []
+        cursor = 0
+        remaining = num_vertices
+        while remaining and cursor <= max_degree:
+            bucket = buckets[cursor]
+            if not bucket:
+                cursor += 1
+                continue
+            buckets[cursor] = []
+            snapshot = sorted(
+                v for v in bucket if alive[v] and degree[v] == cursor
+            )
+            if not snapshot:
+                continue
+            round_min = cursor
+            for vertex in snapshot:
+                if not alive[vertex] or degree[vertex] != cursor:
+                    continue
+                alive[vertex] = 0
+                remaining -= 1
+                selection.append(vertex)
+                for neighbor in targets[offsets[vertex] : offsets[vertex + 1]]:
+                    if not alive[neighbor]:
+                        continue
+                    alive[neighbor] = 0
+                    remaining -= 1
+                    for second in targets[offsets[neighbor] : offsets[neighbor + 1]]:
+                        if alive[second]:
+                            new_degree = degree[second] - 1
+                            degree[second] = new_degree
+                            buckets[new_degree].append(second)
+                            if new_degree < round_min:
+                                round_min = new_degree
+            cursor = round_min
+        return tuple(selection)
+
+
+def _csr_lists(graph) -> Tuple[List[int], List[int]]:
+    """The graph's CSR arrays as plain Python lists (fast scalar indexing)."""
+
+    offsets, targets = graph.csr_arrays()
+    if hasattr(offsets, "tolist"):
+        return offsets.tolist(), targets.tolist()
+    return list(offsets), list(targets)
 
 
 register_backend(PythonBackend())

@@ -72,8 +72,10 @@ class MISResult:
     elapsed_seconds:
         Wall-clock time of the run.
     initial_size:
-        Size of the independent set the solver started from (equals 0 for
-        constructive algorithms such as greedy).
+        Size of the independent set the solver started from.  The greedy
+        passes report 0; DynamicUpdate — constructive, with no improvement
+        phase — reports the size of the set it built, so improvement-ratio
+        comparisons see a zero gain rather than a bogus one.
     extras:
         Free-form additional metrics (e.g. ``max_sc_vertices``).
     """

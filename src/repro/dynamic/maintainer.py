@@ -7,6 +7,17 @@ preserves two invariants after every update:
 * **independence** — no edge has both endpoints selected;
 * **maximality** — every unselected vertex has a selected neighbour.
 
+The adjacency is stored as the immutable **CSR arrays** of the initial
+graph plus a small per-vertex delta overlay (edges added or removed
+since), and the per-vertex solver state lives in flat arrays — a selected
+flag, the current degree, and a *tightness* counter (the number of
+selected neighbours).  Tightness makes every invariant decision O(1):
+a vertex can join the set exactly when its tightness is zero, which
+replaces the seed's per-update set intersections.  With NumPy available
+the arrays are ndarrays and the initial tightness, invariant checks and
+rebuilds run as vectorized bincounts over the CSR slots; without it the
+same flat-array logic runs on plain lists.
+
 Update rules:
 
 ``insert_edge(u, v)``
@@ -19,6 +30,9 @@ Update rules:
     neighbour, it is added.
 ``add_vertex()``
     A fresh isolated vertex is always added to the set.
+``apply_updates(insertions, deletions)``
+    Bulk form for update streams: applies every insertion, then every
+    deletion, each with exactly the per-edge semantics above.
 ``rebuild(pipeline=...)``
     Recompute the set from scratch with any of the library pipelines —
     the counterpart of the paper's periodic swap passes — and reset the
@@ -27,13 +41,18 @@ Update rules:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.solver import solve_mis
 from repro.errors import GraphError, SolverError
 from repro.graphs.graph import Graph
-from repro.validation.checks import is_independent_set, uncovered_vertices
+
+try:  # pragma: no cover - exercised implicitly on every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
 
 __all__ = ["UpdateStats", "DynamicMISMaintainer"]
 
@@ -59,19 +78,140 @@ class DynamicMISMaintainer:
         initial: Optional[Iterable[int]] = None,
         pipeline: str = "two_k_swap",
     ) -> None:
-        self._adjacency: Dict[int, Set[int]] = {}
-        self._selected: Set[int] = set()
         self._pipeline = pipeline
         self.stats = UpdateStats()
+        # Immutable CSR base (the initial graph) + per-vertex delta overlay.
+        self._base_offsets = None
+        self._base_targets = None
+        self._base_n = 0
+        self._added: Dict[int, Set[int]] = {}
+        self._removed: Dict[int, Set[int]] = {}
+        # Flat per-vertex state, grown on demand.
+        self._capacity = 0
+        self._present = self._new_bool(0)
+        self._selected = self._new_bool(0)
+        self._tight = self._new_int(0)
+        self._degree = self._new_int(0)
+        self._num_present = 0
+        self._num_edges = 0
+        self._max_id = -1
+
         if graph is not None:
-            for vertex in graph.vertices():
-                self._adjacency[vertex] = set(graph.neighbors(vertex))
+            self._base_offsets, self._base_targets = graph.csr_arrays()
+            self._base_n = graph.num_vertices
+            self._grow(self._base_n)
+            self._max_id = self._base_n - 1
+            self._num_present = self._base_n
+            self._num_edges = graph.num_edges
+            if _np is not None and isinstance(self._base_offsets, _np.ndarray):
+                self._present[: self._base_n] = True
+                self._degree[: self._base_n] = _np.diff(self._base_offsets)
+            else:
+                for v in range(self._base_n):
+                    self._present[v] = True
+                    self._degree[v] = (
+                        self._base_offsets[v + 1] - self._base_offsets[v]
+                    )
             if initial is None:
                 initial = solve_mis(graph, pipeline=pipeline).independent_set
-            self._selected = set(initial)
-            if not is_independent_set(graph, self._selected):
-                raise SolverError("the initial set is not independent")
-            self._saturate(self._adjacency.keys())
+            for v in initial:
+                if not (0 <= v < self._base_n):
+                    raise SolverError(
+                        f"initial vertex {v} is not in the graph"
+                    )
+                self._selected[v] = True
+            self._recompute_tightness()
+            for v in self._selected_ids():
+                if self._tight[v]:
+                    raise SolverError("the initial set is not independent")
+            self._saturate(range(self._base_n))
+
+    # ------------------------------------------------------------------
+    # Flat-array plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _new_bool(size: int):
+        if _np is not None:
+            return _np.zeros(size, dtype=bool)
+        return [False] * size
+
+    @staticmethod
+    def _new_int(size: int):
+        if _np is not None:
+            return _np.zeros(size, dtype=_np.int64)
+        return [0] * size
+
+    def _grow(self, needed: int) -> None:
+        """Ensure the state arrays cover vertex ids ``0 .. needed - 1``."""
+
+        if needed <= self._capacity:
+            return
+        new_capacity = max(needed, 2 * self._capacity, 16)
+        if _np is not None and isinstance(self._present, _np.ndarray):
+            for name in ("_present", "_selected", "_tight", "_degree"):
+                old = getattr(self, name)
+                fresh = _np.zeros(new_capacity, dtype=old.dtype)
+                fresh[: old.size] = old
+                setattr(self, name, fresh)
+        else:
+            pad = new_capacity - self._capacity
+            self._present.extend([False] * pad)
+            self._selected.extend([False] * pad)
+            self._tight.extend([0] * pad)
+            self._degree.extend([0] * pad)
+        self._capacity = new_capacity
+
+    def _selected_ids(self) -> List[int]:
+        if _np is not None and isinstance(self._selected, _np.ndarray):
+            return _np.flatnonzero(self._selected).tolist()
+        return [v for v in range(self._capacity) if self._selected[v]]
+
+    def _present_ids(self) -> List[int]:
+        if _np is not None and isinstance(self._present, _np.ndarray):
+            return _np.flatnonzero(self._present).tolist()
+        return [v for v in range(self._capacity) if self._present[v]]
+
+    # ------------------------------------------------------------------
+    # Adjacency (CSR base + deltas)
+    # ------------------------------------------------------------------
+    def _base_slice(self, vertex: int) -> List[int]:
+        if not (0 <= vertex < self._base_n):
+            return []
+        chunk = self._base_targets[
+            self._base_offsets[vertex] : self._base_offsets[vertex + 1]
+        ]
+        return chunk.tolist() if hasattr(chunk, "tolist") else list(chunk)
+
+    def _neighbors(self, vertex: int) -> List[int]:
+        """Current neighbours of ``vertex`` (base minus removed plus added)."""
+
+        removed = self._removed.get(vertex)
+        neighbors = (
+            [u for u in self._base_slice(vertex) if u not in removed]
+            if removed
+            else self._base_slice(vertex)
+        )
+        added = self._added.get(vertex)
+        if added:
+            neighbors.extend(added)
+        return neighbors
+
+    def _base_has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < self._base_n and 0 <= v < self._base_n):
+            return False
+        start = self._base_offsets[u]
+        end = self._base_offsets[u + 1]
+        slot = bisect_left(self._base_targets, v, int(start), int(end))
+        return slot < end and self._base_targets[slot] == v
+
+    def _has_edge(self, u: int, v: int) -> bool:
+        added = self._added.get(u)
+        if added and v in added:
+            return True
+        if self._base_has_edge(u, v):
+            removed = self._removed.get(u)
+            return not (removed and v in removed)
+        return False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -80,62 +220,180 @@ class DynamicMISMaintainer:
     def num_vertices(self) -> int:
         """Number of vertices currently in the maintained graph."""
 
-        return len(self._adjacency)
+        return self._num_present
 
     @property
     def num_edges(self) -> int:
         """Number of edges currently in the maintained graph."""
 
-        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+        return self._num_edges
 
     @property
     def independent_set(self) -> FrozenSet[int]:
         """The currently maintained independent set."""
 
-        return frozenset(self._selected)
+        return frozenset(self._selected_ids())
 
     @property
     def size(self) -> int:
         """Size of the maintained independent set."""
 
-        return len(self._selected)
+        if _np is not None and isinstance(self._selected, _np.ndarray):
+            return int(self._selected.sum())
+        return sum(1 for v in range(self._capacity) if self._selected[v])
 
     def to_graph(self) -> Graph:
         """Materialise the current graph as an immutable :class:`Graph`."""
 
-        num_vertices = max(self._adjacency, default=-1) + 1
-        edges = [
+        num_vertices = self._max_id + 1
+        added_pairs = [
             (u, v)
-            for u, neighbors in self._adjacency.items()
+            for u, neighbors in self._added.items()
             for v in neighbors
             if u < v
         ]
+        if (
+            _np is not None
+            and self._base_n
+            and isinstance(self._base_targets, _np.ndarray)
+        ):
+            degrees = _np.diff(self._base_offsets)
+            sources = _np.repeat(
+                _np.arange(self._base_n, dtype=_np.int64), degrees
+            )
+            forward = sources < self._base_targets
+            eu, ev = sources[forward], self._base_targets[forward]
+            if self._removed:
+                removed_keys = {
+                    u * num_vertices + v
+                    for u, neighbors in self._removed.items()
+                    for v in neighbors
+                    if u < v
+                }
+                if removed_keys:
+                    keys = eu * num_vertices + ev
+                    keep = ~_np.isin(
+                        keys, _np.fromiter(removed_keys, dtype=_np.int64)
+                    )
+                    eu, ev = eu[keep], ev[keep]
+            edges = _np.column_stack((eu, ev))
+            if added_pairs:
+                edges = _np.concatenate(
+                    (edges, _np.asarray(added_pairs, dtype=_np.int64))
+                )
+            return Graph(num_vertices, edges)
+        edges: List[Tuple[int, int]] = []
+        for u in range(self._base_n):
+            removed = self._removed.get(u)
+            for v in self._base_slice(u):
+                if u < v and not (removed and v in removed):
+                    edges.append((u, v))
+        edges.extend(added_pairs)
         return Graph(num_vertices, edges)
 
-    def check_invariants(self) -> None:
-        """Raise :class:`SolverError` if independence or maximality is violated."""
+    def _recompute_tightness(self) -> None:
+        """Rebuild the tightness array from the selection flags.
 
-        for u in self._selected:
-            if self._adjacency.get(u) is None:
-                raise SolverError(f"selected vertex {u} is not in the graph")
-            conflict = self._adjacency[u] & self._selected
-            if conflict:
-                raise SolverError(f"selected vertices {u} and {conflict.pop()} are adjacent")
-        for vertex, neighbors in self._adjacency.items():
-            if vertex not in self._selected and not (neighbors & self._selected):
-                raise SolverError(f"vertex {vertex} is uncovered: the set is not maximal")
+        The CSR base contributes one vectorized masked bincount; the
+        (small) delta overlay is patched in scalar.
+        """
+
+        if _np is not None and isinstance(self._tight, _np.ndarray):
+            self._tight[:] = 0
+            if self._base_n and isinstance(self._base_targets, _np.ndarray):
+                degrees = _np.diff(self._base_offsets)
+                sources = _np.repeat(
+                    _np.arange(self._base_n, dtype=_np.int64), degrees
+                )
+                mask = self._selected[self._base_targets]
+                self._tight[: self._base_n] += _np.bincount(
+                    sources[mask], minlength=self._base_n
+                )
+            for u, neighbors in self._removed.items():
+                for v in neighbors:
+                    if self._selected[v]:
+                        self._tight[u] -= 1
+            for u, neighbors in self._added.items():
+                for v in neighbors:
+                    if self._selected[v]:
+                        self._tight[u] += 1
+            return
+        for v in range(self._capacity):
+            self._tight[v] = 0
+        for v in self._selected_ids():
+            for u in self._neighbors(v):
+                self._tight[u] += 1
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SolverError` if independence or maximality is violated.
+
+        The check recomputes the tightness counters from scratch (it does
+        not trust the incrementally maintained array), so it also catches
+        maintainer bugs.
+        """
+
+        maintained = (
+            self._tight.copy()
+            if _np is not None and isinstance(self._tight, _np.ndarray)
+            else list(self._tight)
+        )
+        self._recompute_tightness()
+        try:
+            for u in self._selected_ids():
+                if not self._present[u]:
+                    raise SolverError(f"selected vertex {u} is not in the graph")
+                if self._tight[u]:
+                    conflict = next(
+                        w for w in self._neighbors(u) if self._selected[w]
+                    )
+                    raise SolverError(
+                        f"selected vertices {u} and {conflict} are adjacent"
+                    )
+            for v in self._present_ids():
+                if not self._selected[v] and not self._tight[v]:
+                    raise SolverError(
+                        f"vertex {v} is uncovered: the set is not maximal"
+                    )
+            if _np is not None and isinstance(maintained, _np.ndarray):
+                drift = bool((maintained != self._tight).any())
+            else:
+                drift = maintained != list(self._tight)
+            if drift:
+                raise SolverError("the maintained tightness counters drifted")
+        finally:
+            if _np is not None and isinstance(maintained, _np.ndarray):
+                self._tight[:] = maintained
+            else:
+                self._tight = maintained
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+    def _create_vertex(self, vertex: int) -> None:
+        self._grow(vertex + 1)
+        self._present[vertex] = True
+        self._num_present += 1
+        if vertex > self._max_id:
+            self._max_id = vertex
+
+    def _select(self, vertex: int) -> None:
+        self._selected[vertex] = True
+        for u in self._neighbors(vertex):
+            self._tight[u] += 1
+        self.stats.additions += 1
+
+    def _unselect(self, vertex: int) -> None:
+        self._selected[vertex] = False
+        for u in self._neighbors(vertex):
+            self._tight[u] -= 1
+
     def add_vertex(self) -> int:
         """Add an isolated vertex; it immediately joins the independent set."""
 
-        vertex = max(self._adjacency, default=-1) + 1
-        self._adjacency[vertex] = set()
-        self._selected.add(vertex)
+        vertex = self._max_id + 1
+        self._create_vertex(vertex)
+        self._select(vertex)
         self.stats.vertices_added += 1
-        self.stats.additions += 1
         return vertex
 
     def insert_edge(self, u: int, v: int) -> None:
@@ -146,34 +404,79 @@ class DynamicMISMaintainer:
         for vertex in (u, v):
             if vertex < 0:
                 raise GraphError("vertex ids must be non-negative")
-            self._adjacency.setdefault(vertex, set())
-            # Brand-new vertices join the set if nothing blocks them yet.
-            if vertex not in self._selected and not (
-                self._adjacency[vertex] & self._selected
-            ):
-                self._selected.add(vertex)
-                self.stats.additions += 1
-        if v in self._adjacency[u]:
+            if not (vertex < self._capacity and self._present[vertex]):
+                self._create_vertex(vertex)
+            # Vertices with no selected neighbour join the set before the
+            # edge goes in (covers brand-new vertices in particular).
+            if not self._selected[vertex] and not self._tight[vertex]:
+                self._select(vertex)
+        if self._has_edge(u, v):
             return
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        self._apply_edge_insert(u, v)
         self.stats.edges_inserted += 1
 
-        if u in self._selected and v in self._selected:
-            evicted = u if len(self._adjacency[u]) >= len(self._adjacency[v]) else v
-            self._selected.discard(evicted)
+        if self._selected[u] and self._selected[v]:
+            evicted = u if self._degree[u] >= self._degree[v] else v
+            self._unselect(evicted)
             self.stats.evictions += 1
-            self._saturate(self._adjacency[evicted] | {evicted})
+            self._saturate(self._neighbors(evicted) + [evicted])
+
+    def _apply_edge_insert(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            removed = self._removed.get(a)
+            if removed and b in removed:
+                removed.discard(b)
+            else:
+                self._added.setdefault(a, set()).add(b)
+            self._degree[a] += 1
+            if self._selected[b]:
+                self._tight[a] += 1
+        self._num_edges += 1
 
     def delete_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}`` (a no-op if it does not exist)."""
 
-        if v not in self._adjacency.get(u, set()):
+        if u == v or min(u, v) < 0 or max(u, v) >= self._capacity:
             return
-        self._adjacency[u].discard(v)
-        self._adjacency[v].discard(u)
+        if not (self._present[u] and self._present[v]):
+            return
+        if not self._has_edge(u, v):
+            return
+        for a, b in ((u, v), (v, u)):
+            added = self._added.get(a)
+            if added and b in added:
+                added.discard(b)
+            else:
+                self._removed.setdefault(a, set()).add(b)
+            self._degree[a] -= 1
+            if self._selected[b]:
+                self._tight[a] -= 1
+        self._num_edges -= 1
         self.stats.edges_deleted += 1
         self._saturate((u, v))
+
+    def apply_updates(
+        self,
+        insertions: Iterable[Tuple[int, int]] = (),
+        deletions: Iterable[Tuple[int, int]] = (),
+    ) -> UpdateStats:
+        """Apply a bulk update stream: every insertion, then every deletion.
+
+        Accepts any iterable of ``(u, v)`` pairs — including ``(m, 2)``
+        integer ndarrays — and applies each update with exactly the
+        per-edge semantics of :meth:`insert_edge` / :meth:`delete_edge`.
+        Returns the (cumulative) :class:`UpdateStats`.
+        """
+
+        if hasattr(insertions, "tolist"):
+            insertions = insertions.tolist()
+        if hasattr(deletions, "tolist"):
+            deletions = deletions.tolist()
+        for u, v in insertions:
+            self.insert_edge(int(u), int(v))
+        for u, v in deletions:
+            self.delete_edge(int(u), int(v))
+        return self.stats
 
     def rebuild(self, pipeline: Optional[str] = None) -> None:
         """Recompute the set from scratch with a full pipeline run."""
@@ -182,8 +485,16 @@ class DynamicMISMaintainer:
         solution = solve_mis(graph, pipeline=pipeline or self._pipeline).independent_set
         # to_graph() may contain placeholder ids for vertices that were never
         # created; keep only real vertices and re-saturate the rest.
-        self._selected = {v for v in solution if v in self._adjacency}
-        self._saturate(self._adjacency.keys())
+        if _np is not None and isinstance(self._selected, _np.ndarray):
+            self._selected[:] = False
+        else:
+            for v in range(self._capacity):
+                self._selected[v] = False
+        for v in solution:
+            if v < self._capacity and self._present[v]:
+                self._selected[v] = True
+        self._recompute_tightness()
+        self._saturate(self._present_ids())
         self.stats.rebuilds += 1
 
     # ------------------------------------------------------------------
@@ -192,12 +503,16 @@ class DynamicMISMaintainer:
     def _saturate(self, candidates: Iterable[int]) -> None:
         """Greedily add any candidate left without a selected neighbour."""
 
-        for vertex in sorted(
-            (v for v in candidates if v in self._adjacency),
-            key=lambda v: (len(self._adjacency[v]), v),
-        ):
-            if vertex in self._selected:
+        pool = sorted(
+            {
+                v
+                for v in candidates
+                if 0 <= v < self._capacity and self._present[v]
+            },
+            key=lambda v: (self._degree[v], v),
+        )
+        for vertex in pool:
+            if self._selected[vertex]:
                 continue
-            if not (self._adjacency[vertex] & self._selected):
-                self._selected.add(vertex)
-                self.stats.additions += 1
+            if not self._tight[vertex]:
+                self._select(vertex)

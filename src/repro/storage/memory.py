@@ -78,6 +78,18 @@ class MemoryModel:
 
         return (2 * num_edges + 4 * num_vertices) * self.word_bytes
 
+    def local_search_bytes(self, num_vertices: int, num_edges: int) -> int:
+        """In-memory (1,2)-swap local search: whole graph plus swap state.
+
+        The adjacency structure costs ``2 |E|`` words, the tightness array
+        and the sweep worklist ``|V|`` words each, and the selection flags
+        one byte per vertex.  Like DynamicUpdate this needs the full graph
+        resident, which is why the paper reports in-memory heuristics as
+        "N/A" on the billion-edge datasets.
+        """
+
+        return (2 * num_edges + 2 * num_vertices) * self.word_bytes + num_vertices
+
     def external_mis_bytes(self, block_size: int, fan_in: int = 16) -> int:
         """STXXL-style external maximal IS: a constant number of block buffers."""
 
@@ -102,6 +114,8 @@ class MemoryModel:
             return self.two_k_swap_bytes(num_vertices, max_sc_vertices)
         if name in {"dynamic_update", "dynamicupdate"}:
             return self.dynamic_update_bytes(num_vertices, num_edges)
+        if name in {"local_search", "local-search"}:
+            return self.local_search_bytes(num_vertices, num_edges)
         if name in {"external_mis", "stxxl"}:
             return self.external_mis_bytes(block_size)
         raise ValueError(f"unknown algorithm {algorithm!r} for the memory model")
@@ -113,6 +127,7 @@ class MemoryModel:
             "dynamic_update": self.dynamic_update_bytes(num_vertices, num_edges),
             "external_mis": self.external_mis_bytes(64 * 1024),
             "greedy": self.greedy_bytes(num_vertices),
+            "local_search": self.local_search_bytes(num_vertices, num_edges),
             "one_k_swap": self.one_k_swap_bytes(num_vertices),
             "two_k_swap": self.two_k_swap_bytes(num_vertices, max_sc_vertices),
         }

@@ -54,6 +54,21 @@ class TestDynamicUpdate:
         assert result.memory_bytes == (2 * 300 + 4 * 100) * 4
         assert result.algorithm == "dynamic_update"
 
+    def test_initial_size_matches_built_set(self):
+        # DynamicUpdate is constructive: it reports the set it built as its
+        # own starting point, so improvement-ratio reporting sees zero gain
+        # (consistent with the swap pipelines) instead of a bogus +size.
+        graph = erdos_renyi_gnm(150, 500, seed=7)
+        result = dynamic_update_mis(graph)
+        assert result.initial_size == result.size
+        assert result.total_gain == 0
+
+    def test_backends_agree(self):
+        graph = erdos_renyi_gnm(200, 700, seed=9)
+        python = dynamic_update_mis(graph, backend="python")
+        vectorized = dynamic_update_mis(graph, backend="numpy")
+        assert python.independent_set == vectorized.independent_set
+
 
 class TestExternalMaximalIS:
     def test_result_is_maximal_independent(self):
@@ -142,6 +157,21 @@ class TestLocalSearch:
         graph = erdos_renyi_gnm(150, 600, seed=6)
         result = local_search_mis(graph, max_iterations=1)
         assert result.extras["iterations"] <= 1
+
+    def test_zero_iterations_returns_initial_untouched(self):
+        # The safety valve must bound *all* work: no maximalisation runs
+        # on a caller-supplied set when the budget is zero.
+        graph = star_graph(5)
+        result = local_search_mis(graph, initial={2}, max_iterations=0)
+        assert result.independent_set == frozenset({2})
+        assert result.extras["iterations"] == 0.0
+
+    def test_memory_model_reported_and_limited(self):
+        graph = erdos_renyi_gnm(100, 300, seed=8)
+        result = local_search_mis(graph)
+        assert result.memory_bytes > 0
+        with pytest.raises(MemoryBudgetError):
+            local_search_mis(graph, memory_limit_bytes=result.memory_bytes - 1)
 
 
 class TestBaselineWrapper:

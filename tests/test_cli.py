@@ -83,6 +83,53 @@ class TestCommands:
         assert "4 edges" in capsys.readouterr().out
         assert text_out.exists()
 
+    def test_compare_runs_pipelines_and_comparators(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "150", "--edges", "300"])
+        capsys.readouterr()
+        assert main(["compare", str(path), "--max-rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "two_k_swap", "local_search", "dynamic_update"):
+            assert name in out
+        assert "in-memory" in out and "semi-external" in out
+
+    def test_compare_memory_limit_reports_not_applicable(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "200", "--edges", "500"])
+        capsys.readouterr()
+        assert main([
+            "compare", str(path),
+            "--algorithms", "greedy,local_search,dynamic_update",
+            "--memory-limit-bytes", "64", "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["algorithm"]: row for row in rows}
+        assert by_name["greedy"]["not_applicable"] is False
+        assert by_name["local_search"]["not_applicable"] is True
+        assert by_name["local_search"]["size"] == "N/A"
+        assert by_name["dynamic_update"]["not_applicable"] is True
+
+    def test_compare_rejects_unknown_algorithms(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        assert main(["compare", str(path), "--algorithms", "quantum"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_compare_backends_agree_on_sizes(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "plrg", "--vertices", "500", "--seed", "4"])
+        capsys.readouterr()
+        sizes = {}
+        for backend in ("python", "numpy"):
+            assert main([
+                "compare", str(path), "--backend", backend,
+                "--algorithms", "local_search,dynamic_update", "--json",
+            ]) == 0
+            rows = json.loads(capsys.readouterr().out)
+            sizes[backend] = {row["algorithm"]: row["size"] for row in rows}
+        assert sizes["python"] == sizes["numpy"]
+
     def test_reduce_command_reports_kernel(self, tmp_path, capsys):
         path = tmp_path / "toy.adj"
         main(["generate", str(path), "--model", "gnm", "--vertices", "150", "--edges", "220"])

@@ -128,3 +128,55 @@ class TestEdgeDeletionsAndRebuild:
         assert stats.edges_inserted == 1
         assert stats.edges_deleted == 1
         assert stats.vertices_added == 1
+
+
+class TestBulkUpdates:
+    def test_bulk_stream_matches_per_edge_application(self):
+        rng = random.Random(17)
+        insertions = []
+        deletions = []
+        for _ in range(150):
+            u, v = rng.randrange(70), rng.randrange(70)
+            if u != v:
+                insertions.append((u, v))
+        for _ in range(40):
+            u, v = rng.randrange(70), rng.randrange(70)
+            if u != v:
+                deletions.append((u, v))
+
+        bulk = DynamicMISMaintainer(erdos_renyi_gnm(70, 120, seed=5))
+        sequential = DynamicMISMaintainer(erdos_renyi_gnm(70, 120, seed=5))
+        bulk.apply_updates(insertions=insertions, deletions=deletions)
+        for u, v in insertions:
+            sequential.insert_edge(u, v)
+        for u, v in deletions:
+            sequential.delete_edge(u, v)
+        assert bulk.independent_set == sequential.independent_set
+        assert bulk.num_edges == sequential.num_edges
+        assert bulk.stats == sequential.stats
+        bulk.check_invariants()
+
+    def test_bulk_stream_accepts_ndarrays(self):
+        np = pytest.importorskip("numpy")
+        maintainer = DynamicMISMaintainer(erdos_renyi_gnm(40, 60, seed=6))
+        insertions = np.asarray([[0, 39], [1, 38], [2, 37]], dtype=np.int64)
+        maintainer.apply_updates(insertions=insertions)
+        assert maintainer.stats.edges_inserted <= 3  # duplicates are no-ops
+        maintainer.check_invariants()
+
+    def test_to_graph_reflects_the_delta_overlay(self):
+        maintainer = DynamicMISMaintainer(path_graph(4))
+        maintainer.delete_edge(1, 2)
+        maintainer.insert_edge(0, 3)
+        graph = maintainer.to_graph()
+        assert not graph.has_edge(1, 2)
+        assert graph.has_edge(0, 3)
+        assert graph.num_edges == maintainer.num_edges
+
+    def test_invariant_checker_recomputes_tightness(self):
+        maintainer = DynamicMISMaintainer(erdos_renyi_gnm(50, 120, seed=7))
+        maintainer._tight[0] += 1  # simulate a maintainer bug
+        with pytest.raises(SolverError):
+            maintainer.check_invariants()
+        maintainer._tight[0] -= 1
+        maintainer.check_invariants()

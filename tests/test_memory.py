@@ -30,6 +30,15 @@ class TestMemoryModel:
         dense = model.dynamic_update_bytes(1_000, 20_000)
         assert dense > sparse
 
+    def test_local_search_scales_with_edges(self):
+        model = MemoryModel()
+        assert model.local_search_bytes(1_000, 5_000) == (
+            (2 * 5_000 + 2 * 1_000) * 4 + 1_000
+        )
+        assert model.local_search_bytes(1_000, 50_000) > model.local_search_bytes(
+            1_000, 5_000
+        )
+
     def test_semi_external_is_far_below_in_memory_for_dense_graphs(self):
         model = MemoryModel()
         n, m = 100_000, 5_000_000
@@ -40,6 +49,9 @@ class TestMemoryModel:
         assert model.algorithm_bytes("greedy", 800) == model.greedy_bytes(800)
         assert model.algorithm_bytes("Two-K-Swap", 800) == model.two_k_swap_bytes(800)
         assert model.algorithm_bytes("stxxl", 800) == model.external_mis_bytes(64 * 1024)
+        assert model.algorithm_bytes(
+            "local_search", 800, num_edges=2_000
+        ) == model.local_search_bytes(800, 2_000)
         with pytest.raises(ValueError):
             model.algorithm_bytes("unknown", 800)
 
@@ -49,6 +61,7 @@ class TestMemoryModel:
             "dynamic_update",
             "external_mis",
             "greedy",
+            "local_search",
             "one_k_swap",
             "two_k_swap",
         }
