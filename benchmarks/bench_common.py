@@ -9,13 +9,16 @@ EXPERIMENTS.md for the per-experiment discussion.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.result import MISResult
+from repro.core.solver import solve_mis
 from repro.graphs.datasets import available_datasets, load_dataset
 from repro.graphs.graph import Graph
 from repro.graphs.plrg import PLRGParameters, plrg_graph
 
 __all__ = [
+    "run_pipeline",
     "BETA_SWEEP",
     "PAPER_TABLE2_RATIOS",
     "PAPER_TABLE5_SIZES",
@@ -123,6 +126,31 @@ _DATASET_SCALES: Dict[str, float] = {
     "twitter": 0.00004,
     "clueweb12": 0.000003,
 }
+
+
+def run_pipeline(
+    graph_or_source,
+    pipeline: str = "two_k_swap",
+    backend: Optional[str] = None,
+    max_rounds: Optional[int] = None,
+    order: Union[str, Sequence[int]] = "degree",
+) -> MISResult:
+    """Run one named pipeline through the engine facade.
+
+    Every benchmark that replays a paper composition ("One-k-swap (after
+    Greedy)", "Two-k-swap (after Baseline)", …) goes through this single
+    entry point instead of hand-chaining the passes, so the harness
+    measures exactly the code path the library and the CLI execute — and
+    the per-stage telemetry is available in ``result.extras["stages"]``.
+    """
+
+    return solve_mis(
+        graph_or_source,
+        pipeline=pipeline,
+        max_rounds=max_rounds,
+        order=order,
+        backend=backend,
+    )
 
 
 def sweep_graph(beta: float, num_vertices: int, seed: int) -> Graph:

@@ -4,9 +4,12 @@ Times the hot paths of the system — CSR graph construction, the
 Algorithm-1 greedy pass, the Algorithm-2 one-k-swap pass, the
 Algorithm-3/4 two-k-swap pass, the **semi-external** file path
 (block-batched numpy kernels vs. the record-streaming python reference
-over the same adjacency file) and the **in-memory comparators** of
+over the same adjacency file), the **in-memory comparators** of
 Tables 5–6 (the (1,2)-swap local search and the DynamicUpdate
-minimum-degree greedy) — on PLRG graphs for both kernel backends and
+minimum-degree greedy) and the **pipeline-engine dispatch overhead**
+(the greedy pass via ``solve_mis`` vs. the direct ``greedy_mis`` call,
+reported as ``engine_overhead_pct``) — on PLRG graphs for both kernel
+backends and
 writes the measurements, plus the numpy-over-python speedups, to
 ``BENCH_core.json`` at the repository root.  This file is the perf
 trajectory of the project: every PR runs at least the ``--smoke``
@@ -46,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.baselines.dynamic_update import dynamic_update_mis  # noqa: E402
 from repro.baselines.local_search import local_search_mis  # noqa: E402
-from repro.core import greedy_mis, one_k_swap, two_k_swap  # noqa: E402
+from repro.core import greedy_mis, one_k_swap, solve_mis, two_k_swap  # noqa: E402
 from repro.core.kernels import available_backends  # noqa: E402
 from repro.graphs.graph import build_csr  # noqa: E402
 from repro.graphs.plrg import plrg_graph_with_vertex_count  # noqa: E402
@@ -136,6 +139,15 @@ def bench_size(
         greedy_result = greedy_mis(graph, backend=backend)
         greedy_seconds = _best_of(repeats, lambda: greedy_mis(graph, backend=backend))
 
+        # Engine-overhead guard: the same single greedy pass routed through
+        # the pipeline engine (spec lookup, context build, stage dispatch,
+        # per-stage telemetry).  The overhead percentage is tracked like any
+        # other perf number — dispatch creeping past a few percent of a
+        # single-scan pipeline is a regression.
+        engine_greedy_seconds = _best_of(
+            repeats, lambda: solve_mis(graph, pipeline="greedy", backend=backend)
+        )
+
         one_k_result = one_k_swap(
             graph, initial=greedy_result, max_rounds=max_rounds, backend=backend
         )
@@ -154,6 +166,13 @@ def bench_size(
             "greedy_seconds": greedy_seconds,
             "build_plus_greedy_seconds": build_seconds + greedy_seconds,
             "one_k_swap_seconds": one_k_seconds,
+            "engine_greedy_seconds": engine_greedy_seconds,
+            "engine_overhead_pct": round(
+                (engine_greedy_seconds - greedy_seconds)
+                / max(greedy_seconds, 1e-12)
+                * 100,
+                2,
+            ),
             "greedy_size": greedy_result.size,
             "one_k_size": one_k_result.size,
         }

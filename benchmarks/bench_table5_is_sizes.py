@@ -19,13 +19,15 @@ from typing import Dict, Tuple
 
 from repro.baselines.dynamic_update import dynamic_update_mis
 from repro.baselines.external_mis import external_maximal_is
-from repro.core.greedy import greedy_mis
-from repro.core.one_k_swap import one_k_swap
-from repro.core.two_k_swap import two_k_swap
 from repro.graphs.graph import Graph
 from repro.reporting import format_table, print_experiment_header
 
-from bench_common import BENCH_DATASETS, PAPER_TABLE5_SIZES, dataset_standin
+from bench_common import (
+    BENCH_DATASETS,
+    PAPER_TABLE5_SIZES,
+    dataset_standin,
+    run_pipeline,
+)
 
 #: Datasets where the paper reports the in-memory baseline as N/A
 #: (the graph did not fit in the testbed's 8 GB of RAM).
@@ -33,19 +35,17 @@ _IN_MEMORY_NA = {"facebook", "twitter", "clueweb12"}
 
 
 def _run_all_algorithms(graph: Graph) -> Dict[str, int]:
-    """The seven Table 5 columns for one graph."""
+    """The seven Table 5 columns for one graph (engine pipelines)."""
 
-    baseline = greedy_mis(graph, order="id")
-    greedy = greedy_mis(graph, order="degree")
     return {
         "dynamic_update": dynamic_update_mis(graph).size,
         "external_mis": external_maximal_is(graph).size,
-        "baseline": baseline.size,
-        "one_k_after_baseline": one_k_swap(graph, initial=baseline, order="id").size,
-        "two_k_after_baseline": two_k_swap(graph, initial=baseline, order="id").size,
-        "greedy": greedy.size,
-        "one_k_after_greedy": one_k_swap(graph, initial=greedy).size,
-        "two_k_after_greedy": two_k_swap(graph, initial=greedy).size,
+        "baseline": run_pipeline(graph, "baseline").size,
+        "one_k_after_baseline": run_pipeline(graph, "one_k_swap_after_baseline").size,
+        "two_k_after_baseline": run_pipeline(graph, "two_k_swap_after_baseline").size,
+        "greedy": run_pipeline(graph, "greedy").size,
+        "one_k_after_greedy": run_pipeline(graph, "one_k_swap").size,
+        "two_k_after_greedy": run_pipeline(graph, "two_k_swap").size,
     }
 
 

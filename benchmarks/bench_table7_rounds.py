@@ -14,19 +14,20 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.core.greedy import greedy_mis
-from repro.core.one_k_swap import one_k_swap
-from repro.core.two_k_swap import two_k_swap
 from repro.graphs.graph import Graph
 from repro.reporting import format_table, print_experiment_header
 
-from bench_common import BENCH_DATASETS, PAPER_TABLE7_ROUNDS, dataset_standin
+from bench_common import (
+    BENCH_DATASETS,
+    PAPER_TABLE7_ROUNDS,
+    dataset_standin,
+    run_pipeline,
+)
 
 
 def _rounds(graph: Graph) -> Tuple[int, int]:
-    greedy = greedy_mis(graph)
-    one_k = one_k_swap(graph, initial=greedy)
-    two_k = two_k_swap(graph, initial=greedy)
+    one_k = run_pipeline(graph, "one_k_swap")
+    two_k = run_pipeline(graph, "two_k_swap")
     return one_k.num_rounds, two_k.num_rounds
 
 

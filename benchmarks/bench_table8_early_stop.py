@@ -14,17 +14,20 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.greedy import greedy_mis
-from repro.core.one_k_swap import one_k_swap
 from repro.core.result import MISResult
 from repro.graphs.graph import Graph
 from repro.reporting import format_table, print_experiment_header
 
-from bench_common import BENCH_DATASETS, PAPER_TABLE8_THREE_ROUND_RATIO, dataset_standin
+from bench_common import (
+    BENCH_DATASETS,
+    PAPER_TABLE8_THREE_ROUND_RATIO,
+    dataset_standin,
+    run_pipeline,
+)
 
 
 def _swap_progress(graph: Graph) -> MISResult:
-    return one_k_swap(graph, initial=greedy_mis(graph))
+    return run_pipeline(graph, "one_k_swap")
 
 
 def test_table8_early_stop_swap_ratios(benchmark, bench_scale, bench_seed):

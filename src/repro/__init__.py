@@ -55,6 +55,14 @@ from repro.errors import (
 from repro.applications import iterated_is_coloring, vertex_cover
 from repro.dynamic import DynamicMISMaintainer
 from repro.graphs import Graph, GraphBuilder
+from repro.pipeline import (
+    ExecutionContext,
+    PipelineEngine,
+    PipelineSpec,
+    RunSpec,
+    StageReport,
+    StageSpec,
+)
 from repro.reductions import ReducedGraph, reduce_graph, reduced_mis
 from repro.storage import (
     AdjacencyFileReader,
@@ -89,6 +97,13 @@ __all__ = [
     # Analysis
     "approximation_ratio",
     "independence_upper_bound",
+    # Pipeline engine
+    "ExecutionContext",
+    "PipelineEngine",
+    "PipelineSpec",
+    "RunSpec",
+    "StageReport",
+    "StageSpec",
     # Reductions, applications and incremental maintenance
     "ReducedGraph",
     "reduce_graph",

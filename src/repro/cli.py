@@ -24,7 +24,17 @@ Sub-commands
     format.
 ``reduce``
     Apply the exact kernelization rules to an adjacency file and report
-    the kernel size.
+    the kernel size; with ``--pipeline`` the kernel is solved through the
+    engine (``reduce → …``) and the lifted solution is reported too.
+``run``
+    Execute a declarative run spec (``--config run.json``): pipeline
+    composition, input, backend, checkpointing — the scenario runner.
+
+Every command that executes solver passes resolves its kernel backend
+through one shared helper (``--backend`` flag → ``REPRO_KERNEL_BACKEND``
+→ auto-detection) and runs on the stage-based pipeline engine; ``solve``
+and ``run`` support ``--checkpoint``/``--resume`` for restartable runs
+(an interrupted run exits with status 3 and resumes bit-identically).
 """
 
 from __future__ import annotations
@@ -37,21 +47,31 @@ from typing import Dict, List, Optional
 from repro import __version__
 from repro.analysis.plrg_theory import PLRGTheory
 from repro.analysis.upper_bound import independence_upper_bound
-from repro.baselines.dynamic_update import dynamic_update_mis
-from repro.baselines.local_search import local_search_mis
-from repro.core.kernels import available_backends
-from repro.core.solver import PIPELINES, solve_mis
-from repro.storage.memory import MemoryModel
+from repro.core.result import MISResult
+from repro.core.solver import PIPELINES
+from repro.errors import (
+    CheckpointError,
+    MemoryBudgetError,
+    PipelineInterrupted,
+    PipelineSpecError,
+    StorageError,
+)
+from repro.pipeline.context import ExecutionContext, add_execution_arguments
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.spec import PipelineSpec, RunSpec, StageSpec
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.graphs.generators import erdos_renyi_gnm
 from repro.graphs.graph import Graph
 from repro.graphs.plrg import PLRGParameters, plrg_graph
 from repro.reporting import format_table
-from repro.reductions.kernel import reduce_graph
 from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
 from repro.storage.converters import export_edge_list, import_edge_list
 
 __all__ = ["main", "build_parser"]
+
+#: Exit status of a run interrupted by ``--interrupt-after`` (the
+#: checkpoint on disk is complete; re-run with ``--resume``).
+EXIT_INTERRUPTED = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,14 +104,27 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("input", help="path of a binary adjacency file")
     solve.add_argument("--pipeline", choices=sorted(PIPELINES), default="two_k_swap")
     solve.add_argument("--max-rounds", type=int, default=None)
+    add_execution_arguments(solve)
     solve.add_argument(
-        "--backend",
-        choices=["auto"] + list(available_backends()),
-        default="auto",
-        help="kernel backend; 'numpy' (the default when available) runs "
-        "the vectorized kernels over block-batched semi-external scans "
-        "of the file, 'python' streams the records one at a time; both "
-        "produce bit-identical results and I/O counters",
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a versioned checkpoint file after every stage and every "
+        "swap round, making the run restartable",
+    )
+    solve.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed run from --checkpoint instead of starting over "
+        "(bit-identical final result and I/O accounting)",
+    )
+    solve.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="testing/drill knob: exit with status 3 right after the N-th "
+        "checkpoint write",
     )
     solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
@@ -107,20 +140,26 @@ def build_parser() -> argparse.ArgumentParser:
         + ",".join(sorted(set(PIPELINES) | set(COMPARATORS))),
     )
     compare.add_argument("--max-rounds", type=int, default=None)
-    compare.add_argument(
-        "--backend",
-        choices=["auto"] + list(available_backends()),
-        default="auto",
-        help="kernel backend for the pipelines and the comparators",
-    )
-    compare.add_argument(
-        "--memory-limit-bytes",
-        type=int,
-        default=None,
-        help="emulate a machine with this much RAM: in-memory comparators "
-        "whose modeled footprint exceeds it report N/A (Table 6)",
-    )
+    add_execution_arguments(compare, include_memory_limit=True)
     compare.add_argument("--json", action="store_true", help="emit rows as JSON")
+
+    run = subparsers.add_parser(
+        "run", help="execute a declarative run spec (scenario runner)"
+    )
+    run.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="JSON run spec: {'pipeline': name-or-inline-spec, 'input': file, "
+        "and optional 'backend', 'max_rounds', 'memory_limit_bytes', "
+        "'checkpoint', 'resume'}",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the spec's checkpoint (overrides 'resume': false)",
+    )
+    run.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
     bound = subparsers.add_parser("bound", help="Algorithm 5 upper bound for a file")
     bound.add_argument("input", help="path of a binary adjacency file")
@@ -152,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
         "reduce", help="apply the exact kernelization rules to an adjacency file"
     )
     reduce_cmd.add_argument("input", help="path of the binary adjacency file")
+    reduce_cmd.add_argument(
+        "--pipeline",
+        choices=sorted(PIPELINES),
+        default=None,
+        help="additionally solve the kernel with this pipeline (the engine "
+        "runs reduce followed by the pipeline's stages and lifts the "
+        "solution back to the original graph)",
+    )
+    reduce_cmd.add_argument("--max-rounds", type=int, default=None)
+    add_execution_arguments(reduce_cmd)
     return parser
 
 
@@ -178,22 +227,131 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_result(result: MISResult, as_json: bool) -> None:
+    """Shared ``solve``/``run`` output: the summary plus per-stage telemetry."""
+
+    summary = result.summary()
+    stages = result.extras.get("stages", [])
+    if as_json:
+        summary["stages"] = stages
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows))
+    if stages:
+        print(
+            format_table(
+                ["stage", "algorithm", "size", "rounds", "seconds", "scans"],
+                [
+                    [
+                        entry["stage"],
+                        entry["algorithm"],
+                        entry["size"],
+                        entry["rounds"],
+                        entry["elapsed_seconds"],
+                        entry["io"]["sequential_scans"],
+                    ]
+                    for entry in stages
+                ],
+            )
+        )
+
+
+def _run_engine_command(
+    spec: PipelineSpec,
+    reader: AdjacencyFileReader,
+    args: argparse.Namespace,
+    max_rounds: Optional[int],
+    checkpoint: Optional[str],
+    resume: bool,
+    interrupt_after: Optional[int] = None,
+    memory_limit_bytes: Optional[int] = None,
+) -> int:
+    """Build the context, run the engine, print the result (solve/run)."""
+
+    ctx = ExecutionContext.from_args(args, reader)
+    if memory_limit_bytes is not None:
+        ctx.memory_limit_bytes = memory_limit_bytes
+    try:
+        engine = PipelineEngine(
+            spec,
+            max_rounds=max_rounds,
+            checkpoint_path=checkpoint,
+            resume=resume,
+            interrupt_after=interrupt_after,
+        )
+        result = engine.run(ctx)
+    except PipelineInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (PipelineSpecError, CheckpointError, MemoryBudgetError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
+    return 0
+
+
 def _command_solve(args: argparse.Namespace) -> int:
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.interrupt_after is not None and args.checkpoint is None:
+        # Without a checkpoint no write ever happens, so the interrupt
+        # would silently never fire — reject instead of lying to a drill.
+        print("--interrupt-after requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.interrupt_after is not None and args.interrupt_after < 1:
+        print("--interrupt-after must be >= 1 (checkpoint writes)", file=sys.stderr)
+        return 2
     reader = AdjacencyFileReader(args.input)
-    backend = None if args.backend == "auto" else args.backend
     # Every backend consumes the file semi-externally: the numpy kernels
     # run over block-batched scans, the python reference streams records.
-    result = solve_mis(
-        reader, pipeline=args.pipeline, max_rounds=args.max_rounds, backend=backend
-    )
-    summary = result.summary()
-    if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
-    else:
-        rows = [[key, value] for key, value in summary.items()]
-        print(format_table(["metric", "value"], rows))
-    reader.close()
-    return 0
+    try:
+        return _run_engine_command(
+            PIPELINES[args.pipeline],
+            reader,
+            args,
+            max_rounds=args.max_rounds,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            interrupt_after=args.interrupt_after,
+        )
+    finally:
+        reader.close()
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        run_spec = RunSpec.from_path(args.config)
+    except PipelineSpecError as exc:
+        print(f"invalid run spec: {exc}", file=sys.stderr)
+        return 2
+    if (args.resume or run_spec.resume) and run_spec.checkpoint is None:
+        print(
+            "resuming requires a 'checkpoint' path in the run spec",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        reader = AdjacencyFileReader(run_spec.input)
+    except (StorageError, OSError) as exc:
+        print(f"cannot open input {run_spec.input!r}: {exc}", file=sys.stderr)
+        return 2
+    # The run spec's backend fills the namespace slot the shared context
+    # builder reads, so resolution is identical to the other commands.
+    args.backend = run_spec.backend or "auto"
+    try:
+        return _run_engine_command(
+            run_spec.pipeline,
+            reader,
+            args,
+            max_rounds=run_spec.max_rounds,
+            checkpoint=run_spec.checkpoint,
+            resume=run_spec.resume or args.resume,
+            memory_limit_bytes=run_spec.memory_limit_bytes,
+        )
+    finally:
+        reader.close()
 
 
 #: In-memory comparator algorithms runnable from ``repro-mis compare``.
@@ -207,16 +365,16 @@ def _command_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    backend = None if args.backend == "auto" else args.backend
 
     reader = AdjacencyFileReader(args.input)
-    graph: Optional[Graph] = None
+    # One shared context for every engine run: the reader's I/O counters
+    # accumulate across algorithms and the graph is materialised at most
+    # once for the in-memory comparators.
+    ctx = ExecutionContext.from_args(args, reader)
     rows: List[Dict[str, object]] = []
     for name in names:
         if name in PIPELINES:
-            result = solve_mis(
-                reader, pipeline=name, max_rounds=args.max_rounds, backend=backend
-            )
+            result = PipelineEngine(PIPELINES[name], max_rounds=args.max_rounds).run(ctx)
             rows.append(
                 {
                     "algorithm": name,
@@ -231,7 +389,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         # In-memory comparators need the whole graph resident.  Check the
         # modeled footprint against the budget from the file header first,
         # so that emulating a small machine never materialises the graph.
-        required = MemoryModel().algorithm_bytes(
+        required = ctx.memory_model.algorithm_bytes(
             name, reader.num_vertices, num_edges=reader.num_edges
         )
         if (
@@ -249,14 +407,8 @@ def _command_compare(args: argparse.Namespace) -> int:
                 }
             )
             continue
-        if graph is None:
-            graph = reader.to_graph()
-        runner = local_search_mis if name == "local_search" else dynamic_update_mis
-        result = runner(
-            graph,
-            memory_limit_bytes=args.memory_limit_bytes,
-            backend=backend,
-        )
+        comparator_spec = PipelineSpec(name=name, stages=(StageSpec(name),))
+        result = PipelineEngine(comparator_spec).run(ctx)
         rows.append(
             {
                 "algorithm": name,
@@ -325,17 +477,37 @@ def _command_export(args: argparse.Namespace) -> int:
 
 def _command_reduce(args: argparse.Namespace) -> int:
     reader = AdjacencyFileReader(args.input)
-    reduced = reduce_graph(reader.to_graph())
+    ctx = ExecutionContext.from_args(args, reader)
+    if args.pipeline is None:
+        spec = PipelineSpec(name="reduce", stages=(StageSpec("reduce"),))
+    else:
+        # Compose reduce with the requested pipeline's stages: the engine
+        # solves the kernel and lifts the solution back automatically.  A
+        # pipeline that already starts with reduce is used as-is — the
+        # kernel is irreducible, so a second reduce pass would only waste
+        # a full sweep.
+        tail = PIPELINES[args.pipeline]
+        if tail.stages[0].stage == "reduce":
+            spec = tail
+        else:
+            spec = PipelineSpec(
+                name=f"reduce+{args.pipeline}",
+                stages=(StageSpec("reduce"),) + tail.stages,
+            )
+    result = PipelineEngine(spec, max_rounds=args.max_rounds).run(ctx)
+    reduce_stats = result.extras["stages"][0]["extras"]
     rows = [
-        ["original vertices", reduced.original_vertices],
-        ["kernel vertices", reduced.kernel_size],
-        ["kernel edges", reduced.kernel.num_edges],
-        ["forced picks", len(reduced.forced_tokens)],
-        ["folds", len(reduced.folds)],
-        ["isolated-rule applications", reduced.stats.isolated],
-        ["pendant-rule applications", reduced.stats.pendant],
-        ["triangle-rule applications", reduced.stats.triangle],
+        ["original vertices", reader.num_vertices],
+        ["kernel vertices", int(reduce_stats["kernel_vertices"])],
+        ["kernel edges", int(reduce_stats["kernel_edges"])],
+        ["forced picks", int(reduce_stats["forced_vertices"])],
+        ["folds", int(reduce_stats["folds"])],
+        ["isolated-rule applications", int(reduce_stats["isolated"])],
+        ["pendant-rule applications", int(reduce_stats["pendant"])],
+        ["triangle-rule applications", int(reduce_stats["triangle"])],
     ]
+    if args.pipeline is not None:
+        rows.append(["solved independent set", result.size])
     print(format_table(["quantity", "value"], rows))
     reader.close()
     return 0
@@ -359,6 +531,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _command_generate,
         "solve": _command_solve,
         "compare": _command_compare,
+        "run": _command_run,
         "bound": _command_bound,
         "theory": _command_theory,
         "datasets": _command_datasets,

@@ -45,7 +45,9 @@ from repro.errors import SolverError
 __all__ = [
     "KernelBackend",
     "available_backends",
+    "decode_rounds",
     "default_backend_name",
+    "encode_rounds",
     "get_backend",
     "register_backend",
     "resolve_backend",
@@ -55,6 +57,61 @@ __all__ = [
 
 #: Environment variable that overrides the auto-detected default backend.
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+def encode_rounds(rounds) -> List[List[int]]:
+    """Encode per-round telemetry as plain int lists (JSON-serializable).
+
+    The encoding is part of the round-state snapshots the swap passes hand
+    to ``on_round`` callbacks, which the pipeline engine persists into
+    checkpoint files; :func:`decode_rounds` is the inverse.
+    """
+
+    return [
+        [
+            r.round_index,
+            r.gained,
+            r.one_k_swaps,
+            r.two_k_swaps,
+            r.zero_one_swaps,
+            r.is_size_after,
+            r.sc_vertices,
+        ]
+        for r in rounds
+    ]
+
+
+def decode_rounds(payload) -> List[RoundStats]:
+    """Rebuild :class:`RoundStats` objects from :func:`encode_rounds` output."""
+
+    return [
+        RoundStats(
+            round_index=int(row[0]),
+            gained=int(row[1]),
+            one_k_swaps=int(row[2]),
+            two_k_swaps=int(row[3]),
+            zero_one_swaps=int(row[4]),
+            is_size_after=int(row[5]),
+            sc_vertices=int(row[6]),
+        )
+        for row in payload
+    ]
+
+
+def encode_history(history) -> Optional[List[str]]:
+    """Oscillation-guard fingerprints as sorted hex strings (``None`` passes through)."""
+
+    if history is None:
+        return None
+    return sorted(fingerprint.hex() for fingerprint in history)
+
+
+def decode_history(payload) -> Optional[set]:
+    """Inverse of :func:`encode_history`."""
+
+    if payload is None:
+        return None
+    return {bytes.fromhex(entry) for entry in payload}
 
 
 class KernelBackend(abc.ABC):
@@ -97,12 +154,26 @@ class KernelBackend(abc.ABC):
         source,
         initial_set: FrozenSet[int],
         max_rounds: Optional[int],
+        resume: Optional[dict] = None,
+        on_round=None,
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
         """Algorithm 2: 1↔k/0↔1 swap rounds until a fixpoint (or ``max_rounds``).
 
         The final element reports whether the oscillation guard stopped a
         ``max_rounds=None`` run after detecting a repeated
         ``(state, ISN)`` configuration.
+
+        ``resume`` restores a round-state snapshot previously emitted to an
+        ``on_round`` callback: the initial labelling scan is skipped and
+        the round loop continues exactly where the snapshot was taken
+        (``initial_set`` is ignored).  ``on_round`` — when given — is
+        called after every completed swap round with a JSON-serializable
+        snapshot dict of the full loop state (vertex states, ISN entries,
+        per-round telemetry, oscillation-guard fingerprints); this is the
+        hook the pipeline engine uses for per-round checkpointing.
+        Snapshots are backend-specific (the oscillation fingerprints hash
+        each backend's canonical encoding) and must be resumed on the
+        backend that produced them.
         """
 
     @abc.abstractmethod
@@ -113,11 +184,13 @@ class KernelBackend(abc.ABC):
         max_rounds: Optional[int],
         max_pairs_per_key: int,
         max_partner_checks: int,
+        resume: Optional[dict] = None,
+        on_round=None,
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
         """Algorithms 3/4: 2↔k swap rounds; also returns the peak SC size.
 
-        The final element is the oscillation-guard flag, as in
-        :meth:`one_k_swap_pass`.
+        The final element is the oscillation-guard flag, and ``resume`` /
+        ``on_round`` behave as in :meth:`one_k_swap_pass`.
         """
 
     @abc.abstractmethod

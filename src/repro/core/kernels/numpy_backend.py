@@ -52,7 +52,14 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.kernels.base import KernelBackend, register_backend
+from repro.core.kernels.base import (
+    KernelBackend,
+    decode_history,
+    decode_rounds,
+    encode_history,
+    encode_rounds,
+    register_backend,
+)
 from repro.core.kernels.sc_store import SwapCandidateStore
 from repro.core.result import RoundStats
 from repro.core.states import VertexState as S
@@ -463,14 +470,11 @@ class NumpyBackend(KernelBackend):
         source,
         initial_set: FrozenSet[int],
         max_rounds: Optional[int],
+        resume: Optional[dict] = None,
+        on_round=None,
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
         in_memory = isinstance(source, InMemoryAdjacencyScan)
         n = source.num_vertices
-
-        state = np.full(n, _NON, dtype=np.uint8)
-        if initial_set:
-            state[np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))] = _IS
-        isn = np.full(n, -1, dtype=np.int64)
 
         if in_memory:
             graph = source.graph
@@ -478,39 +482,77 @@ class NumpyBackend(KernelBackend):
             edge_src = graph.edge_sources_array()
             order = source.order_array()
 
-            # Lines 1-3 (vectorized): count the IS neighbours of every
-            # vertex with one bincount over the CSR slots; where the count
-            # is exactly one, the weighted sum of IS neighbour ids is that
-            # neighbour.
-            is_slot = state[targets] == _IS
-            src_sel = edge_src[is_slot]
-            cnt = np.bincount(src_sel, minlength=n)
-            nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
-            a_mask = (state != _IS) & (cnt == 1)
-            state[a_mask] = _ADJ
-            isn[a_mask] = nbr_sum[a_mask]
-            source.stats.record_scan()
+        if resume is None:
+            state = np.full(n, _NON, dtype=np.uint8)
+            if initial_set:
+                state[
+                    np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))
+                ] = _IS
+            isn = np.full(n, -1, dtype=np.int64)
+
+            if in_memory:
+                # Lines 1-3 (vectorized): count the IS neighbours of every
+                # vertex with one bincount over the CSR slots; where the count
+                # is exactly one, the weighted sum of IS neighbour ids is that
+                # neighbour.
+                is_slot = state[targets] == _IS
+                src_sel = edge_src[is_slot]
+                cnt = np.bincount(src_sel, minlength=n)
+                nbr_sum = _int_bincount(src_sel, targets[is_slot], n)
+                a_mask = (state != _IS) & (cnt == 1)
+                state[a_mask] = _ADJ
+                isn[a_mask] = nbr_sum[a_mask]
+                source.stats.record_scan()
+            else:
+                # Same labelling, one block-batched chunk at a time.
+                for verts, local_offsets, tgts in source.scan_batches():
+                    lens = local_offsets[1:] - local_offsets[:-1]
+                    local_src = _local_sources(verts.size, lens)
+                    is_slot = state[tgts] == _IS
+                    src_sel = local_src[is_slot]
+                    cnt = np.bincount(src_sel, minlength=verts.size)
+                    nbr_sum = _int_bincount(src_sel, tgts[is_slot], verts.size)
+                    a_mask = (state[verts] != _IS) & (cnt == 1)
+                    adjacent = verts[a_mask]
+                    state[adjacent] = _ADJ
+                    isn[adjacent] = nbr_sum[a_mask]
+
+            rounds: List[RoundStats] = []
+            initial_size = len(initial_set)
+            current_size = initial_size
+            can_swap = True
+            oscillation = False
+            history = {_fingerprint(state, isn)} if max_rounds is None else None
         else:
-            # Same labelling, one block-batched chunk at a time.
-            for verts, local_offsets, tgts in source.scan_batches():
-                lens = local_offsets[1:] - local_offsets[:-1]
-                local_src = _local_sources(verts.size, lens)
-                is_slot = state[tgts] == _IS
-                src_sel = local_src[is_slot]
-                cnt = np.bincount(src_sel, minlength=verts.size)
-                nbr_sum = _int_bincount(src_sel, tgts[is_slot], verts.size)
-                a_mask = (state[verts] != _IS) & (cnt == 1)
-                adjacent = verts[a_mask]
-                state[adjacent] = _ADJ
-                isn[adjacent] = nbr_sum[a_mask]
+            # Restore the loop exactly where an ``on_round`` snapshot was
+            # taken; the labelling scan already happened before it.
+            state = np.asarray(resume["state"], dtype=np.uint8)
+            isn = np.asarray(resume["isn"], dtype=np.int64)
+            rounds = decode_rounds(resume["rounds"])
+            initial_size = int(resume["initial_size"])
+            current_size = int(resume["current_size"])
+            can_swap = bool(resume["can_swap"])
+            oscillation = bool(resume["oscillation"])
+            history = decode_history(resume["history"])
 
-        rounds: List[RoundStats] = []
-        current_size = len(initial_set)
-        can_swap = True
-        oscillation = False
-        history = {_fingerprint(state, isn)} if max_rounds is None else None
+        def _snapshot() -> dict:
+            return {
+                "pass": "one_k_swap",
+                "initial_size": initial_size,
+                "state": state.tolist(),
+                "isn": isn.tolist(),
+                "rounds": encode_rounds(rounds),
+                "current_size": current_size,
+                "can_swap": can_swap,
+                "oscillation": oscillation,
+                "history": encode_history(history),
+            }
 
-        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+        while (
+            not oscillation
+            and can_swap
+            and (max_rounds is None or len(rounds) < max_rounds)
+        ):
             can_swap = False
             zero_one_swaps = 0
 
@@ -648,8 +690,10 @@ class NumpyBackend(KernelBackend):
                 fingerprint = _fingerprint(state, isn)
                 if fingerprint in history:
                     oscillation = True
-                    break
-                history.add(fingerprint)
+                else:
+                    history.add(fingerprint)
+            if on_round is not None:
+                on_round(_snapshot())
 
         completion_gain = self._completion_pass(source, state)
         if completion_gain and rounds:
@@ -715,16 +759,11 @@ class NumpyBackend(KernelBackend):
         max_rounds: Optional[int],
         max_pairs_per_key: int,
         max_partner_checks: int,
+        resume: Optional[dict] = None,
+        on_round=None,
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
         in_memory = isinstance(source, InMemoryAdjacencyScan)
         n = source.num_vertices
-
-        state = np.full(n, _NON, dtype=np.uint8)
-        if initial_set:
-            state[np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))] = _IS
-        # ISN as a sorted pair per vertex (-1 = absent): isn1 < isn2.
-        isn1 = np.full(n, -1, dtype=np.int64)
-        isn2 = np.full(n, -1, dtype=np.int64)
 
         if in_memory:
             graph = source.graph
@@ -732,50 +771,94 @@ class NumpyBackend(KernelBackend):
             edge_src = graph.edge_sources_array()
             order = source.order_array()
 
-            # Lines 1-3 (vectorized): per-vertex IS-neighbour count via
-            # bincount; the one-or-two neighbour ids are read off the
-            # sorted IS slot list with a searchsorted first-occurrence
-            # index.
-            is_slot = state[targets] == _IS
-            src_sel = edge_src[is_slot]
-            tgt_sel = targets[is_slot]
-            cnt = np.bincount(src_sel, minlength=n)
-            first = np.searchsorted(src_sel, np.arange(n, dtype=np.int64), side="left")
-            a_mask = (state != _IS) & (cnt >= 1) & (cnt <= 2)
-            state[a_mask] = _ADJ
-            isn1[a_mask] = tgt_sel[first[a_mask]]
-            two_mask = a_mask & (cnt == 2)
-            isn2[two_mask] = tgt_sel[first[two_mask] + 1]
-            source.stats.record_scan()
-        else:
-            # Same labelling per batch; with neighbour lists in arbitrary
-            # record order the smaller id comes from a per-record minimum,
-            # the larger from the id sum.
-            for verts, local_offsets, tgts in source.scan_batches():
-                lens = local_offsets[1:] - local_offsets[:-1]
-                local_src = _local_sources(verts.size, lens)
-                is_slot = state[tgts] == _IS
-                src_sel = local_src[is_slot]
-                cnt = np.bincount(src_sel, minlength=verts.size)
-                nbr_sum = _int_bincount(src_sel, tgts[is_slot], verts.size)
-                nbr_min = _record_min(np.where(is_slot, tgts, n), local_offsets, n)
-                a_mask = (state[verts] != _IS) & (cnt >= 1) & (cnt <= 2)
-                state[verts[a_mask]] = _ADJ
-                one_mask = a_mask & (cnt == 1)
-                isn1[verts[one_mask]] = nbr_sum[one_mask]
+        if resume is None:
+            state = np.full(n, _NON, dtype=np.uint8)
+            if initial_set:
+                state[
+                    np.fromiter(initial_set, dtype=np.int64, count=len(initial_set))
+                ] = _IS
+            # ISN as a sorted pair per vertex (-1 = absent): isn1 < isn2.
+            isn1 = np.full(n, -1, dtype=np.int64)
+            isn2 = np.full(n, -1, dtype=np.int64)
+
+            if in_memory:
+                # Lines 1-3 (vectorized): per-vertex IS-neighbour count via
+                # bincount; the one-or-two neighbour ids are read off the
+                # sorted IS slot list with a searchsorted first-occurrence
+                # index.
+                is_slot = state[targets] == _IS
+                src_sel = edge_src[is_slot]
+                tgt_sel = targets[is_slot]
+                cnt = np.bincount(src_sel, minlength=n)
+                first = np.searchsorted(
+                    src_sel, np.arange(n, dtype=np.int64), side="left"
+                )
+                a_mask = (state != _IS) & (cnt >= 1) & (cnt <= 2)
+                state[a_mask] = _ADJ
+                isn1[a_mask] = tgt_sel[first[a_mask]]
                 two_mask = a_mask & (cnt == 2)
-                low = nbr_min[two_mask]
-                isn1[verts[two_mask]] = low
-                isn2[verts[two_mask]] = nbr_sum[two_mask] - low
+                isn2[two_mask] = tgt_sel[first[two_mask] + 1]
+                source.stats.record_scan()
+            else:
+                # Same labelling per batch; with neighbour lists in arbitrary
+                # record order the smaller id comes from a per-record minimum,
+                # the larger from the id sum.
+                for verts, local_offsets, tgts in source.scan_batches():
+                    lens = local_offsets[1:] - local_offsets[:-1]
+                    local_src = _local_sources(verts.size, lens)
+                    is_slot = state[tgts] == _IS
+                    src_sel = local_src[is_slot]
+                    cnt = np.bincount(src_sel, minlength=verts.size)
+                    nbr_sum = _int_bincount(src_sel, tgts[is_slot], verts.size)
+                    nbr_min = _record_min(np.where(is_slot, tgts, n), local_offsets, n)
+                    a_mask = (state[verts] != _IS) & (cnt >= 1) & (cnt <= 2)
+                    state[verts[a_mask]] = _ADJ
+                    one_mask = a_mask & (cnt == 1)
+                    isn1[verts[one_mask]] = nbr_sum[one_mask]
+                    two_mask = a_mask & (cnt == 2)
+                    low = nbr_min[two_mask]
+                    isn1[verts[two_mask]] = low
+                    isn2[verts[two_mask]] = nbr_sum[two_mask] - low
 
-        rounds: List[RoundStats] = []
-        current_size = len(initial_set)
-        can_swap = True
-        max_sc_vertices = 0
-        oscillation = False
-        history = {_fingerprint(state, isn1, isn2)} if max_rounds is None else None
+            rounds: List[RoundStats] = []
+            initial_size = len(initial_set)
+            current_size = initial_size
+            can_swap = True
+            max_sc_vertices = 0
+            oscillation = False
+            history = {_fingerprint(state, isn1, isn2)} if max_rounds is None else None
+        else:
+            state = np.asarray(resume["state"], dtype=np.uint8)
+            isn1 = np.asarray(resume["isn1"], dtype=np.int64)
+            isn2 = np.asarray(resume["isn2"], dtype=np.int64)
+            rounds = decode_rounds(resume["rounds"])
+            initial_size = int(resume["initial_size"])
+            current_size = int(resume["current_size"])
+            can_swap = bool(resume["can_swap"])
+            max_sc_vertices = int(resume["max_sc_vertices"])
+            oscillation = bool(resume["oscillation"])
+            history = decode_history(resume["history"])
 
-        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+        def _snapshot() -> dict:
+            return {
+                "pass": "two_k_swap",
+                "initial_size": initial_size,
+                "state": state.tolist(),
+                "isn1": isn1.tolist(),
+                "isn2": isn2.tolist(),
+                "rounds": encode_rounds(rounds),
+                "current_size": current_size,
+                "can_swap": can_swap,
+                "max_sc_vertices": max_sc_vertices,
+                "oscillation": oscillation,
+                "history": encode_history(history),
+            }
+
+        while (
+            not oscillation
+            and can_swap
+            and (max_rounds is None or len(rounds) < max_rounds)
+        ):
             can_swap = False
             zero_one_swaps = 0
 
@@ -943,8 +1026,10 @@ class NumpyBackend(KernelBackend):
                 fingerprint = _fingerprint(state, isn1, isn2)
                 if fingerprint in history:
                     oscillation = True
-                    break
-                history.add(fingerprint)
+                else:
+                    history.add(fingerprint)
+            if on_round is not None:
+                on_round(_snapshot())
 
         completion_gain = self._completion_pass(source, state)
         if completion_gain and rounds:

@@ -23,7 +23,14 @@ from bisect import bisect_left
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.core.kernels.base import KernelBackend, register_backend
+from repro.core.kernels.base import (
+    KernelBackend,
+    decode_history,
+    decode_rounds,
+    encode_history,
+    encode_rounds,
+    register_backend,
+)
 from repro.core.kernels.sc_store import SwapCandidateStore
 from repro.core.result import RoundStats
 from repro.core.states import VertexState as S
@@ -90,33 +97,67 @@ class PythonBackend(KernelBackend):
         source,
         initial_set: FrozenSet[int],
         max_rounds: Optional[int],
+        resume: Optional[dict] = None,
+        on_round=None,
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
         num_vertices = source.num_vertices
-        state: List[S] = [S.NON_IS] * num_vertices
-        for v in initial_set:
-            state[v] = S.IS
-        isn: List[Optional[int]] = [None] * num_vertices
+        if resume is None:
+            state: List[S] = [S.NON_IS] * num_vertices
+            for v in initial_set:
+                state[v] = S.IS
+            isn: List[Optional[int]] = [None] * num_vertices
 
-        # --------------------------------------------------------------
-        # Lines 1-3: find the adjacent ("A") vertices and their IS neighbour.
-        # --------------------------------------------------------------
-        for vertex, neighbors in source.scan():
-            if state[vertex] is S.IS:
-                continue
-            is_neighbors = [u for u in neighbors if state[u] is S.IS]
-            if len(is_neighbors) == 1:
-                state[vertex] = S.ADJACENT
-                isn[vertex] = is_neighbors[0]
+            # ----------------------------------------------------------
+            # Lines 1-3: find the adjacent ("A") vertices and their IS
+            # neighbour.
+            # ----------------------------------------------------------
+            for vertex, neighbors in source.scan():
+                if state[vertex] is S.IS:
+                    continue
+                is_neighbors = [u for u in neighbors if state[u] is S.IS]
+                if len(is_neighbors) == 1:
+                    state[vertex] = S.ADJACENT
+                    isn[vertex] = is_neighbors[0]
 
-        rounds: List[RoundStats] = []
-        current_size = len(initial_set)
-        can_swap = True
-        oscillation = False
-        history = (
-            {_fingerprint(state, repr(isn))} if max_rounds is None else None
-        )
+            rounds: List[RoundStats] = []
+            initial_size = len(initial_set)
+            current_size = initial_size
+            can_swap = True
+            oscillation = False
+            history = (
+                {_fingerprint(state, repr(isn))} if max_rounds is None else None
+            )
+        else:
+            # Restore the loop exactly where an ``on_round`` snapshot was
+            # taken: the labelling scan already happened before the
+            # snapshot, so the loop continues without re-reading the file.
+            state = [S(value) for value in resume["state"]]
+            isn = [None if value < 0 else value for value in resume["isn"]]
+            rounds = decode_rounds(resume["rounds"])
+            initial_size = int(resume["initial_size"])
+            current_size = int(resume["current_size"])
+            can_swap = bool(resume["can_swap"])
+            oscillation = bool(resume["oscillation"])
+            history = decode_history(resume["history"])
 
-        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+        def _snapshot() -> dict:
+            return {
+                "pass": "one_k_swap",
+                "initial_size": initial_size,
+                "state": [int(s) for s in state],
+                "isn": [-1 if a is None else int(a) for a in isn],
+                "rounds": encode_rounds(rounds),
+                "current_size": current_size,
+                "can_swap": can_swap,
+                "oscillation": oscillation,
+                "history": encode_history(history),
+            }
+
+        while (
+            not oscillation
+            and can_swap
+            and (max_rounds is None or len(rounds) < max_rounds)
+        ):
             can_swap = False
             one_k_swaps = 0
             zero_one_swaps = 0
@@ -218,8 +259,10 @@ class PythonBackend(KernelBackend):
                 fingerprint = _fingerprint(state, repr(isn))
                 if fingerprint in history:
                     oscillation = True
-                    break
-                history.add(fingerprint)
+                else:
+                    history.add(fingerprint)
+            if on_round is not None:
+                on_round(_snapshot())
 
         # Final 0↔1 completion pass: a swap can remove the last IS neighbour of
         # a vertex that then stays blocked behind an "A" neighbour during the
@@ -254,38 +297,93 @@ class PythonBackend(KernelBackend):
         max_rounds: Optional[int],
         max_pairs_per_key: int,
         max_partner_checks: int,
+        resume: Optional[dict] = None,
+        on_round=None,
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
         num_vertices = source.num_vertices
-        state: List[S] = [S.NON_IS] * num_vertices
-        for v in initial_set:
-            state[v] = S.IS
-        isn: List[Optional[FrozenSet[int]]] = [None] * num_vertices
-
-        # --------------------------------------------------------------
-        # Lines 1-3: adjacent vertices now have one *or two* IS neighbours.
-        # --------------------------------------------------------------
-        for vertex, neighbors in source.scan():
-            if state[vertex] is S.IS:
-                continue
-            is_neighbors = [u for u in neighbors if state[u] is S.IS]
-            if 1 <= len(is_neighbors) <= 2:
-                state[vertex] = S.ADJACENT
-                isn[vertex] = frozenset(is_neighbors)
-
-        rounds: List[RoundStats] = []
-        current_size = len(initial_set)
-        can_swap = True
-        max_sc_vertices = 0
-        oscillation = False
 
         def _isn_encoding() -> str:
             return repr([None if a is None else tuple(sorted(a)) for a in isn])
 
-        history = (
-            {_fingerprint(state, _isn_encoding())} if max_rounds is None else None
-        )
+        if resume is None:
+            state: List[S] = [S.NON_IS] * num_vertices
+            for v in initial_set:
+                state[v] = S.IS
+            isn: List[Optional[FrozenSet[int]]] = [None] * num_vertices
 
-        while can_swap and (max_rounds is None or len(rounds) < max_rounds):
+            # ----------------------------------------------------------
+            # Lines 1-3: adjacent vertices now have one *or two* IS
+            # neighbours.
+            # ----------------------------------------------------------
+            for vertex, neighbors in source.scan():
+                if state[vertex] is S.IS:
+                    continue
+                is_neighbors = [u for u in neighbors if state[u] is S.IS]
+                if 1 <= len(is_neighbors) <= 2:
+                    state[vertex] = S.ADJACENT
+                    isn[vertex] = frozenset(is_neighbors)
+
+            rounds: List[RoundStats] = []
+            initial_size = len(initial_set)
+            current_size = initial_size
+            can_swap = True
+            max_sc_vertices = 0
+            oscillation = False
+            history = (
+                {_fingerprint(state, _isn_encoding())} if max_rounds is None else None
+            )
+        else:
+            # Restore an ``on_round`` snapshot (see one_k_swap_pass); the
+            # one-or-two ISN anchors travel as two parallel int lists with
+            # -1 marking an absent entry.
+            state = [S(value) for value in resume["state"]]
+            isn = [
+                None
+                if first < 0
+                else (frozenset((first,)) if second < 0 else frozenset((first, second)))
+                for first, second in zip(resume["isn1"], resume["isn2"])
+            ]
+            rounds = decode_rounds(resume["rounds"])
+            initial_size = int(resume["initial_size"])
+            current_size = int(resume["current_size"])
+            can_swap = bool(resume["can_swap"])
+            max_sc_vertices = int(resume["max_sc_vertices"])
+            oscillation = bool(resume["oscillation"])
+            history = decode_history(resume["history"])
+
+        def _snapshot() -> dict:
+            isn1: List[int] = []
+            isn2: List[int] = []
+            for anchors in isn:
+                if not anchors:
+                    isn1.append(-1)
+                    isn2.append(-1)
+                elif len(anchors) == 1:
+                    isn1.append(next(iter(anchors)))
+                    isn2.append(-1)
+                else:
+                    low, high = sorted(anchors)
+                    isn1.append(low)
+                    isn2.append(high)
+            return {
+                "pass": "two_k_swap",
+                "initial_size": initial_size,
+                "state": [int(s) for s in state],
+                "isn1": isn1,
+                "isn2": isn2,
+                "rounds": encode_rounds(rounds),
+                "current_size": current_size,
+                "can_swap": can_swap,
+                "max_sc_vertices": max_sc_vertices,
+                "oscillation": oscillation,
+                "history": encode_history(history),
+            }
+
+        while (
+            not oscillation
+            and can_swap
+            and (max_rounds is None or len(rounds) < max_rounds)
+        ):
             can_swap = False
             one_k_swaps = 0
             two_k_swaps = 0
@@ -471,8 +569,10 @@ class PythonBackend(KernelBackend):
                 fingerprint = _fingerprint(state, _isn_encoding())
                 if fingerprint in history:
                     oscillation = True
-                    break
-                history.add(fingerprint)
+                else:
+                    history.add(fingerprint)
+            if on_round is not None:
+                on_round(_snapshot())
 
         # Final 0↔1 completion pass (same rationale as in one_k_swap): guarantee
         # maximality of the returned set with one extra sequential scan.

@@ -70,6 +70,8 @@ def one_k_swap(
     order: Union[str, Sequence[int]] = "degree",
     memory_model: Optional[MemoryModel] = None,
     backend: Optional[str] = None,
+    resume_state: Optional[dict] = None,
+    on_round=None,
 ) -> MISResult:
     """Enlarge an independent set with 1↔k and 0↔1 swaps (Algorithm 2).
 
@@ -95,6 +97,15 @@ def one_k_swap(
     backend:
         Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
         ``"auto"`` for the process default).
+    resume_state:
+        A round-state snapshot previously handed to an ``on_round``
+        callback; the pass skips the initial labelling scan (and
+        ``initial``) and continues the round loop exactly where the
+        snapshot was taken.  Must be resumed on the backend that produced
+        it — the pipeline engine enforces this for checkpoint files.
+    on_round:
+        Optional callback invoked after every completed swap round with a
+        JSON-serializable snapshot of the loop state (the checkpoint hook).
 
     Returns
     -------
@@ -110,13 +121,22 @@ def one_k_swap(
     started = time.perf_counter()
     io_before = source.stats.copy()
 
-    initial_set = _initial_set(source, initial, order, backend)
-    for v in initial_set:
-        if not 0 <= v < num_vertices:
-            raise SolverError(f"initial independent set contains unknown vertex {v}")
+    if resume_state is not None:
+        if resume_state.get("pass") != "one_k_swap":
+            raise SolverError(
+                f"cannot resume a {resume_state.get('pass')!r} snapshot with one_k_swap"
+            )
+        initial_set: FrozenSet[int] = frozenset()
+        initial_size = int(resume_state["initial_size"])
+    else:
+        initial_set = _initial_set(source, initial, order, backend)
+        for v in initial_set:
+            if not 0 <= v < num_vertices:
+                raise SolverError(f"initial independent set contains unknown vertex {v}")
+        initial_size = len(initial_set)
 
     independent_set, rounds, oscillation = kernel.one_k_swap_pass(
-        source, initial_set, max_rounds
+        source, initial_set, max_rounds, resume=resume_state, on_round=on_round
     )
     elapsed = time.perf_counter() - started
 
@@ -127,6 +147,6 @@ def one_k_swap(
         io=source.stats.delta_since(io_before),
         memory_bytes=model.one_k_swap_bytes(num_vertices),
         elapsed_seconds=elapsed,
-        initial_size=len(initial_set),
+        initial_size=initial_size,
         extras={"oscillation_guard": 1.0} if oscillation else {},
     )

@@ -1,4 +1,4 @@
-"""Solver facade chaining the semi-external passes into pipelines.
+"""Solver facade: the paper's pipelines over the stage-based engine.
 
 Section 7 evaluates compositions of the basic passes, e.g. "One-k-swap
 (after Greedy)" and "Two-k-swap (after Baseline)".  The facade makes those
@@ -10,40 +10,39 @@ pipelines one call:
 >>> result = SemiExternalMISSolver(pipeline="two_k_swap").solve(graph)
 >>> result.size >= SemiExternalMISSolver(pipeline="greedy").solve(graph).size
 True
+
+:data:`PIPELINES` is the table of declarative
+:class:`~repro.pipeline.spec.PipelineSpec` objects the facade accepts by
+name; execution is delegated to
+:class:`~repro.pipeline.engine.PipelineEngine`, which also provides the
+per-stage telemetry in ``result.extras["stages"]`` and — through the
+``checkpoint_path`` / ``resume`` knobs — restartable runs.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.greedy import greedy_mis
-from repro.core.one_k_swap import one_k_swap
 from repro.core.result import MISResult
-from repro.core.two_k_swap import two_k_swap
 from repro.errors import SolverError
 from repro.graphs.graph import Graph
+from repro.pipeline.spec import BUILTIN_PIPELINES
 from repro.storage.memory import MemoryModel
-from repro.storage.scan import AdjacencyScanSource, as_scan_source
-from repro.validation.checks import assert_independent_set
+from repro.storage.scan import AdjacencyScanSource
 
 __all__ = ["SemiExternalMISSolver", "solve_mis", "PIPELINES"]
 
-#: Pipelines evaluated in the paper, mapped to the passes they chain.
-PIPELINES: Dict[str, Tuple[str, ...]] = {
-    "greedy": ("greedy",),
-    "baseline": ("baseline",),
-    "one_k_swap": ("greedy", "one_k_swap"),
-    "two_k_swap": ("greedy", "two_k_swap"),
-    "one_k_swap_after_baseline": ("baseline", "one_k_swap"),
-    "two_k_swap_after_baseline": ("baseline", "two_k_swap"),
-}
+#: Pipelines evaluated in the paper (plus reduce-then-solve), as
+#: declarative stage specs.  Iterating/membership behaves as the previous
+#: name → pass-tuple table did; the stage composition of an entry is
+#: ``PIPELINES[name].stage_names()``.
+PIPELINES = BUILTIN_PIPELINES
 
 
 @dataclass
 class SemiExternalMISSolver:
-    """Configurable facade over the semi-external passes.
+    """Configurable facade over the pipeline engine.
 
     Parameters
     ----------
@@ -66,6 +65,15 @@ class SemiExternalMISSolver:
         available).  The numpy backend runs file-backed sources through
         block-batched semi-external scans; only custom streaming sources
         without ``scan_batches`` fall back to the python backend.
+    checkpoint_path:
+        When set, the engine writes a versioned checkpoint file after
+        every completed stage and after every swap round, making the run
+        restartable.
+    resume:
+        Restore a killed run from ``checkpoint_path`` instead of starting
+        over; the resumed run reproduces the uninterrupted result —
+        independent set, round telemetry and cumulative I/O counters —
+        bit-identically.
     """
 
     pipeline: str = "two_k_swap"
@@ -74,75 +82,43 @@ class SemiExternalMISSolver:
     validate: bool = False
     memory_model: MemoryModel = MemoryModel()
     backend: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
 
     def solve(self, graph_or_source: Union[Graph, AdjacencyScanSource]) -> MISResult:
         """Run the configured pipeline and return the final result."""
+
+        # Imported lazily to keep the facade importable while the pipeline
+        # package (whose stages import the solver's sibling modules) loads.
+        from repro.pipeline.context import ExecutionContext
+        from repro.pipeline.engine import PipelineEngine
 
         if self.pipeline not in PIPELINES:
             raise SolverError(
                 f"unknown pipeline {self.pipeline!r}; expected one of {sorted(PIPELINES)}"
             )
-        passes = PIPELINES[self.pipeline]
-        started = time.perf_counter()
+        spec = PIPELINES[self.pipeline]
 
         # The baseline pipeline scans in raw id order; everything else uses
         # the configured (default: degree) order.
         order = self.order
-        if passes[0] == "baseline" and order == "degree":
+        if spec.stages[0].stage == "baseline" and order == "degree":
             order = "id"
-        source = as_scan_source(graph_or_source, order=order)
 
-        result: Optional[MISResult] = None
-        for pass_name in passes:
-            result = self._run_pass(pass_name, source, result)
-        assert result is not None
-
-        if self.validate and isinstance(graph_or_source, Graph):
-            assert_independent_set(graph_or_source, result.independent_set)
-
-        elapsed = time.perf_counter() - started
-        final = MISResult(
-            algorithm=self.pipeline,
-            independent_set=result.independent_set,
-            rounds=result.rounds,
-            io=source.stats.copy(),
-            memory_bytes=result.memory_bytes,
-            elapsed_seconds=elapsed,
-            initial_size=result.initial_size,
-            extras=dict(result.extras),
+        ctx = ExecutionContext.create(
+            graph_or_source,
+            backend=self.backend,
+            memory_model=self.memory_model,
+            order=order,
         )
-        return final
-
-    def _run_pass(
-        self,
-        pass_name: str,
-        source: AdjacencyScanSource,
-        previous: Optional[MISResult],
-    ) -> MISResult:
-        """Dispatch one pass of the pipeline."""
-
-        if pass_name in {"greedy", "baseline"}:
-            result = greedy_mis(source, memory_model=self.memory_model, backend=self.backend)
-            if pass_name == "baseline":
-                result = result.with_algorithm("baseline")
-            return result
-        if pass_name == "one_k_swap":
-            return one_k_swap(
-                source,
-                initial=previous,
-                max_rounds=self.max_rounds,
-                memory_model=self.memory_model,
-                backend=self.backend,
-            )
-        if pass_name == "two_k_swap":
-            return two_k_swap(
-                source,
-                initial=previous,
-                max_rounds=self.max_rounds,
-                memory_model=self.memory_model,
-                backend=self.backend,
-            )
-        raise SolverError(f"unknown pass {pass_name!r}")
+        engine = PipelineEngine(
+            spec,
+            max_rounds=self.max_rounds,
+            validate=self.validate,
+            checkpoint_path=self.checkpoint_path,
+            resume=self.resume,
+        )
+        return engine.run(ctx)
 
 
 def solve_mis(
@@ -152,6 +128,8 @@ def solve_mis(
     order: Union[str, Sequence[int]] = "degree",
     validate: bool = False,
     backend: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> MISResult:
     """One-shot convenience wrapper around :class:`SemiExternalMISSolver`."""
 
@@ -161,5 +139,7 @@ def solve_mis(
         order=order,
         validate=validate,
         backend=backend,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
     return solver.solve(graph_or_source)

@@ -60,6 +60,8 @@ def two_k_swap(
     max_pairs_per_key: int = 8,
     max_partner_checks: int = 64,
     backend: Optional[str] = None,
+    resume_state: Optional[dict] = None,
+    on_round=None,
 ) -> MISResult:
     """Enlarge an independent set with 2↔k, 1↔k and 0↔1 swaps (Algorithm 3).
 
@@ -89,6 +91,13 @@ def two_k_swap(
     backend:
         Kernel backend name (``"python"``, ``"numpy"`` or ``None``/
         ``"auto"`` for the process default).
+    resume_state:
+        A round-state snapshot previously handed to an ``on_round``
+        callback; continues the round loop where the snapshot was taken,
+        ignoring ``initial`` (see :func:`repro.core.one_k_swap.one_k_swap`).
+    on_round:
+        Optional per-round callback receiving a JSON-serializable loop
+        snapshot (the pipeline engine's checkpoint hook).
 
     Returns
     -------
@@ -104,13 +113,28 @@ def two_k_swap(
     started = time.perf_counter()
     io_before = source.stats.copy()
 
-    initial_set = _initial_set(source, initial, order, backend)
-    for v in initial_set:
-        if not 0 <= v < num_vertices:
-            raise SolverError(f"initial independent set contains unknown vertex {v}")
+    if resume_state is not None:
+        if resume_state.get("pass") != "two_k_swap":
+            raise SolverError(
+                f"cannot resume a {resume_state.get('pass')!r} snapshot with two_k_swap"
+            )
+        initial_set = frozenset()
+        initial_size = int(resume_state["initial_size"])
+    else:
+        initial_set = _initial_set(source, initial, order, backend)
+        for v in initial_set:
+            if not 0 <= v < num_vertices:
+                raise SolverError(f"initial independent set contains unknown vertex {v}")
+        initial_size = len(initial_set)
 
     independent_set, rounds, max_sc_vertices, oscillation = kernel.two_k_swap_pass(
-        source, initial_set, max_rounds, max_pairs_per_key, max_partner_checks
+        source,
+        initial_set,
+        max_rounds,
+        max_pairs_per_key,
+        max_partner_checks,
+        resume=resume_state,
+        on_round=on_round,
     )
     elapsed = time.perf_counter() - started
 
@@ -124,6 +148,6 @@ def two_k_swap(
         io=source.stats.delta_since(io_before),
         memory_bytes=model.two_k_swap_bytes(num_vertices, max_sc_vertices),
         elapsed_seconds=elapsed,
-        initial_size=len(initial_set),
+        initial_size=initial_size,
         extras=extras,
     )

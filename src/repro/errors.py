@@ -48,8 +48,45 @@ class MemoryBudgetError(StorageError):
         self.budget = budget
 
 
+class CheckpointError(StorageError):
+    """Raised when a checkpoint file cannot be written, read or applied."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Raised when a checkpoint file is truncated or fails its checksum.
+
+    A corrupt checkpoint is never partially applied: the resume aborts
+    before any solver state is restored.
+    """
+
+
+class CheckpointVersionError(CheckpointError):
+    """Raised when a checkpoint was written by an incompatible format version."""
+
+    def __init__(self, found: int, supported: int) -> None:
+        super().__init__(
+            f"checkpoint format version {found} is not supported by this build "
+            f"(supported version: {supported}); re-run without --resume to start over"
+        )
+        self.found = found
+        self.supported = supported
+
+
 class SolverError(ReproError):
     """Raised when a solver is configured or driven incorrectly."""
+
+
+class PipelineSpecError(SolverError):
+    """Raised when a declarative pipeline/run spec is malformed."""
+
+
+class PipelineInterrupted(SolverError):
+    """Raised by the pipeline engine's deterministic interrupt knob.
+
+    ``repro-mis solve --interrupt-after N`` (and the crash-resume tests)
+    use this to simulate a killed run right after the N-th checkpoint
+    write; the checkpoint file on disk is complete and resumable.
+    """
 
 
 class InvalidIndependentSetError(SolverError):

@@ -1,0 +1,42 @@
+"""Stage-based pipeline engine.
+
+The execution spine of the system: declarative pipeline specs
+(:mod:`repro.pipeline.spec`) run as compositions of registered stages
+(:mod:`repro.pipeline.stages`) over a shared execution context
+(:mod:`repro.pipeline.context`) driven by the engine
+(:mod:`repro.pipeline.engine`), which also provides versioned
+checkpoint/resume for long semi-external runs.  The solver facade, the
+CLI commands and the benchmark harness are all thin layers over this
+package.
+"""
+
+from repro.pipeline.context import (
+    ExecutionContext,
+    add_execution_arguments,
+    resolve_backend_request,
+)
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.spec import BUILTIN_PIPELINES, PipelineSpec, RunSpec, StageSpec
+from repro.pipeline.stages import (
+    Stage,
+    StageReport,
+    available_stages,
+    get_stage,
+    register_stage,
+)
+
+__all__ = [
+    "BUILTIN_PIPELINES",
+    "ExecutionContext",
+    "PipelineEngine",
+    "PipelineSpec",
+    "RunSpec",
+    "Stage",
+    "StageReport",
+    "StageSpec",
+    "add_execution_arguments",
+    "available_stages",
+    "get_stage",
+    "register_stage",
+    "resolve_backend_request",
+]

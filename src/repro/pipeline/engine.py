@@ -1,0 +1,392 @@
+"""The stage-based pipeline engine.
+
+:class:`PipelineEngine` executes a declarative
+:class:`~repro.pipeline.spec.PipelineSpec` against an
+:class:`~repro.pipeline.context.ExecutionContext`: stages run in order,
+each one's result feeds the next, and per-stage telemetry
+(:class:`~repro.pipeline.stages.StageReport`) accumulates into the final
+result's ``extras["stages"]``.  The final :class:`MISResult` is assembled
+exactly as the pre-engine solver facade did — same independent set, same
+per-round telemetry, same cumulative ``IOStats`` — so every entry point
+(library facade, CLI, benchmarks) routes through here without observable
+behaviour change.
+
+Checkpoint/resume
+-----------------
+With a ``checkpoint_path``, the engine persists its state through
+:mod:`repro.storage.checkpoint`:
+
+* after every completed stage (a *boundary* checkpoint), and
+* after every swap round inside the resumable stages (a *round*
+  checkpoint carrying the kernel loop snapshot: vertex states, ISN
+  entries, per-round telemetry, oscillation-guard fingerprints).
+
+``resume=True`` restores a killed run: completed stages are replayed from
+their recorded results (source-transforming stages from their serialized
+artifacts, without re-reading the input), the cumulative I/O counters are
+reset to the snapshot, and an in-progress swap stage continues mid-round-
+loop.  The resumed run produces the bit-identical final set, round
+telemetry and cumulative ``IOStats`` of an uninterrupted run.  The
+checkpoint pins the pipeline spec, the round cap, the input shape and the
+executing kernel backend (round snapshots hash backend-specific state
+encodings), and refuses to resume under a different configuration.
+
+``interrupt_after=N`` raises
+:class:`~repro.errors.PipelineInterrupted` right after the N-th
+checkpoint write — the deterministic "kill" used by the crash-resume
+tests and the CI resume drill.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.kernels.base import decode_rounds, encode_rounds
+from repro.core.result import MISResult
+from repro.errors import CheckpointError, PipelineInterrupted, SolverError
+from repro.pipeline.context import ExecutionContext
+from repro.pipeline.spec import PipelineSpec
+from repro.pipeline.stages import ARTIFACT_KEY, StageReport, get_stage
+from repro.storage.checkpoint import read_checkpoint, write_checkpoint
+from repro.storage.io_stats import IOStats
+from repro.validation.checks import assert_independent_set
+
+__all__ = ["PipelineEngine", "decode_result", "encode_result"]
+
+
+def encode_result(result: MISResult) -> Dict[str, object]:
+    """A :class:`MISResult` as a JSON-serializable dict (checkpoint form)."""
+
+    return {
+        "algorithm": result.algorithm,
+        "independent_set": sorted(result.independent_set),
+        "rounds": encode_rounds(result.rounds),
+        "io": result.io.as_dict(),
+        "memory_bytes": result.memory_bytes,
+        "elapsed_seconds": result.elapsed_seconds,
+        "initial_size": result.initial_size,
+        "extras": dict(result.extras),
+    }
+
+
+def decode_result(payload: Dict[str, object]) -> MISResult:
+    """Inverse of :func:`encode_result`."""
+
+    return MISResult(
+        algorithm=str(payload["algorithm"]),
+        independent_set=frozenset(int(v) for v in payload["independent_set"]),
+        rounds=tuple(decode_rounds(payload["rounds"])),
+        io=IOStats(**payload["io"]),
+        memory_bytes=int(payload["memory_bytes"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        initial_size=int(payload["initial_size"]),
+        extras=dict(payload["extras"]),
+    )
+
+
+class PipelineEngine:
+    """Run a :class:`PipelineSpec` over an :class:`ExecutionContext`.
+
+    Parameters
+    ----------
+    spec:
+        The pipeline to execute; stage names and options are validated
+        against the stage registry at construction time.
+    max_rounds:
+        Fallback swap-round cap applied to swap stages whose spec entry
+        does not set its own ``max_rounds`` option.
+    validate:
+        Check the final set for independence against the original
+        in-memory graph (no-op for file sources).
+    checkpoint_path:
+        Enable checkpointing into this file (see the module docstring).
+    resume:
+        Restore the run from ``checkpoint_path`` instead of starting over.
+    interrupt_after:
+        Deterministic-kill knob: raise :class:`PipelineInterrupted` right
+        after this many checkpoint writes.
+    """
+
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        max_rounds: Optional[int] = None,
+        validate: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
+        interrupt_after: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.max_rounds = max_rounds
+        self.validate = validate
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        self.interrupt_after = interrupt_after
+        if resume and checkpoint_path is None:
+            raise SolverError("resume=True requires a checkpoint_path")
+        # Fail fast on unknown stages or options, before any I/O happens.
+        for stage_spec in spec.stages:
+            get_stage(stage_spec.stage).check_options(stage_spec.options)
+        self._checkpoint_writes = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, ctx: ExecutionContext) -> MISResult:
+        """Execute the pipeline and return the final result.
+
+        The context is left exactly as it was found: source replacements,
+        graph-cache updates and finalizers from source-transforming stages
+        are scoped to this run, so one context can be shared across
+        sequential engine runs (cumulative I/O accounting, one graph
+        materialisation) without cross-contamination.
+        """
+
+        saved_state = ctx.save_state()
+        ctx.capture_artifacts = self.checkpoint_path is not None
+        try:
+            return self._run(ctx)
+        finally:
+            ctx.capture_artifacts = False
+            ctx.restore_state(saved_state)
+
+    def _run(self, ctx: ExecutionContext) -> MISResult:
+        started = time.perf_counter()
+        self._checkpoint_writes = 0
+        ctx.finalizers = []
+        origin = {
+            "num_vertices": ctx.source.num_vertices,
+            "num_edges": ctx.source.num_edges,
+        }
+
+        completed: List[dict] = []
+        reports: List[StageReport] = []
+        previous: Optional[MISResult] = None
+        last_result: Optional[MISResult] = None
+        start_index = 0
+        resume_loop: Optional[dict] = None
+        resumed_stage_io: Optional[IOStats] = None
+
+        if self.resume:
+            payload = read_checkpoint(self.checkpoint_path)
+            self._verify_checkpoint(payload, origin)
+            # Rebuild the reader's record index (state the killed process
+            # held in memory) before resetting the counters below, so the
+            # rebuild is restore-phase I/O, not part of the logical run.
+            # Skipped when a completed source-transforming stage is about
+            # to replace the reader anyway — the remaining stages then run
+            # on the restored artifact and never touch the file again.
+            replays_transform = any(
+                get_stage(entry["report"]["stage"]).transforms_source
+                for entry in payload["completed"]
+            )
+            build_index = getattr(ctx.source, "build_index", None)
+            if build_index is not None and not replays_transform:
+                build_index()
+            # Reset the cumulative counters to the snapshot: the resumed
+            # process's setup I/O (file header, index rebuild) is not part
+            # of the logical run, so the final accounting is bit-identical
+            # to an uninterrupted run.
+            stats = ctx.source.stats
+            stats.merge(IOStats(**payload["io"]).delta_since(stats))
+            for entry in payload["completed"]:
+                report = StageReport.from_summary(entry["report"])
+                result = decode_result(entry["result"])
+                stage = get_stage(report.stage)
+                if stage.transforms_source:
+                    stage.restore_artifact(ctx, entry["artifact"])
+                    previous = None
+                else:
+                    previous = result
+                reports.append(report)
+                completed.append(entry)
+                last_result = result
+            start_index = int(payload["stage_index"])
+            if payload["phase"] == "round":
+                resume_loop = payload["loop_state"]
+                resumed_stage_io = IOStats(**payload["stage_io_before"])
+                resolved = ctx.resolve_kernel().name
+                if resolved != payload["backend"]:
+                    raise CheckpointError(
+                        f"checkpoint round state was written by the "
+                        f"{payload['backend']!r} kernel backend but this run "
+                        f"resolves to {resolved!r}; resume with the original "
+                        f"backend"
+                    )
+
+        for index in range(start_index, len(self.spec.stages)):
+            stage_spec = self.spec.stages[index]
+            stage = get_stage(stage_spec.stage)
+            options = dict(stage_spec.options)
+            if (
+                "max_rounds" in stage.option_keys
+                and "max_rounds" not in options
+                and self.max_rounds is not None
+            ):
+                options["max_rounds"] = self.max_rounds
+
+            resuming_here = resume_loop is not None and index == start_index
+            io_before = (
+                resumed_stage_io if resuming_here else ctx.source.stats.copy()
+            )
+
+            on_round = None
+            if self.checkpoint_path is not None and stage.resumable:
+                io_before_payload = io_before.as_dict()
+
+                def on_round(loop_state, _index=index, _io=io_before_payload):
+                    self._write_checkpoint(
+                        ctx,
+                        origin,
+                        phase="round",
+                        stage_index=_index,
+                        loop_state=loop_state,
+                        stage_io_before=_io,
+                        completed=completed,
+                    )
+
+            stage_started = time.perf_counter()
+            result = stage.run(
+                ctx,
+                previous,
+                options,
+                resume_state=resume_loop if resuming_here else None,
+                on_round=on_round,
+            )
+            stage_elapsed = time.perf_counter() - stage_started
+
+            extras = dict(result.extras)
+            artifact = extras.pop(ARTIFACT_KEY, None)
+            if artifact is not None:
+                result = MISResult(
+                    algorithm=result.algorithm,
+                    independent_set=result.independent_set,
+                    rounds=result.rounds,
+                    io=result.io,
+                    memory_bytes=result.memory_bytes,
+                    elapsed_seconds=result.elapsed_seconds,
+                    initial_size=result.initial_size,
+                    extras=extras,
+                )
+            report = StageReport(
+                stage=stage.name,
+                index=index,
+                algorithm=result.algorithm,
+                size=result.size,
+                rounds=result.num_rounds,
+                elapsed_seconds=stage_elapsed,
+                io=ctx.source.stats.delta_since(io_before),
+                memory_bytes=result.memory_bytes,
+                extras=extras,
+            )
+            if self.checkpoint_path is not None:
+                # The serialized entry (sorted vertex list and all) is only
+                # needed for checkpoint payloads; skipping it keeps engine
+                # dispatch out of the hot path of plain runs.
+                entry: Dict[str, object] = {
+                    "report": report.summary(),
+                    "result": encode_result(result),
+                }
+                if artifact is not None:
+                    entry["artifact"] = artifact
+                completed.append(entry)
+            reports.append(report)
+            last_result = result
+            previous = None if stage.transforms_source else result
+
+            if self.checkpoint_path is not None:
+                self._write_checkpoint(
+                    ctx,
+                    origin,
+                    phase="boundary",
+                    stage_index=index + 1,
+                    loop_state=None,
+                    stage_io_before=None,
+                    completed=completed,
+                )
+
+        if last_result is None:  # pragma: no cover - specs are non-empty
+            raise SolverError(f"pipeline {self.spec.name!r} executed no stages")
+
+        final_set = last_result.independent_set
+        for finalizer in reversed(ctx.finalizers):
+            final_set = finalizer(final_set)
+
+        if self.validate and ctx.original_graph is not None:
+            assert_independent_set(ctx.original_graph, final_set)
+
+        elapsed = time.perf_counter() - started
+        extras = dict(last_result.extras)
+        extras["stages"] = [report.summary() for report in reports]
+        return MISResult(
+            algorithm=self.spec.name,
+            independent_set=final_set,
+            rounds=last_result.rounds,
+            io=ctx.source.stats.copy(),
+            memory_bytes=last_result.memory_bytes,
+            elapsed_seconds=elapsed,
+            initial_size=last_result.initial_size,
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _verify_checkpoint(self, payload: dict, origin: dict) -> None:
+        """Refuse to resume under a different configuration (typed errors)."""
+
+        saved_spec = payload.get("spec")
+        if saved_spec != self.spec.to_dict():
+            saved_name = (
+                saved_spec.get("name") if isinstance(saved_spec, dict) else saved_spec
+            )
+            raise CheckpointError(
+                f"checkpoint was written for pipeline {saved_name!r}, not "
+                f"{self.spec.name!r} with the requested stage options; "
+                f"re-run with the original configuration"
+            )
+        if payload.get("max_rounds") != self.max_rounds:
+            raise CheckpointError(
+                f"checkpoint was written with max_rounds={payload.get('max_rounds')!r} "
+                f"but this run requests max_rounds={self.max_rounds!r}"
+            )
+        if payload.get("source") != origin:
+            raise CheckpointError(
+                f"checkpoint belongs to a graph with {payload.get('source')!r} "
+                f"but the input has {origin!r}; wrong input file?"
+            )
+
+    def _write_checkpoint(
+        self,
+        ctx: ExecutionContext,
+        origin: dict,
+        phase: str,
+        stage_index: int,
+        loop_state: Optional[dict],
+        stage_io_before: Optional[dict],
+        completed: List[dict],
+    ) -> None:
+        payload = {
+            "spec": self.spec.to_dict(),
+            "max_rounds": self.max_rounds,
+            "backend": ctx.resolve_kernel().name,
+            "source": origin,
+            "io": ctx.source.stats.as_dict(),
+            "phase": phase,
+            "stage_index": stage_index,
+            "loop_state": loop_state,
+            "stage_io_before": stage_io_before,
+            "completed": completed,
+        }
+        write_checkpoint(self.checkpoint_path, payload)
+        self._checkpoint_writes += 1
+        if (
+            self.interrupt_after is not None
+            and self._checkpoint_writes >= self.interrupt_after
+        ):
+            raise PipelineInterrupted(
+                f"pipeline interrupted after checkpoint write "
+                f"#{self._checkpoint_writes} ({phase} at stage {stage_index}); "
+                f"resume from {self.checkpoint_path!r}"
+            )

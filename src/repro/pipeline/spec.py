@@ -1,0 +1,269 @@
+"""Declarative pipeline and run specifications.
+
+A :class:`PipelineSpec` names an ordered list of registered stages with
+per-stage options — the declarative form of the paper's compositions
+("One-k-swap (after Greedy)" is ``greedy → one_k_swap``), extended with
+the reduction and comparator stages so ``reduce → greedy → two_k_swap``
+is expressible the same way.  Specs serialize to/from JSON, which is also
+how checkpoints pin the pipeline they belong to.
+
+A :class:`RunSpec` is the on-disk configuration consumed by
+``repro-mis run --config run.json``: a pipeline (inline or referencing a
+named entry of :data:`BUILTIN_PIPELINES`), the input file, and the
+execution knobs (backend, max rounds, memory limit, checkpointing).
+
+All parse errors raise :class:`~repro.errors.PipelineSpecError` with a
+message naming the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import PipelineSpecError
+
+__all__ = [
+    "BUILTIN_PIPELINES",
+    "PipelineSpec",
+    "RunSpec",
+    "StageSpec",
+]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage invocation: the registered stage name plus its options."""
+
+    stage: str
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {"stage": self.stage}
+        if self.options:
+            entry["options"] = dict(self.options)
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry, where: str = "stage") -> "StageSpec":
+        if isinstance(entry, str):
+            return cls(stage=entry)
+        if not isinstance(entry, dict):
+            raise PipelineSpecError(
+                f"{where} must be a stage name or an object with a 'stage' key, "
+                f"got {type(entry).__name__}"
+            )
+        name = entry.get("stage")
+        if not isinstance(name, str) or not name:
+            raise PipelineSpecError(f"{where} is missing a non-empty 'stage' name")
+        options = entry.get("options", {})
+        if not isinstance(options, dict):
+            raise PipelineSpecError(
+                f"{where} options must be an object, got {type(options).__name__}"
+            )
+        unknown = set(entry) - {"stage", "options"}
+        if unknown:
+            raise PipelineSpecError(
+                f"{where} has unknown keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(stage=name, options=dict(options))
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """An ordered composition of stages under one pipeline name."""
+
+    name: str
+    stages: Tuple[StageSpec, ...]
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.stage for stage in self.stages)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload) -> "PipelineSpec":
+        if not isinstance(payload, dict):
+            raise PipelineSpecError(
+                f"pipeline spec must be a JSON object, got {type(payload).__name__}"
+            )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise PipelineSpecError("pipeline spec is missing a non-empty 'name'")
+        raw_stages = payload.get("stages")
+        if not isinstance(raw_stages, list) or not raw_stages:
+            raise PipelineSpecError(
+                f"pipeline {name!r} must declare a non-empty 'stages' list"
+            )
+        stages = tuple(
+            StageSpec.from_dict(entry, where=f"pipeline {name!r} stage {index}")
+            for index, entry in enumerate(raw_stages)
+        )
+        unknown = set(payload) - {"name", "stages"}
+        if unknown:
+            raise PipelineSpecError(
+                f"pipeline {name!r} has unknown keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(name=name, stages=stages)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PipelineSpecError(f"pipeline spec is not valid JSON: {exc}")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def chain(cls, name: str, *stage_names: str) -> "PipelineSpec":
+        """Convenience constructor for option-free stage chains."""
+
+        return cls(name=name, stages=tuple(StageSpec(s) for s in stage_names))
+
+
+#: The pipeline compositions evaluated in the paper (Tables 5–8), plus the
+#: KaMIS-style reduce-then-solve composition, as declarative specs.  The
+#: solver facade re-exports this table as ``repro.core.solver.PIPELINES``.
+BUILTIN_PIPELINES: Dict[str, PipelineSpec] = {
+    "greedy": PipelineSpec.chain("greedy", "greedy"),
+    "baseline": PipelineSpec.chain("baseline", "baseline"),
+    "one_k_swap": PipelineSpec.chain("one_k_swap", "greedy", "one_k_swap"),
+    "two_k_swap": PipelineSpec.chain("two_k_swap", "greedy", "two_k_swap"),
+    "one_k_swap_after_baseline": PipelineSpec.chain(
+        "one_k_swap_after_baseline", "baseline", "one_k_swap"
+    ),
+    "two_k_swap_after_baseline": PipelineSpec.chain(
+        "two_k_swap_after_baseline", "baseline", "two_k_swap"
+    ),
+    "reduce_two_k_swap": PipelineSpec.chain(
+        "reduce_two_k_swap", "reduce", "greedy", "two_k_swap"
+    ),
+}
+
+
+def _optional_int(payload, key: str, where: str) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise PipelineSpecError(f"{where} {key!r} must be an integer or null")
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One ``repro-mis run`` scenario: pipeline + input + execution knobs."""
+
+    pipeline: PipelineSpec
+    input: str
+    backend: Optional[str] = None
+    max_rounds: Optional[int] = None
+    memory_limit_bytes: Optional[int] = None
+    checkpoint: Optional[str] = None
+    resume: bool = False
+
+    @classmethod
+    def from_dict(cls, payload) -> "RunSpec":
+        if not isinstance(payload, dict):
+            raise PipelineSpecError(
+                f"run spec must be a JSON object, got {type(payload).__name__}"
+            )
+        raw_pipeline = payload.get("pipeline")
+        if isinstance(raw_pipeline, str):
+            if raw_pipeline not in BUILTIN_PIPELINES:
+                raise PipelineSpecError(
+                    f"unknown named pipeline {raw_pipeline!r}; available: "
+                    f"{', '.join(sorted(BUILTIN_PIPELINES))}"
+                )
+            pipeline = BUILTIN_PIPELINES[raw_pipeline]
+        elif raw_pipeline is not None:
+            pipeline = PipelineSpec.from_dict(raw_pipeline)
+        else:
+            raise PipelineSpecError(
+                "run spec is missing 'pipeline' (a named pipeline or an inline spec)"
+            )
+        input_path = payload.get("input")
+        if not isinstance(input_path, str) or not input_path:
+            raise PipelineSpecError(
+                "run spec is missing 'input' (path of a binary adjacency file)"
+            )
+        backend = payload.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise PipelineSpecError("run spec 'backend' must be a string or null")
+        if isinstance(backend, str) and backend not in ("", "auto"):
+            # Imported lazily: the kernel registry populates at package
+            # import, and spec parsing must stay importable on its own.
+            from repro.core.kernels import available_backends
+
+            if backend not in available_backends():
+                raise PipelineSpecError(
+                    f"run spec 'backend' {backend!r} is not a registered kernel "
+                    f"backend; available: {', '.join(available_backends())} "
+                    f"(or 'auto')"
+                )
+        checkpoint = payload.get("checkpoint")
+        if checkpoint is not None and not isinstance(checkpoint, str):
+            raise PipelineSpecError("run spec 'checkpoint' must be a path or null")
+        resume = payload.get("resume", False)
+        if not isinstance(resume, bool):
+            raise PipelineSpecError("run spec 'resume' must be a boolean")
+        unknown = set(payload) - {
+            "pipeline",
+            "input",
+            "backend",
+            "max_rounds",
+            "memory_limit_bytes",
+            "checkpoint",
+            "resume",
+        }
+        if unknown:
+            raise PipelineSpecError(
+                f"run spec has unknown keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            pipeline=pipeline,
+            input=input_path,
+            backend=backend,
+            max_rounds=_optional_int(payload, "max_rounds", "run spec"),
+            memory_limit_bytes=_optional_int(
+                payload, "memory_limit_bytes", "run spec"
+            ),
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PipelineSpecError(f"run spec is not valid JSON: {exc}")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_path(cls, path: str) -> "RunSpec":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise PipelineSpecError(f"cannot read run spec {path!r}: {exc}")
+        return cls.from_json(text)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pipeline": self.pipeline.to_dict(),
+            "input": self.input,
+            "backend": self.backend,
+            "max_rounds": self.max_rounds,
+            "memory_limit_bytes": self.memory_limit_bytes,
+            "checkpoint": self.checkpoint,
+            "resume": self.resume,
+        }

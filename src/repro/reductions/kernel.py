@@ -37,7 +37,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.result import MISResult
-from repro.core.solver import solve_mis
 from repro.errors import SolverError
 from repro.graphs.graph import HAVE_NUMPY, Graph
 from repro.storage.io_stats import IOStats
@@ -137,6 +136,49 @@ class ReducedGraph:
         if any(token >= self.original_vertices for token in selected):  # pragma: no cover
             raise SolverError("reconstruction left an unresolved fold token in the solution")
         return frozenset(selected)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (kernel edges + reconstruction data).
+
+        Checkpoints embed this so a resumed run can restore the kernel
+        graph and the fold/forced bookkeeping without re-reading the input
+        or re-running the reduction sweep.
+        """
+
+        return {
+            "kernel_vertices": self.kernel.num_vertices,
+            "kernel_edges": [[u, w] for u, w in self.kernel.iter_edges()],
+            "kernel_tokens": list(self.kernel_tokens),
+            "forced_tokens": sorted(self.forced_tokens),
+            "folds": [[f.folded, f.vertex, f.left, f.right] for f in self.folds],
+            "stats": {
+                "isolated": self.stats.isolated,
+                "pendant": self.stats.pendant,
+                "triangle": self.stats.triangle,
+                "folds": self.stats.folds,
+            },
+            "original_vertices": self.original_vertices,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReducedGraph":
+        """Inverse of :meth:`to_payload`."""
+
+        kernel = Graph(
+            int(payload["kernel_vertices"]),
+            [(int(u), int(w)) for u, w in payload["kernel_edges"]],
+        )
+        return cls(
+            kernel=kernel,
+            kernel_tokens=tuple(int(t) for t in payload["kernel_tokens"]),
+            forced_tokens=frozenset(int(t) for t in payload["forced_tokens"]),
+            folds=tuple(
+                _Fold(folded=int(a), vertex=int(b), left=int(c), right=int(d))
+                for a, b, c, d in payload["folds"]
+            ),
+            stats=ReductionStats(**payload["stats"]),
+            original_vertices=int(payload["original_vertices"]),
+        )
 
 
 def reduce_graph(graph: Graph) -> ReducedGraph:
@@ -325,6 +367,10 @@ def reduced_mis(
     started = time.perf_counter()
     reduced = reduce_graph(graph)
     if kernel_solver is None:
+        # Imported lazily: the solver facade routes through the pipeline
+        # engine, whose reduce stage imports this module.
+        from repro.core.solver import solve_mis
+
         def kernel_solver(kernel: Graph) -> Iterable[int]:
             return solve_mis(kernel, pipeline="two_k_swap").independent_set
 

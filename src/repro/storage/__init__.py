@@ -16,9 +16,17 @@ sub-package provides that substrate:
   adjacency files (the pre-processing step of Section 4.1).
 * :mod:`repro.storage.memory` — the semi-external memory budget model used
   to reproduce the memory columns of Table 6.
+* :mod:`repro.storage.checkpoint` — versioned, checksummed checkpoint
+  files backing the pipeline engine's crash/resume support.
 """
 
 from repro.storage.io_stats import IOStats
+from repro.storage.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.storage.blocks import BlockDevice
 from repro.storage.adjacency_file import (
     AdjacencyFileReader,
@@ -51,4 +59,8 @@ __all__ = [
     "sort_io_cost",
     "MemoryBudget",
     "MemoryModel",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

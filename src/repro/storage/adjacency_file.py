@@ -371,6 +371,21 @@ class AdjacencyFileReader:
             self._record_degrees = degrees
         self._device.stats.record_scan()
 
+    def build_index(self) -> None:
+        """Ensure the in-memory record index exists (one full scan if not).
+
+        Normally the index rides along with the first complete scan.  A
+        *resumed* run starts from a cold reader whose first action may be
+        a random :meth:`neighbors` lookup mid-round; the pipeline engine
+        calls this during resume restoration — before resetting the I/O
+        counters to the checkpoint snapshot — so the rebuild is physical
+        I/O of the restore phase, not part of the logical run accounting.
+        """
+
+        if self._offsets is None and self._record_offsets is None:
+            for _ in self.scan():
+                pass
+
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
         """Random lookup of one vertex's neighbour list.
 

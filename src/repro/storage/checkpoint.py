@@ -1,0 +1,149 @@
+"""Versioned on-disk checkpoint files for restartable solver runs.
+
+Long-running semi-external runs (hours of sequential scans on massive
+graphs) need to survive being killed.  The pipeline engine persists its
+state through this module: a checkpoint file is a two-line text document
+
+* line 1 — a JSON header ``{"checksum", "format", "payload_bytes",
+  "version"}``;
+* line 2 — the JSON-encoded payload itself.
+
+The header pins the format name and version, the payload byte length and
+a BLAKE2b digest of the payload bytes, so every failure mode is detected
+*before* any state is applied:
+
+* a file that is not a checkpoint at all, or whose payload is truncated
+  or altered, raises :class:`~repro.errors.CheckpointCorruptError`;
+* a checkpoint from an incompatible format version raises
+  :class:`~repro.errors.CheckpointVersionError`;
+
+both derive from :class:`~repro.errors.CheckpointError`, and there is no
+silent partial resume.  Writes go through a temporary file in the same
+directory followed by an atomic :func:`os.replace`, so a crash *during* a
+checkpoint write leaves the previous complete checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict
+
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+#: Format name recorded in (and required of) every checkpoint header.
+CHECKPOINT_FORMAT = "repro-mis-checkpoint"
+
+#: Current checkpoint format version.  Bump on any payload layout change;
+#: older files then fail with :class:`CheckpointVersionError` instead of
+#: being misinterpreted.
+CHECKPOINT_VERSION = 1
+
+
+def _digest(payload_bytes: bytes) -> str:
+    return hashlib.blake2b(payload_bytes, digest_size=16).hexdigest()
+
+
+def write_checkpoint(path: str, payload: Dict[str, object]) -> None:
+    """Atomically write ``payload`` as a versioned checkpoint file.
+
+    The payload must be JSON-serializable.  The write happens into a
+    sibling temporary file first and is moved over ``path`` with
+    :func:`os.replace`, so readers never observe a half-written file.
+    """
+
+    try:
+        payload_bytes = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint payload is not JSON-serializable: {exc}")
+    header = {
+        "checksum": _digest(payload_bytes),
+        "format": CHECKPOINT_FORMAT,
+        "payload_bytes": len(payload_bytes),
+        "version": CHECKPOINT_VERSION,
+    }
+    document = (
+        json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        + b"\n"
+        + payload_bytes
+        + b"\n"
+    )
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "wb") as handle:
+        handle.write(document)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+
+
+def read_checkpoint(path: str) -> Dict[str, object]:
+    """Read and verify a checkpoint file, returning its payload dict.
+
+    Raises
+    ------
+    CheckpointCorruptError
+        The file is not a checkpoint, or its payload is truncated or does
+        not match the recorded checksum.
+    CheckpointVersionError
+        The file was written by an incompatible format version.
+    CheckpointError
+        The file does not exist.
+    """
+
+    try:
+        with open(path, "rb") as handle:
+            document = handle.read()
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint file {path!r} does not exist") from None
+
+    header_line, _, payload_bytes = document.partition(b"\n")
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise CheckpointCorruptError(
+            f"{path!r} is not a checkpoint file (unreadable header)"
+        ) from None
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointCorruptError(
+            f"{path!r} is not a checkpoint file (missing format marker)"
+        )
+    version = header.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(found=version, supported=CHECKPOINT_VERSION)
+
+    payload_bytes = payload_bytes.rstrip(b"\n")
+    expected_length = header.get("payload_bytes")
+    if len(payload_bytes) != expected_length:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is truncated: expected {expected_length} payload "
+            f"bytes, found {len(payload_bytes)}"
+        )
+    if _digest(payload_bytes) != header.get("checksum"):
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} failed its checksum; the file is corrupt"
+        )
+    try:
+        payload = json.loads(payload_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):  # pragma: no cover - checksum
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} payload is not valid JSON"
+        ) from None
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} payload is not a JSON object"
+        )
+    return payload

@@ -1,0 +1,115 @@
+"""Robustness tests of the versioned checkpoint file format."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+)
+from repro.storage.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+PAYLOAD = {
+    "spec": {"name": "two_k_swap", "stages": [{"stage": "greedy"}]},
+    "io": {"bytes_read": 123, "sequential_scans": 4},
+    "loop_state": {"state": [0, 1, 2], "history": None},
+    "stage_index": 1,
+}
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, PAYLOAD)
+        assert read_checkpoint(path) == PAYLOAD
+
+    def test_overwrite_replaces_previous_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, PAYLOAD)
+        write_checkpoint(path, {"stage_index": 2})
+        assert read_checkpoint(path) == {"stage_index": 2}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, PAYLOAD)
+        assert os.listdir(tmp_path) == ["ck.json"]
+
+    def test_unserializable_payload_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with pytest.raises(CheckpointError):
+            write_checkpoint(path, {"bad": object()})
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            read_checkpoint(str(tmp_path / "absent.json"))
+
+    def test_truncated_payload(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, PAYLOAD)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) - 20])
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, PAYLOAD)
+        data = bytearray(open(path, "rb").read())
+        # Flip a digit inside the payload (after the header newline) without
+        # changing the length.
+        body_start = data.index(b"\n") + 1
+        slot = data.index(b"123", body_start)
+        data[slot] = ord("9")
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_not_a_checkpoint_file(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with open(path, "w") as handle:
+            handle.write("definitely not json\n{}")
+        with pytest.raises(CheckpointCorruptError, match="not a checkpoint"):
+            read_checkpoint(path)
+
+    def test_other_json_is_not_a_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with open(path, "w") as handle:
+            json.dump({"version": 1, "something": "else"}, handle)
+        with pytest.raises(CheckpointCorruptError, match="format marker"):
+            read_checkpoint(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, PAYLOAD)
+        data = open(path, "rb").read()
+        header_line, _, rest = data.partition(b"\n")
+        header = json.loads(header_line)
+        assert header["format"] == CHECKPOINT_FORMAT
+        header["version"] = CHECKPOINT_VERSION + 1
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(header).encode() + b"\n" + rest)
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            read_checkpoint(path)
+        assert excinfo.value.found == CHECKPOINT_VERSION + 1
+        assert excinfo.value.supported == CHECKPOINT_VERSION
+        assert "re-run without --resume" in str(excinfo.value)
+
+    def test_failures_are_typed_checkpoint_errors(self, tmp_path):
+        # Every failure mode derives from CheckpointError, so callers can
+        # catch the whole family at once.
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+        assert issubclass(CheckpointVersionError, CheckpointError)

@@ -1,0 +1,283 @@
+"""Crash-resume parity: an interrupted run, resumed from its checkpoint,
+reproduces the uninterrupted run bit-identically.
+
+The engine's ``interrupt_after=N`` knob simulates the kill right after
+the N-th checkpoint write (boundary writes after each stage, round writes
+after each swap round), covering both mid-pipeline and mid-round-loop
+interruption points.  Parity is asserted on the independent set, the
+per-round telemetry, the cumulative ``IOStats`` and the per-stage reports
+for both kernel backends on gnm and PLRG graphs under degree and id scan
+orders — and on true file-backed readers, whose resumed process must
+additionally rebuild its in-memory record index without perturbing the
+logical accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import PIPELINES, solve_mis
+from repro.errors import CheckpointError, PipelineInterrupted, SolverError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+from repro.pipeline.context import ExecutionContext
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.spec import PipelineSpec
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.io_stats import IOStats
+
+BACKENDS = ("python", "numpy")
+
+GRAPHS = {
+    "gnm": lambda: erdos_renyi_gnm(260, 800, seed=13),
+    "plrg": lambda: plrg_graph_with_vertex_count(260, 2.0, seed=13),
+}
+
+
+def _strip_elapsed(stages):
+    return [
+        {key: value for key, value in entry.items() if key != "elapsed_seconds"}
+        for entry in stages
+    ]
+
+
+def _assert_identical(resumed, reference):
+    assert resumed.independent_set == reference.independent_set
+    assert resumed.rounds == reference.rounds
+    assert resumed.io.as_dict() == reference.io.as_dict()
+    assert resumed.initial_size == reference.initial_size
+    assert resumed.memory_bytes == reference.memory_bytes
+    assert _strip_elapsed(resumed.extras["stages"]) == _strip_elapsed(
+        reference.extras["stages"]
+    )
+    rest = {k: v for k, v in resumed.extras.items() if k != "stages"}
+    ref_rest = {k: v for k, v in reference.extras.items() if k != "stages"}
+    assert rest == ref_rest
+
+
+def _interrupt_and_resume(
+    make_input, spec, backend, checkpoint, interrupt_after, max_rounds=None, order="degree"
+):
+    """Run until the N-th checkpoint write, drop everything, resume fresh."""
+
+    ctx = ExecutionContext.create(make_input(), backend=backend, order=order)
+    engine = PipelineEngine(
+        spec,
+        max_rounds=max_rounds,
+        checkpoint_path=checkpoint,
+        interrupt_after=interrupt_after,
+    )
+    with pytest.raises(PipelineInterrupted):
+        engine.run(ctx)
+
+    fresh_ctx = ExecutionContext.create(make_input(), backend=backend, order=order)
+    resumed_engine = PipelineEngine(
+        spec, max_rounds=max_rounds, checkpoint_path=checkpoint, resume=True
+    )
+    return resumed_engine.run(fresh_ctx)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("graph_kind", sorted(GRAPHS))
+@pytest.mark.parametrize("order", ["degree", "id"])
+@pytest.mark.parametrize("pipeline", ["one_k_swap", "two_k_swap"])
+class TestInMemoryResumeParity:
+    def test_resume_after_first_swap_round(
+        self, backend, graph_kind, order, pipeline, tmp_path
+    ):
+        graph = GRAPHS[graph_kind]()
+        reference = solve_mis(graph, pipeline=pipeline, backend=backend, order=order)
+        resumed = _interrupt_and_resume(
+            lambda: graph,
+            PIPELINES[pipeline],
+            backend,
+            str(tmp_path / "ck.json"),
+            interrupt_after=2,  # boundary after greedy + first swap round
+            order=order,
+        )
+        _assert_identical(resumed, reference)
+
+    def test_resume_from_stage_boundary(
+        self, backend, graph_kind, order, pipeline, tmp_path
+    ):
+        graph = GRAPHS[graph_kind]()
+        reference = solve_mis(graph, pipeline=pipeline, backend=backend, order=order)
+        resumed = _interrupt_and_resume(
+            lambda: graph,
+            PIPELINES[pipeline],
+            backend,
+            str(tmp_path / "ck.json"),
+            interrupt_after=1,  # killed right after the greedy boundary write
+            order=order,
+        )
+        _assert_identical(resumed, reference)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFileBackedResumeParity:
+    """The resumed process reopens the file and rebuilds its record index.
+
+    Every reader opens its own device over a real temp file, as separate
+    OS processes would — reusing one in-memory device across runs would
+    leak the sequential-read cursor between "processes" and perturb the
+    seek accounting.
+    """
+
+    @pytest.fixture
+    def adjacency_path(self, tmp_path):
+        graph = plrg_graph_with_vertex_count(300, 2.0, seed=21)
+        path = str(tmp_path / "graph.adj")
+        write_adjacency_file(graph, path).close()
+        return path
+
+    def test_two_k_resume_mid_round(self, backend, adjacency_path, tmp_path):
+        reference = solve_mis(
+            AdjacencyFileReader(adjacency_path),
+            pipeline="two_k_swap",
+            backend=backend,
+        )
+        resumed = _interrupt_and_resume(
+            lambda: AdjacencyFileReader(adjacency_path),
+            PIPELINES["two_k_swap"],
+            backend,
+            str(tmp_path / "ck.json"),
+            interrupt_after=2,
+        )
+        _assert_identical(resumed, reference)
+
+    def test_one_k_resume_with_round_cap(self, backend, adjacency_path, tmp_path):
+        reference = solve_mis(
+            AdjacencyFileReader(adjacency_path),
+            pipeline="one_k_swap",
+            backend=backend,
+            max_rounds=3,
+        )
+        resumed = _interrupt_and_resume(
+            lambda: AdjacencyFileReader(adjacency_path),
+            PIPELINES["one_k_swap"],
+            backend,
+            str(tmp_path / "ck.json"),
+            interrupt_after=2,
+            max_rounds=3,
+        )
+        _assert_identical(resumed, reference)
+
+    def test_every_interruption_point_is_bit_identical(
+        self, backend, adjacency_path, tmp_path
+    ):
+        """Kill after each successive checkpoint write until the run completes."""
+
+        reference = solve_mis(
+            AdjacencyFileReader(adjacency_path),
+            pipeline="two_k_swap",
+            backend=backend,
+        )
+        checkpoint = str(tmp_path / "ck.json")
+        interrupt_after = 1
+        while True:
+            ctx = ExecutionContext.create(
+                AdjacencyFileReader(adjacency_path), backend=backend
+            )
+            engine = PipelineEngine(
+                PIPELINES["two_k_swap"],
+                checkpoint_path=checkpoint,
+                interrupt_after=interrupt_after,
+            )
+            try:
+                engine.run(ctx)
+            except PipelineInterrupted:
+                pass
+            else:
+                break  # the run finished before the interrupt fired
+            resumed = PipelineEngine(
+                PIPELINES["two_k_swap"], checkpoint_path=checkpoint, resume=True
+            ).run(
+                ExecutionContext.create(
+                    AdjacencyFileReader(adjacency_path), backend=backend
+                )
+            )
+            _assert_identical(resumed, reference)
+            interrupt_after += 1
+        assert interrupt_after > 2  # at least one boundary and one round covered
+
+
+class TestResumeAcrossReduce:
+    def test_resume_mid_swap_after_reduce_stage(self, tmp_path):
+        """Mid-pipeline resume past a source-transforming stage."""
+
+        graph = plrg_graph_with_vertex_count(260, 2.2, seed=17)
+        reference = solve_mis(graph, pipeline="reduce_two_k_swap")
+        checkpoint = str(tmp_path / "ck.json")
+        # Interrupt after: reduce boundary (1) + greedy boundary (2) + the
+        # first two-k round checkpoint (3) — the resumed run must restore
+        # the kernel graph from the artifact, not re-reduce the input.
+        resumed = _interrupt_and_resume(
+            lambda: graph,
+            PIPELINES["reduce_two_k_swap"],
+            None,
+            checkpoint,
+            interrupt_after=3,
+        )
+        _assert_identical(resumed, reference)
+
+    def test_resume_after_completed_run_is_idempotent(self, tmp_path):
+        graph = erdos_renyi_gnm(150, 500, seed=19)
+        checkpoint = str(tmp_path / "ck.json")
+        ctx = ExecutionContext.create(graph)
+        reference = PipelineEngine(
+            PIPELINES["two_k_swap"], checkpoint_path=checkpoint
+        ).run(ctx)
+        replayed = PipelineEngine(
+            PIPELINES["two_k_swap"], checkpoint_path=checkpoint, resume=True
+        ).run(ExecutionContext.create(graph))
+        _assert_identical(replayed, reference)
+
+
+class TestResumeGuards:
+    @pytest.fixture
+    def checkpoint(self, tmp_path):
+        graph = erdos_renyi_gnm(200, 600, seed=23)
+        path = str(tmp_path / "ck.json")
+        ctx = ExecutionContext.create(graph, backend="numpy")
+        with pytest.raises(PipelineInterrupted):
+            PipelineEngine(
+                PIPELINES["two_k_swap"], checkpoint_path=path, interrupt_after=2
+            ).run(ctx)
+        return graph, path
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(SolverError, match="requires a checkpoint_path"):
+            PipelineEngine(PIPELINES["greedy"], resume=True)
+
+    def test_wrong_pipeline_is_rejected(self, checkpoint):
+        graph, path = checkpoint
+        engine = PipelineEngine(
+            PIPELINES["one_k_swap"], checkpoint_path=path, resume=True
+        )
+        with pytest.raises(CheckpointError, match="different|pipeline"):
+            engine.run(ExecutionContext.create(graph))
+
+    def test_wrong_max_rounds_is_rejected(self, checkpoint):
+        graph, path = checkpoint
+        engine = PipelineEngine(
+            PIPELINES["two_k_swap"], max_rounds=1, checkpoint_path=path, resume=True
+        )
+        with pytest.raises(CheckpointError, match="max_rounds"):
+            engine.run(ExecutionContext.create(graph))
+
+    def test_wrong_input_graph_is_rejected(self, checkpoint):
+        _, path = checkpoint
+        other = erdos_renyi_gnm(100, 200, seed=5)
+        engine = PipelineEngine(
+            PIPELINES["two_k_swap"], checkpoint_path=path, resume=True
+        )
+        with pytest.raises(CheckpointError, match="wrong input"):
+            engine.run(ExecutionContext.create(other))
+
+    def test_round_state_requires_matching_backend(self, checkpoint):
+        graph, path = checkpoint
+        engine = PipelineEngine(
+            PIPELINES["two_k_swap"], checkpoint_path=path, resume=True
+        )
+        with pytest.raises(CheckpointError, match="kernel backend"):
+            engine.run(ExecutionContext.create(graph, backend="python"))

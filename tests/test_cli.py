@@ -138,3 +138,275 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "kernel vertices" in out
         assert "pendant-rule applications" in out
+
+
+class TestRunCommand:
+    """The declarative scenario runner (``repro-mis run --config``)."""
+
+    @pytest.fixture
+    def adjacency(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main([
+            "generate", str(path), "--model", "gnm",
+            "--vertices", "200", "--edges", "600", "--seed", "9",
+        ])
+        capsys.readouterr()
+        return path
+
+    def _write_config(self, tmp_path, payload):
+        config = tmp_path / "run.json"
+        config.write_text(json.dumps(payload))
+        return str(config)
+
+    def test_named_pipeline_run(self, adjacency, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path, {"pipeline": "two_k_swap", "input": str(adjacency)}
+        )
+        assert main(["run", "--config", config, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "two_k_swap"
+        assert [s["stage"] for s in payload["stages"]] == ["greedy", "two_k_swap"]
+
+    def test_inline_spec_with_stage_options(self, adjacency, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            {
+                "pipeline": {
+                    "name": "capped",
+                    "stages": [
+                        {"stage": "greedy"},
+                        {"stage": "one_k_swap", "options": {"max_rounds": 1}},
+                    ],
+                },
+                "input": str(adjacency),
+                "backend": "numpy",
+            },
+        )
+        assert main(["run", "--config", config, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "capped"
+        assert payload["rounds"] <= 1
+
+    def test_reduce_composition_via_run(self, adjacency, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            {
+                "pipeline": {
+                    "name": "reduce_then_greedy",
+                    "stages": ["reduce", "greedy"],
+                },
+                "input": str(adjacency),
+            },
+        )
+        assert main(["run", "--config", config, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["stage"] for s in payload["stages"]] == ["reduce", "greedy"]
+        assert payload["size"] > 0
+
+    def test_invalid_spec_reports_clear_message(self, adjacency, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            {
+                "pipeline": {"name": "bad", "stages": ["warp_drive"]},
+                "input": str(adjacency),
+            },
+        )
+        assert main(["run", "--config", config]) == 2
+        err = capsys.readouterr().err
+        assert "unknown stage 'warp_drive'" in err
+        assert "available:" in err
+
+    def test_unknown_named_pipeline_rejected(self, adjacency, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path, {"pipeline": "nope", "input": str(adjacency)}
+        )
+        assert main(["run", "--config", config]) == 2
+        assert "unknown named pipeline" in capsys.readouterr().err
+
+    def test_missing_config_file(self, tmp_path, capsys):
+        assert main(["run", "--config", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read run spec" in capsys.readouterr().err
+
+    def test_run_with_checkpoint_resume_cycle(self, adjacency, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.json"
+        base = {
+            "pipeline": "two_k_swap",
+            "input": str(adjacency),
+            "checkpoint": str(checkpoint),
+        }
+        config = self._write_config(tmp_path, base)
+        assert main(["run", "--config", config, "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert checkpoint.exists()
+        assert main(["run", "--config", config, "--resume", "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        for key in reference:
+            if key in ("elapsed_seconds", "stages"):
+                continue
+            assert resumed[key] == reference[key], key
+
+
+class TestSolveCheckpointFlags:
+    def test_interrupt_resume_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        checkpoint = tmp_path / "ck.json"
+        main([
+            "generate", str(path), "--model", "gnm",
+            "--vertices", "300", "--edges", "900", "--seed", "3",
+        ])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--pipeline", "two_k_swap", "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        code = main([
+            "solve", str(path), "--pipeline", "two_k_swap",
+            "--checkpoint", str(checkpoint), "--interrupt-after", "2",
+        ])
+        assert code == 3
+        assert "resume" in capsys.readouterr().err
+        assert main([
+            "solve", str(path), "--pipeline", "two_k_swap",
+            "--checkpoint", str(checkpoint), "--resume", "--json",
+        ]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        for key in reference:
+            if key == "elapsed_seconds":
+                continue
+            if key == "stages":
+                ref_stages = [
+                    {k: v for k, v in s.items() if k != "elapsed_seconds"}
+                    for s in reference[key]
+                ]
+                res_stages = [
+                    {k: v for k, v in s.items() if k != "elapsed_seconds"}
+                    for s in resumed[key]
+                ]
+                assert ref_stages == res_stages
+                continue
+            assert resumed[key] == reference[key], key
+
+    def test_resume_without_checkpoint_rejected(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_reports_typed_error(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        checkpoint = tmp_path / "ck.json"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        checkpoint.write_text("garbage")
+        assert main([
+            "solve", str(path), "--checkpoint", str(checkpoint), "--resume",
+        ]) == 2
+        assert "not a checkpoint" in capsys.readouterr().err
+
+
+class TestReducePipelineFlag:
+    def test_reduce_with_pipeline_solves_kernel(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "150", "--edges", "220"])
+        capsys.readouterr()
+        assert main(["reduce", str(path), "--pipeline", "two_k_swap"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel vertices" in out
+        assert "solved independent set" in out
+
+
+class TestCompareContextIsolation:
+    def test_reduce_pipeline_does_not_leak_kernel_into_later_rows(
+        self, tmp_path, capsys
+    ):
+        """A reduce-containing row must not shrink the graph for its successors."""
+
+        path = tmp_path / "toy.adj"
+        main([
+            "generate", str(path), "--model", "gnm",
+            "--vertices", "200", "--edges", "300", "--seed", "2",
+        ])
+        capsys.readouterr()
+        assert main([
+            "compare", str(path),
+            "--algorithms", "reduce_two_k_swap,two_k_swap,local_search", "--json",
+        ]) == 0
+        rows = {r["algorithm"]: r["size"] for r in json.loads(capsys.readouterr().out)}
+        assert main([
+            "compare", str(path), "--algorithms", "two_k_swap,local_search", "--json",
+        ]) == 0
+        alone = {r["algorithm"]: r["size"] for r in json.loads(capsys.readouterr().out)}
+        assert rows["two_k_swap"] == alone["two_k_swap"]
+        assert rows["local_search"] == alone["local_search"]
+        assert rows["reduce_two_k_swap"] >= alone["two_k_swap"]
+
+
+class TestRunSpecBackendValidation:
+    def test_unknown_backend_in_run_spec_is_a_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        config = tmp_path / "run.json"
+        config.write_text(json.dumps(
+            {"pipeline": "greedy", "input": str(path), "backend": "bogus"}
+        ))
+        assert main(["run", "--config", str(config)]) == 2
+        err = capsys.readouterr().err
+        assert "not a registered kernel backend" in err
+
+
+class TestInterruptRequiresCheckpoint:
+    def test_interrupt_after_without_checkpoint_rejected(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--interrupt-after", "1"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_spec_level_resume_without_checkpoint_rejected(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        config = tmp_path / "run.json"
+        config.write_text(json.dumps(
+            {"pipeline": "greedy", "input": str(path), "resume": True}
+        ))
+        assert main(["run", "--config", str(config)]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_interrupt_after_must_be_positive(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "50", "--edges", "80"])
+        capsys.readouterr()
+        assert main([
+            "solve", str(path),
+            "--checkpoint", str(tmp_path / "ck.json"), "--interrupt-after", "0",
+        ]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+
+class TestRunCommandErrorPaths:
+    def test_missing_input_file_is_a_clean_error(self, tmp_path, capsys):
+        config = tmp_path / "run.json"
+        config.write_text(json.dumps(
+            {"pipeline": "greedy", "input": str(tmp_path / "absent.adj")}
+        ))
+        assert main(["run", "--config", str(config)]) == 2
+        assert "cannot open input" in capsys.readouterr().err
+
+    def test_truncated_input_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.adj"
+        bad.write_bytes(b"\x00\x01")
+        config = tmp_path / "run.json"
+        config.write_text(json.dumps({"pipeline": "greedy", "input": str(bad)}))
+        assert main(["run", "--config", str(config)]) == 2
+        assert "cannot open input" in capsys.readouterr().err
+
+
+class TestReducePipelinePrefix:
+    def test_reduce_prefixed_pipeline_not_doubled(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "150", "--edges", "220"])
+        capsys.readouterr()
+        assert main(["reduce", str(path), "--pipeline", "reduce_two_k_swap"]) == 0
+        out = capsys.readouterr().out
+        assert "solved independent set" in out
