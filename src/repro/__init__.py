@@ -19,6 +19,9 @@ Public API highlights
   exact branch-and-bound and local search comparators.
 * :mod:`repro.analysis` — the PLRG performance model (Lemma 1,
   Propositions 2 and 5) and the Algorithm-5 upper bound.
+* :mod:`repro.service` — solver-as-a-service: durable job queue,
+  process worker pool with crash recovery, digest-keyed result cache
+  (:class:`repro.SolverService`, :class:`repro.ServiceClient`).
 """
 
 from repro.core import (
@@ -64,6 +67,7 @@ from repro.pipeline import (
     StageSpec,
 )
 from repro.reductions import ReducedGraph, reduce_graph, reduced_mis
+from repro.service import ServiceClient, ServiceConfig, SolverService
 from repro.storage import (
     AdjacencyFileReader,
     IOStats,
@@ -104,6 +108,10 @@ __all__ = [
     "RunSpec",
     "StageReport",
     "StageSpec",
+    # Service layer
+    "ServiceClient",
+    "ServiceConfig",
+    "SolverService",
     # Reductions, applications and incremental maintenance
     "ReducedGraph",
     "reduce_graph",

@@ -27,14 +27,25 @@ Sub-commands
     the kernel size; with ``--pipeline`` the kernel is solved through the
     engine (``reduce → …``) and the lifted solution is reported too.
 ``run``
-    Execute a declarative run spec (``--config run.json``): pipeline
+    Execute a declarative run spec (``--config run.json``) or a whole
+    directory of them (``--config-dir specs/``, aggregating the
+    per-stage telemetry of the sweep into one report): pipeline
     composition, input, backend, checkpointing — the scenario runner.
+``serve`` / ``submit`` / ``status`` / ``results`` / ``cancel``
+    Solver-as-a-service over a service directory: ``serve`` runs the
+    scheduler + process worker pool (crash-recovering, with a
+    digest-keyed result cache), ``submit`` queues run specs (single
+    ``--config`` or batch ``--config-dir``), and the remaining verbs
+    inspect or cancel jobs.  The client verbs work purely against the
+    on-disk store, so they function whether or not a daemon is up.
 
 Every command that executes solver passes resolves its kernel backend
 through one shared helper (``--backend`` flag → ``REPRO_KERNEL_BACKEND``
 → auto-detection) and runs on the stage-based pipeline engine; ``solve``
 and ``run`` support ``--checkpoint``/``--resume`` for restartable runs
-(an interrupted run exits with status 3 and resumes bit-identically).
+(an interrupted run exits with status 3 and resumes bit-identically) and
+``--checkpoint-every-seconds`` to throttle round checkpoints on
+short-round jobs.
 """
 
 from __future__ import annotations
@@ -51,19 +62,23 @@ from repro.core.result import MISResult
 from repro.core.solver import PIPELINES
 from repro.errors import (
     CheckpointError,
+    JobNotFoundError,
+    JobStateError,
     MemoryBudgetError,
     PipelineInterrupted,
     PipelineSpecError,
+    ServiceError,
     StorageError,
 )
 from repro.pipeline.context import ExecutionContext, add_execution_arguments
 from repro.pipeline.engine import PipelineEngine
-from repro.pipeline.spec import PipelineSpec, RunSpec, StageSpec
+from repro.pipeline.spec import PipelineSpec, RunSpec, StageSpec, iter_run_specs
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.graphs.generators import erdos_renyi_gnm
 from repro.graphs.graph import Graph
 from repro.graphs.plrg import PLRGParameters, plrg_graph
-from repro.reporting import format_table
+from repro.reporting import format_bytes, format_table
+from repro.service import ServiceClient, ServiceConfig, SolverService
 from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
 from repro.storage.converters import export_edge_list, import_edge_list
 
@@ -126,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="testing/drill knob: exit with status 3 right after the N-th "
         "checkpoint write",
     )
+    solve.add_argument(
+        "--checkpoint-every-seconds",
+        type=float,
+        default=None,
+        metavar="N",
+        help="write round checkpoints at most every N seconds instead of "
+        "every round (stage boundaries always checkpoint); resuming from "
+        "an older round checkpoint replays the skipped rounds and stays "
+        "bit-identical",
+    )
     solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
     compare = subparsers.add_parser(
@@ -144,22 +169,116 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--json", action="store_true", help="emit rows as JSON")
 
     run = subparsers.add_parser(
-        "run", help="execute a declarative run spec (scenario runner)"
+        "run", help="execute declarative run specs (scenario runner)"
     )
-    run.add_argument(
+    run_source = run.add_mutually_exclusive_group(required=True)
+    run_source.add_argument(
         "--config",
-        required=True,
         metavar="PATH",
         help="JSON run spec: {'pipeline': name-or-inline-spec, 'input': file, "
         "and optional 'backend', 'max_rounds', 'memory_limit_bytes', "
-        "'checkpoint', 'resume'}",
+        "'checkpoint', 'resume', 'checkpoint_every_seconds'}",
+    )
+    run_source.add_argument(
+        "--config-dir",
+        metavar="DIR",
+        help="execute every *.json run spec in DIR (sorted name order) and "
+        "aggregate the per-stage telemetry of the sweep into one report",
     )
     run.add_argument(
         "--resume",
         action="store_true",
-        help="resume from the spec's checkpoint (overrides 'resume': false)",
+        help="resume from the spec's checkpoint (overrides 'resume': false; "
+        "single --config only)",
     )
     run.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the solver-service daemon over a service directory"
+    )
+    serve.add_argument("service_dir", help="service directory (created if missing)")
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent worker processes"
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="scheduler poll interval",
+    )
+    serve.add_argument(
+        "--checkpoint-every-seconds",
+        type=float,
+        default=30.0,
+        metavar="N",
+        help="default round-checkpoint cadence for jobs whose spec does not "
+        "set its own (0 = checkpoint every round)",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=100,
+        help="crash-restarts allowed per job before it is failed",
+    )
+    serve.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once every job reaches a terminal state (batch mode)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="queue run specs on a service directory"
+    )
+    submit.add_argument("service_dir", help="service directory (created if missing)")
+    submit_source = submit.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument("--config", metavar="PATH", help="one JSON run spec")
+    submit_source.add_argument(
+        "--config-dir",
+        metavar="DIR",
+        help="batch-submit every *.json run spec in DIR",
+    )
+    submit.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash-drill knob (single --config only): the worker dies after "
+        "every N checkpoint writes and the job finishes through resume",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the submitted job(s) reach a terminal state",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-job wait timeout with --wait",
+    )
+    submit.add_argument("--json", action="store_true", help="emit records as JSON")
+
+    status = subparsers.add_parser(
+        "status", help="show job states of a service directory"
+    )
+    status.add_argument("service_dir", help="an existing service directory")
+    status.add_argument("job_id", nargs="?", default=None, help="one job id")
+    status.add_argument("--json", action="store_true", help="emit records as JSON")
+
+    results_cmd = subparsers.add_parser(
+        "results", help="print the result of a finished service job"
+    )
+    results_cmd.add_argument("service_dir", help="an existing service directory")
+    results_cmd.add_argument("job_id", help="job id (state must be done)")
+    results_cmd.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    cancel = subparsers.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("service_dir", help="an existing service directory")
+    cancel.add_argument("job_id", help="job id to cancel")
 
     bound = subparsers.add_parser("bound", help="Algorithm 5 upper bound for a file")
     bound.add_argument("input", help="path of a binary adjacency file")
@@ -257,6 +376,33 @@ def _print_result(result: MISResult, as_json: bool) -> None:
         )
 
 
+def _execute_engine(
+    spec: PipelineSpec,
+    reader: AdjacencyFileReader,
+    args: argparse.Namespace,
+    max_rounds: Optional[int],
+    checkpoint: Optional[str],
+    resume: bool,
+    interrupt_after: Optional[int] = None,
+    memory_limit_bytes: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
+) -> MISResult:
+    """Build the context and run the engine — shared by solve/run/sweep."""
+
+    ctx = ExecutionContext.from_args(args, reader)
+    if memory_limit_bytes is not None:
+        ctx.memory_limit_bytes = memory_limit_bytes
+    engine = PipelineEngine(
+        spec,
+        max_rounds=max_rounds,
+        checkpoint_path=checkpoint,
+        resume=resume,
+        interrupt_after=interrupt_after,
+        checkpoint_every_seconds=checkpoint_every_seconds,
+    )
+    return engine.run(ctx)
+
+
 def _run_engine_command(
     spec: PipelineSpec,
     reader: AdjacencyFileReader,
@@ -266,21 +412,22 @@ def _run_engine_command(
     resume: bool,
     interrupt_after: Optional[int] = None,
     memory_limit_bytes: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
 ) -> int:
-    """Build the context, run the engine, print the result (solve/run)."""
+    """Run the engine and print the result (solve/run)."""
 
-    ctx = ExecutionContext.from_args(args, reader)
-    if memory_limit_bytes is not None:
-        ctx.memory_limit_bytes = memory_limit_bytes
     try:
-        engine = PipelineEngine(
+        result = _execute_engine(
             spec,
+            reader,
+            args,
             max_rounds=max_rounds,
-            checkpoint_path=checkpoint,
+            checkpoint=checkpoint,
             resume=resume,
             interrupt_after=interrupt_after,
+            memory_limit_bytes=memory_limit_bytes,
+            checkpoint_every_seconds=checkpoint_every_seconds,
         )
-        result = engine.run(ctx)
     except PipelineInterrupted as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_INTERRUPTED
@@ -303,6 +450,12 @@ def _command_solve(args: argparse.Namespace) -> int:
     if args.interrupt_after is not None and args.interrupt_after < 1:
         print("--interrupt-after must be >= 1 (checkpoint writes)", file=sys.stderr)
         return 2
+    if (
+        args.checkpoint_every_seconds is not None
+        and args.checkpoint_every_seconds <= 0
+    ):
+        print("--checkpoint-every-seconds must be positive", file=sys.stderr)
+        return 2
     reader = AdjacencyFileReader(args.input)
     # Every backend consumes the file semi-externally: the numpy kernels
     # run over block-batched scans, the python reference streams records.
@@ -315,12 +468,18 @@ def _command_solve(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             interrupt_after=args.interrupt_after,
+            checkpoint_every_seconds=args.checkpoint_every_seconds,
         )
     finally:
         reader.close()
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.config_dir is not None:
+        if args.resume:
+            print("--resume requires a single --config", file=sys.stderr)
+            return 2
+        return _command_run_directory(args)
     try:
         run_spec = RunSpec.from_path(args.config)
     except PipelineSpecError as exc:
@@ -349,9 +508,141 @@ def _command_run(args: argparse.Namespace) -> int:
             checkpoint=run_spec.checkpoint,
             resume=run_spec.resume or args.resume,
             memory_limit_bytes=run_spec.memory_limit_bytes,
+            checkpoint_every_seconds=run_spec.checkpoint_every_seconds,
         )
     finally:
         reader.close()
+
+
+def _command_run_directory(args: argparse.Namespace) -> int:
+    """Scenario sweep: run every spec in a directory, aggregate telemetry."""
+
+    try:
+        specs = iter_run_specs(args.config_dir)
+    except PipelineSpecError as exc:
+        print(f"invalid run spec: {exc}", file=sys.stderr)
+        return 2
+
+    runs: List[Dict[str, object]] = []
+    aggregate: Dict[str, Dict[str, object]] = {}
+    for path, run_spec in specs:
+        if run_spec.resume and run_spec.checkpoint is None:
+            print(
+                f"{path}: resuming requires a 'checkpoint' path in the run spec",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            reader = AdjacencyFileReader(run_spec.input)
+        except (StorageError, OSError) as exc:
+            print(
+                f"{path}: cannot open input {run_spec.input!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        args.backend = run_spec.backend or "auto"
+        try:
+            result = _execute_engine(
+                run_spec.pipeline,
+                reader,
+                args,
+                max_rounds=run_spec.max_rounds,
+                checkpoint=run_spec.checkpoint,
+                resume=run_spec.resume,
+                memory_limit_bytes=run_spec.memory_limit_bytes,
+                checkpoint_every_seconds=run_spec.checkpoint_every_seconds,
+            )
+        except (PipelineSpecError, CheckpointError, MemoryBudgetError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            reader.close()
+        stages = result.extras.get("stages", [])
+        runs.append(
+            {
+                "config": path,
+                "input": run_spec.input,
+                "summary": result.summary(),
+                "stages": stages,
+            }
+        )
+        for entry in stages:
+            agg = aggregate.setdefault(
+                entry["stage"],
+                {
+                    "stage": entry["stage"],
+                    "executions": 0,
+                    "rounds": 0,
+                    "elapsed_seconds": 0.0,
+                    "sequential_scans": 0,
+                    "bytes_read": 0,
+                    "random_vertex_lookups": 0,
+                },
+            )
+            agg["executions"] += 1
+            agg["rounds"] += entry["rounds"]
+            agg["elapsed_seconds"] = round(
+                agg["elapsed_seconds"] + entry["elapsed_seconds"], 6
+            )
+            agg["sequential_scans"] += entry["io"]["sequential_scans"]
+            agg["bytes_read"] += entry["io"]["bytes_read"]
+            agg["random_vertex_lookups"] += entry["io"]["random_vertex_lookups"]
+    aggregate_rows = [aggregate[name] for name in sorted(aggregate)]
+
+    if args.json:
+        print(
+            json.dumps(
+                {"runs": runs, "aggregate_stages": aggregate_rows},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        format_table(
+            ["config", "algorithm", "size", "rounds", "seconds", "scans"],
+            [
+                [
+                    row["config"],
+                    row["summary"]["algorithm"],
+                    row["summary"]["size"],
+                    row["summary"]["rounds"],
+                    row["summary"]["elapsed_seconds"],
+                    row["summary"]["sequential_scans"],
+                ]
+                for row in runs
+            ],
+            title=f"scenario sweep: {len(runs)} runs from {args.config_dir}",
+        )
+    )
+    print()
+    print(
+        format_table(
+            [
+                "stage",
+                "executions",
+                "rounds",
+                "seconds",
+                "scans",
+                "bytes read",
+                "lookups",
+            ],
+            [
+                [
+                    row["stage"],
+                    row["executions"],
+                    row["rounds"],
+                    row["elapsed_seconds"],
+                    row["sequential_scans"],
+                    row["bytes_read"],
+                    row["random_vertex_lookups"],
+                ]
+                for row in aggregate_rows
+            ],
+            title="aggregate per-stage telemetry",
+        )
+    )
+    return 0
 
 
 #: In-memory comparator algorithms runnable from ``repro-mis compare``.
@@ -439,6 +730,149 @@ def _command_compare(args: argparse.Namespace) -> int:
                 ],
             )
         )
+    return 0
+
+
+def _record_row(client: ServiceClient, record) -> List[object]:
+    return [
+        record.job_id,
+        record.state,
+        record.spec.get("pipeline", {}).get("name", "?"),
+        record.spec.get("backend") or "auto",
+        record.attempts,
+        "yes" if record.cache_hit else "no",
+        format_bytes(client.checkpoint_size(record.job_id)),
+        record.error or "",
+    ]
+
+
+_STATUS_HEADERS = [
+    "job",
+    "state",
+    "pipeline",
+    "backend",
+    "attempts",
+    "cache hit",
+    "checkpoint",
+    "error",
+]
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.checkpoint_every_seconds < 0:
+        print(
+            "--checkpoint-every-seconds must be >= 0 (0 = every round)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        service = SolverService(
+            args.service_dir,
+            ServiceConfig(
+                workers=args.workers,
+                poll_interval_seconds=args.poll_interval,
+                checkpoint_every_seconds=args.checkpoint_every_seconds or None,
+                max_restarts=args.max_restarts,
+            ),
+        )
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"serving {args.service_dir} with {args.workers} worker(s)"
+        + (" until drained" if args.drain else ""),
+        file=sys.stderr,
+    )
+    try:
+        service.serve_forever(drain=args.drain)
+    except KeyboardInterrupt:
+        # Workers keep running as orphans and finish their jobs; the next
+        # daemon adopts or resumes them — stopping the loop loses nothing.
+        print("interrupted; jobs resume on the next serve", file=sys.stderr)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    if args.interrupt_after is not None and args.config_dir is not None:
+        print("--interrupt-after requires a single --config", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.service_dir)
+    try:
+        if args.config_dir is not None:
+            records = [
+                record for _path, record in client.submit_directory(args.config_dir)
+            ]
+        else:
+            records = [
+                client.submit(args.config, interrupt_after=args.interrupt_after)
+            ]
+    except (PipelineSpecError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.wait:
+        try:
+            records = [
+                client.wait(record.job_id, timeout_seconds=args.timeout)
+                for record in records
+            ]
+        except ServiceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+    else:
+        print(
+            format_table(
+                _STATUS_HEADERS, [_record_row(client, r) for r in records]
+            )
+        )
+    failed = [r for r in records if r.state == "failed"]
+    return 1 if failed else 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    try:
+        client = ServiceClient(args.service_dir, create=False)
+        if args.job_id is not None:
+            records = [client.status(args.job_id)]
+        else:
+            records = client.list()
+    except (JobNotFoundError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+    else:
+        print(
+            format_table(
+                _STATUS_HEADERS, [_record_row(client, r) for r in records]
+            )
+        )
+    return 0
+
+
+def _command_results(args: argparse.Namespace) -> int:
+    try:
+        client = ServiceClient(args.service_dir, create=False)
+        result = client.result(args.job_id)
+    except (JobStateError, JobNotFoundError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
+    return 0
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    try:
+        client = ServiceClient(args.service_dir, create=False)
+        record = client.cancel(args.job_id)
+    except (JobStateError, JobNotFoundError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if record.state == "cancelled":
+        print(f"job {record.job_id} cancelled")
+    else:
+        print(f"job {record.job_id} cancel requested (worker will be stopped)")
     return 0
 
 
@@ -538,6 +972,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "import": _command_import,
         "export": _command_export,
         "reduce": _command_reduce,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "status": _command_status,
+        "results": _command_results,
+        "cancel": _command_cancel,
     }
     return handlers[args.command](args)
 

@@ -74,6 +74,10 @@ class SemiExternalMISSolver:
         over; the resumed run reproduces the uninterrupted result —
         independent set, round telemetry and cumulative I/O counters —
         bit-identically.
+    checkpoint_every_seconds:
+        Throttle round checkpoints to at most one per this many seconds
+        (``None`` = checkpoint every round); stage-boundary checkpoints
+        are always written.
     """
 
     pipeline: str = "two_k_swap"
@@ -84,6 +88,7 @@ class SemiExternalMISSolver:
     backend: Optional[str] = None
     checkpoint_path: Optional[str] = None
     resume: bool = False
+    checkpoint_every_seconds: Optional[float] = None
 
     def solve(self, graph_or_source: Union[Graph, AdjacencyScanSource]) -> MISResult:
         """Run the configured pipeline and return the final result."""
@@ -117,6 +122,7 @@ class SemiExternalMISSolver:
             validate=self.validate,
             checkpoint_path=self.checkpoint_path,
             resume=self.resume,
+            checkpoint_every_seconds=self.checkpoint_every_seconds,
         )
         return engine.run(ctx)
 
@@ -130,6 +136,7 @@ def solve_mis(
     backend: Optional[str] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    checkpoint_every_seconds: Optional[float] = None,
 ) -> MISResult:
     """One-shot convenience wrapper around :class:`SemiExternalMISSolver`."""
 
@@ -141,5 +148,6 @@ def solve_mis(
         backend=backend,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        checkpoint_every_seconds=checkpoint_every_seconds,
     )
     return solver.solve(graph_or_source)

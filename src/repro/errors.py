@@ -103,6 +103,28 @@ class InvalidIndependentSetError(SolverError):
         self.edge = (u, v)
 
 
+class ServiceError(ReproError):
+    """Raised when the solver service is misused or its store is invalid."""
+
+
+class JobNotFoundError(ServiceError):
+    """Raised when a job id does not exist in the service's job store."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id!r} does not exist in this service directory")
+        self.job_id = job_id
+
+
+class JobStateError(ServiceError):
+    """Raised on an invalid job state transition (e.g. cancelling a done job)."""
+
+    def __init__(self, job_id: str, state: str, action: str) -> None:
+        super().__init__(f"cannot {action} job {job_id!r} in state {state!r}")
+        self.job_id = job_id
+        self.state = state
+        self.action = action
+
+
 class AnalysisError(ReproError):
     """Raised when theoretical-model parameters are out of their valid range."""
 

@@ -19,8 +19,9 @@ message naming the offending field.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import PipelineSpecError
 
@@ -29,6 +30,7 @@ __all__ = [
     "PipelineSpec",
     "RunSpec",
     "StageSpec",
+    "iter_run_specs",
 ]
 
 
@@ -169,6 +171,7 @@ class RunSpec:
     memory_limit_bytes: Optional[int] = None
     checkpoint: Optional[str] = None
     resume: bool = False
+    checkpoint_every_seconds: Optional[float] = None
 
     @classmethod
     def from_dict(cls, payload) -> "RunSpec":
@@ -215,6 +218,17 @@ class RunSpec:
         resume = payload.get("resume", False)
         if not isinstance(resume, bool):
             raise PipelineSpecError("run spec 'resume' must be a boolean")
+        every = payload.get("checkpoint_every_seconds")
+        if every is not None:
+            if isinstance(every, bool) or not isinstance(every, (int, float)):
+                raise PipelineSpecError(
+                    "run spec 'checkpoint_every_seconds' must be a number or null"
+                )
+            if every <= 0:
+                raise PipelineSpecError(
+                    "run spec 'checkpoint_every_seconds' must be positive"
+                )
+            every = float(every)
         unknown = set(payload) - {
             "pipeline",
             "input",
@@ -223,6 +237,7 @@ class RunSpec:
             "memory_limit_bytes",
             "checkpoint",
             "resume",
+            "checkpoint_every_seconds",
         }
         if unknown:
             raise PipelineSpecError(
@@ -238,6 +253,7 @@ class RunSpec:
             ),
             checkpoint=checkpoint,
             resume=resume,
+            checkpoint_every_seconds=every,
         )
 
     @classmethod
@@ -266,4 +282,34 @@ class RunSpec:
             "memory_limit_bytes": self.memory_limit_bytes,
             "checkpoint": self.checkpoint,
             "resume": self.resume,
+            "checkpoint_every_seconds": self.checkpoint_every_seconds,
         }
+
+
+def iter_run_specs(config_dir: str) -> List[Tuple[str, RunSpec]]:
+    """Parse every ``*.json`` run spec in a directory, in sorted name order.
+
+    This is the scenario-sweep loader shared by ``repro-mis run
+    --config-dir`` and the service's batch-submit path.  A directory
+    without a single spec, or any malformed spec file, raises
+    :class:`~repro.errors.PipelineSpecError` naming the offending path.
+    """
+
+    try:
+        names = sorted(
+            name for name in os.listdir(config_dir) if name.endswith(".json")
+        )
+    except OSError as exc:
+        raise PipelineSpecError(f"cannot read config dir {config_dir!r}: {exc}")
+    if not names:
+        raise PipelineSpecError(
+            f"config dir {config_dir!r} contains no *.json run specs"
+        )
+    specs: List[Tuple[str, RunSpec]] = []
+    for name in names:
+        path = os.path.join(config_dir, name)
+        try:
+            specs.append((path, RunSpec.from_path(path)))
+        except PipelineSpecError as exc:
+            raise PipelineSpecError(f"{path}: {exc}") from None
+    return specs

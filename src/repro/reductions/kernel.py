@@ -145,12 +145,26 @@ class ReducedGraph:
         or re-running the reduction sweep.
         """
 
+        # Edges and folds are stored as flat int arrays (sources/targets,
+        # 4-tuples run together) rather than lists of pairs: the
+        # checkpoint format binary-packs long int lists into its arrays
+        # section, and flat layouts are what make a big kernel artifact
+        # compress instead of bloating the JSON payload.
+        edge_sources: list = []
+        edge_targets: list = []
+        for u, w in self.kernel.iter_edges():
+            edge_sources.append(u)
+            edge_targets.append(w)
+        flat_folds: list = []
+        for fold in self.folds:
+            flat_folds.extend((fold.folded, fold.vertex, fold.left, fold.right))
         return {
             "kernel_vertices": self.kernel.num_vertices,
-            "kernel_edges": [[u, w] for u, w in self.kernel.iter_edges()],
+            "kernel_edge_sources": edge_sources,
+            "kernel_edge_targets": edge_targets,
             "kernel_tokens": list(self.kernel_tokens),
             "forced_tokens": sorted(self.forced_tokens),
-            "folds": [[f.folded, f.vertex, f.left, f.right] for f in self.folds],
+            "folds": flat_folds,
             "stats": {
                 "isolated": self.stats.isolated,
                 "pendant": self.stats.pendant,
@@ -166,15 +180,26 @@ class ReducedGraph:
 
         kernel = Graph(
             int(payload["kernel_vertices"]),
-            [(int(u), int(w)) for u, w in payload["kernel_edges"]],
+            list(
+                zip(
+                    (int(u) for u in payload["kernel_edge_sources"]),
+                    (int(w) for w in payload["kernel_edge_targets"]),
+                )
+            ),
         )
+        flat_folds = [int(value) for value in payload["folds"]]
         return cls(
             kernel=kernel,
             kernel_tokens=tuple(int(t) for t in payload["kernel_tokens"]),
             forced_tokens=frozenset(int(t) for t in payload["forced_tokens"]),
             folds=tuple(
-                _Fold(folded=int(a), vertex=int(b), left=int(c), right=int(d))
-                for a, b, c, d in payload["folds"]
+                _Fold(
+                    folded=flat_folds[i],
+                    vertex=flat_folds[i + 1],
+                    left=flat_folds[i + 2],
+                    right=flat_folds[i + 3],
+                )
+                for i in range(0, len(flat_folds), 4)
             ),
             stats=ReductionStats(**payload["stats"]),
             original_vertices=int(payload["original_vertices"]),

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_number", "print_experiment_header"]
+__all__ = [
+    "format_bytes",
+    "format_table",
+    "format_number",
+    "print_experiment_header",
+]
 
 _Cell = Union[str, int, float, None]
 
@@ -29,6 +34,25 @@ def format_number(value: _Cell, precision: int = 3) -> str:
             return "N/A"
         return f"{value:.{precision}f}"
     return str(value)
+
+
+def format_bytes(num_bytes: Optional[int]) -> str:
+    """Render a byte count with a binary-unit suffix (``1.5 MiB``).
+
+    Used by the service status tables and the checkpoint-size benchmark;
+    ``None`` renders as ``N/A`` like every other missing cell.
+    """
+
+    if num_bytes is None:
+        return "N/A"
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TiB"  # pragma: no cover - loop always returns
 
 
 def format_table(

@@ -1,0 +1,39 @@
+"""Solver-as-a-service: job queue, worker pool, crash recovery, result cache.
+
+The service layer turns the library into a serving system: submitted
+:class:`~repro.pipeline.spec.RunSpec`s become durable job records, a
+multiprocessing worker pool executes them through the pipeline engine
+with per-job checkpoints, killed workers (or a killed service) resume
+bit-identically, and identical resubmissions are answered from a
+digest-keyed result cache without solver work.
+
+* :class:`JobStore` / :class:`JobRecord` — the persistent queue and
+  state machine (:mod:`repro.service.jobstore`);
+* :class:`ResultCache` — the content-addressed result cache
+  (:mod:`repro.service.cache`);
+* :class:`SolverService` / :class:`ServiceConfig` — scheduler + worker
+  pool + crash recovery (:mod:`repro.service.service`);
+* :class:`ServiceClient` — the submit/status/result/cancel API
+  (:mod:`repro.service.client`);
+* :func:`execute_job` — the child-process worker body
+  (:mod:`repro.service.worker`).
+"""
+
+from repro.service.cache import ResultCache, cache_key, file_digest
+from repro.service.client import ServiceClient
+from repro.service.jobstore import JOB_STATES, JobRecord, JobStore
+from repro.service.service import ServiceConfig, SolverService
+from repro.service.worker import execute_job
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobStore",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "SolverService",
+    "cache_key",
+    "execute_job",
+    "file_digest",
+]

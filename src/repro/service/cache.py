@@ -1,0 +1,141 @@
+"""Digest-keyed result cache of the solver service.
+
+A cache entry maps ``(input content digest, canonical spec, backend)``
+to the encoded :class:`~repro.core.result.MISResult` of a completed job.
+Because every pipeline run is deterministic (and bit-identical across
+the kernel backends on the solver passes), a resubmitted identical job
+can be answered from the cache without any solver work — the returned
+result is the *identical* ``MISResult`` of the original solve, set,
+telemetry, I/O counters and all; ``tests/test_service.py`` verifies the
+cached result against a fresh solve bit for bit.
+
+The key is content-addressed, not path-addressed: the input file is
+digested (size + BLAKE2b over its bytes), so renaming a graph file still
+hits while editing it misses.  The spec side of the key canonicalises
+only the solver-relevant fields — pipeline composition, round cap,
+memory limit, requested backend — and deliberately excludes checkpoint
+paths and checkpoint cadence, which cannot change the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from repro.errors import ServiceError
+from repro.pipeline.context import resolve_backend_request
+from repro.pipeline.spec import RunSpec
+
+__all__ = ["ResultCache", "cache_key", "file_digest", "spec_key_fields"]
+
+_CHUNK_BYTES = 1 << 20
+
+
+def file_digest(path: str) -> str:
+    """Content digest of a file (streamed; raises ServiceError if unreadable)."""
+
+    digest = hashlib.blake2b(digest_size=16)
+    try:
+        size = os.stat(path).st_size
+        digest.update(str(size).encode("ascii"))
+        with open(path, "rb") as handle:
+            while True:
+                chunk = handle.read(_CHUNK_BYTES)
+                if not chunk:
+                    break
+                digest.update(chunk)
+    except OSError as exc:
+        raise ServiceError(f"cannot digest input file {path!r}: {exc}") from None
+    return digest.hexdigest()
+
+
+def spec_key_fields(spec: RunSpec, input_digest: str) -> Dict[str, object]:
+    """The canonical, solver-relevant identity of a submitted run.
+
+    ``checkpoint``/``resume``/``checkpoint_every_seconds`` are excluded:
+    they change how a run is persisted, never what it computes.  The
+    requested backend stays in the key per the service contract (both
+    backends produce bit-identical pipeline results, but a cache entry
+    records exactly what was asked for).
+    """
+
+    return {
+        "backend": resolve_backend_request(spec.backend) or "auto",
+        "input_digest": input_digest,
+        "max_rounds": spec.max_rounds,
+        "memory_limit_bytes": spec.memory_limit_bytes,
+        "pipeline": spec.pipeline.to_dict(),
+    }
+
+
+def cache_key(spec: RunSpec, input_digest: str) -> str:
+    """The cache key digest for a run spec over a digested input."""
+
+    canonical = json.dumps(
+        spec_key_fields(spec, input_digest), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ResultCache:
+    """On-disk result cache: one JSON entry per cache key."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The encoded ``MISResult`` stored under ``key``, or ``None``."""
+
+        try:
+            with open(self.entry_path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"cache entry for {key!r} is unreadable: {exc}")
+        if not isinstance(entry, dict) or "result" not in entry:
+            raise ServiceError(f"cache entry for {key!r} is malformed")
+        return entry["result"]
+
+    def put(
+        self,
+        key: str,
+        key_fields: Dict[str, object],
+        encoded_result: Dict[str, object],
+    ) -> None:
+        """Store a result under ``key`` (first write wins; writes are atomic).
+
+        ``key_fields`` are stored alongside the result for auditability —
+        a cache entry is self-describing about what it answers.
+        """
+
+        path = self.entry_path(key)
+        if os.path.exists(path):
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        document = json.dumps(
+            {"key": key, "key_fields": key_fields, "result": encoded_result},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        temp_path = f"{path}.{os.getpid()}.tmp"
+        with open(temp_path, "wb") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+
+    def size(self) -> int:
+        """Number of cached results."""
+
+        try:
+            return sum(
+                1 for name in os.listdir(self.directory) if name.endswith(".json")
+            )
+        except FileNotFoundError:
+            return 0

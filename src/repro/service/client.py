@@ -1,0 +1,167 @@
+"""Thin Python client API of the solver service.
+
+A :class:`ServiceClient` talks to a service purely through its on-disk
+store — submitting is writing a ``queued`` record, status is reading
+records, results are decoded from the results directory.  No socket, no
+daemon handshake: the client works identically whether ``repro-mis
+serve`` is already running (jobs start immediately), starts later
+(jobs wait in the queue), or crashed (jobs survive).  The CLI verbs
+``submit``/``status``/``results``/``cancel`` are one call each.
+
+>>> client = ServiceClient("service-dir")              # doctest: +SKIP
+>>> job_id = client.submit(run_spec)                   # doctest: +SKIP
+>>> client.status(job_id).state                        # doctest: +SKIP
+'queued'
+>>> client.result(job_id).size                         # doctest: +SKIP
+412
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, Optional, Tuple, Union
+
+from repro.core.result import MISResult
+from repro.errors import JobStateError, ServiceError
+from repro.pipeline.engine import decode_result
+from repro.pipeline.spec import RunSpec, iter_run_specs
+from repro.service.cache import cache_key, file_digest
+from repro.service.jobstore import JobRecord, JobStore
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Submit jobs to — and read job state from — a service directory."""
+
+    def __init__(self, root: str, create: bool = True) -> None:
+        self.store = JobStore(root, create=create)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: Union[RunSpec, str],
+        interrupt_after: Optional[int] = None,
+    ) -> JobRecord:
+        """Queue one run spec (object or path of a spec file); returns the record.
+
+        The input file is digested at submit time, so the job's cache key
+        is pinned to the submitted content even if the file changes
+        later.  ``interrupt_after`` is the crash-drill knob: the worker
+        dies right after that many checkpoint writes (every attempt), and
+        the scheduler keeps resuming it — the job still finishes with the
+        bit-identical result.
+        """
+
+        if isinstance(spec, str):
+            spec = RunSpec.from_path(spec)
+        if interrupt_after is not None and interrupt_after < 1:
+            raise ServiceError("interrupt_after must be >= 1 (checkpoint writes)")
+        digest = file_digest(spec.input)
+        now = time.time()
+        record = JobRecord(
+            job_id=self.store.new_job_id(),
+            spec=spec.to_dict(),
+            state="queued",
+            input_digest=digest,
+            cache_key=cache_key(spec, digest),
+            created_at=now,
+            updated_at=now,
+            checkpoint_every_seconds=spec.checkpoint_every_seconds,
+            interrupt_after=interrupt_after,
+        )
+        return self.store.write(record)
+
+    def submit_directory(self, config_dir: str) -> List[Tuple[str, JobRecord]]:
+        """Batch-submit every ``*.json`` run spec in a directory.
+
+        The service's batch path of the ``repro-mis run --config-dir``
+        scenario sweep: returns ``(spec path, record)`` pairs in sorted
+        spec-name order.
+        """
+
+        return [
+            (path, self.submit(spec)) for path, spec in iter_run_specs(config_dir)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        """The current record of one job."""
+
+        return self.store.get(job_id)
+
+    def list(self) -> List[JobRecord]:
+        """Every job record, oldest first."""
+
+        return self.store.list()
+
+    def result(self, job_id: str) -> MISResult:
+        """The decoded result of a finished job."""
+
+        record = self.store.get(job_id)
+        if record.state != "done":
+            raise JobStateError(job_id, record.state, "read the result of")
+        path = self.store.result_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return decode_result(json.load(handle))
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            raise ServiceError(
+                f"result of job {job_id!r} is unreadable: {exc}"
+            ) from None
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_seconds: float = 60.0,
+        poll_seconds: float = 0.1,
+    ) -> JobRecord:
+        """Block until the job reaches a terminal state; returns the record."""
+
+        deadline = time.monotonic() + timeout_seconds
+        while True:
+            record = self.store.get(job_id)
+            if record.is_terminal():
+                return record
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_seconds} seconds waiting for job "
+                    f"{job_id!r} (state {record.state!r})"
+                )
+            time.sleep(poll_seconds)
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job immediately, or flag a running one.
+
+        A queued job is moved to ``cancelled`` on the spot; a running
+        job gets ``cancel_requested`` and the scheduler terminates its
+        worker on the next pass.  Cancelling a finished job raises
+        :class:`~repro.errors.JobStateError`.
+        """
+
+        record = self.store.get(job_id)
+        if record.is_terminal():
+            raise JobStateError(job_id, record.state, "cancel")
+        if record.state == "queued":
+            return self.store.update(job_id, state="cancelled", cancel_requested=True)
+        return self.store.update(job_id, cancel_requested=True)
+
+    # ------------------------------------------------------------------
+    # Store facts
+    # ------------------------------------------------------------------
+    def checkpoint_size(self, job_id: str) -> Optional[int]:
+        """Size in bytes of the job's engine checkpoint, if one exists."""
+
+        try:
+            return os.path.getsize(self.store.checkpoint_path(job_id))
+        except OSError:
+            return None

@@ -1,0 +1,137 @@
+"""Child-process job execution for the solver service.
+
+A worker owns exactly one job: it rebuilds the run from the job record,
+executes the pipeline through :class:`~repro.pipeline.engine.PipelineEngine`
+with the job's private checkpoint file, and writes the encoded result,
+the cache entry and the terminal job record.  The process boundary is
+the whole point — a worker that is ``kill -9``-ed (or dies with the
+machine) leaves a complete checkpoint and a ``running`` record behind,
+and the scheduler restarts the job with ``resume=True``, which the
+engine guarantees is bit-identical to an uninterrupted run.
+
+Exit-code contract with the scheduler:
+
+* exit ``0`` — the worker finished its bookkeeping; the job record is
+  terminal (``done`` or ``failed``) and authoritative;
+* any other exit (including a real ``SIGKILL``, or exit
+  :data:`WORKER_INTERRUPTED` from the deterministic ``interrupt_after``
+  drill knob) — the record is still ``running``; the scheduler requeues
+  the job to resume from its checkpoint.
+
+Solver *errors* (bad input file, memory budget exceeded, malformed spec)
+are job failures, not worker crashes: the worker records them under
+``state="failed"`` and exits 0 so the scheduler does not retry a job
+that can never succeed.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+from repro.errors import PipelineInterrupted, ReproError
+from repro.pipeline.context import ExecutionContext
+from repro.pipeline.engine import PipelineEngine, encode_result
+from repro.service.cache import ResultCache, file_digest, spec_key_fields
+from repro.service.jobstore import JobStore
+from repro.storage.adjacency_file import AdjacencyFileReader
+
+__all__ = ["WORKER_INTERRUPTED", "execute_job", "worker_main"]
+
+#: Exit status of a worker killed by the ``interrupt_after`` drill knob —
+#: mirrors the CLI's ``EXIT_INTERRUPTED`` so drills read the same either way.
+WORKER_INTERRUPTED = 3
+
+
+def _write_result(store: JobStore, job_id: str, encoded: dict) -> None:
+    import json
+
+    path = store.result_path(job_id)
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(encoded, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+
+
+def execute_job(root: str, job_id: str) -> int:
+    """Run one job to a terminal record; returns the worker exit code."""
+
+    store = JobStore(root, create=False)
+    record = store.get(job_id)
+    spec = record.run_spec()
+    checkpoint = store.checkpoint_path(job_id)
+
+    reader: Optional[AdjacencyFileReader] = None
+    try:
+        # Everything up to and including the engine run converts solver
+        # errors — unreadable input, malformed spec, bad cadence, memory
+        # budget — into a terminal ``failed`` record: a deterministic
+        # error must fail the job once, never crash-loop the worker.
+        try:
+            # The cache key (and the user's submission) are pinned to the
+            # input content digested at submit time; solving whatever the
+            # file happens to contain *now* would poison the cache.
+            current_digest = file_digest(spec.input)
+            if current_digest != record.input_digest:
+                raise ReproError(
+                    f"input {spec.input!r} changed since the job was "
+                    f"submitted (content digest mismatch); resubmit the job"
+                )
+            reader = AdjacencyFileReader(spec.input)
+            ctx = ExecutionContext.create(
+                reader,
+                backend=spec.backend,
+                memory_limit_bytes=spec.memory_limit_bytes,
+            )
+            engine = PipelineEngine(
+                spec.pipeline,
+                max_rounds=spec.max_rounds,
+                checkpoint_path=checkpoint,
+                # A previous attempt's checkpoint means this start resumes.
+                resume=os.path.exists(checkpoint),
+                interrupt_after=record.interrupt_after,
+                checkpoint_every_seconds=record.checkpoint_every_seconds,
+            )
+            result = engine.run(ctx)
+        except PipelineInterrupted:
+            # The deterministic stand-in for a kill: die without touching
+            # the record, exactly as SIGKILL would.
+            return WORKER_INTERRUPTED
+        except (ReproError, OSError) as exc:
+            store.update(
+                job_id,
+                expect_states=("running",),
+                state="failed",
+                error=str(exc),
+                pid=None,
+            )
+            return 0
+
+        encoded = encode_result(result)
+        _write_result(store, job_id, encoded)
+        ResultCache(store.cache_dir).put(
+            record.cache_key,
+            spec_key_fields(spec, record.input_digest),
+            encoded,
+        )
+        store.update(
+            job_id,
+            expect_states=("running",),
+            state="done",
+            error=None,
+            pid=None,
+            stages=list(result.extras.get("stages", [])),
+        )
+        return 0
+    finally:
+        if reader is not None:
+            reader.close()
+
+
+def worker_main(root: str, job_id: str) -> None:
+    """``multiprocessing.Process`` target: execute the job, exit with its code."""
+
+    sys.exit(execute_job(root, job_id))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 
 import pytest
 
@@ -13,8 +14,10 @@ from repro.errors import (
     CheckpointVersionError,
 )
 from repro.storage.checkpoint import (
+    ARRAY_MIN_LENGTH,
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    encode_section,
     read_checkpoint,
     write_checkpoint,
 )
@@ -113,3 +116,146 @@ class TestFailureModes:
         # catch the whole family at once.
         assert issubclass(CheckpointCorruptError, CheckpointError)
         assert issubclass(CheckpointVersionError, CheckpointError)
+
+    def test_truncated_arrays_section(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, {"state": list(range(5000))})
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-10])
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_flipped_arrays_byte_fails_checksum(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, {"state": list(range(5000))})
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            read_checkpoint(path)
+
+
+class TestBinaryArrays:
+    """Format v2: long int lists live in the compressed arrays section."""
+
+    def test_long_int_lists_round_trip(self, tmp_path):
+        rng = random.Random(7)
+        payload = {
+            "state": [rng.randrange(0, 7) for _ in range(10_000)],
+            "isn": [rng.randrange(-1, 1 << 40) for _ in range(10_000)],
+            "nested": {"deep": [list(range(100)), "text", None]},
+            "short": [1, 2, 3],
+        }
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, payload)
+        assert read_checkpoint(path) == payload
+
+    def test_arrays_leave_the_json_payload(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        values = list(range(100_000))
+        write_checkpoint(path, {"big": values})
+        header_line, _, _rest = open(path, "rb").read().partition(b"\n")
+        header = json.loads(header_line)
+        # The JSON payload holds only the reference, not 100k literals.
+        assert header["payload_bytes"] < 200
+        assert header["arrays_bytes"] > 0
+
+    def test_binary_checkpoint_much_smaller_than_json_lists(self, tmp_path):
+        """The satellite's acceptance bar: measurably smaller at n >= 1e5.
+
+        A round checkpoint's bulk is the vertex-state array (tiny ints)
+        and the ISN array (vertex ids); both must shrink by far more
+        than "measurable" against their version-1 JSON int-list form.
+        """
+
+        rng = random.Random(13)
+        n = 100_000
+        state = [rng.randrange(0, 7) for _ in range(n)]
+        isn = [rng.randrange(-1, n) for _ in range(n)]
+        payload = {"loop_state": {"state": state, "isn": isn}}
+        path = str(tmp_path / "ck.bin")
+        write_checkpoint(path, payload)
+        binary_size = os.path.getsize(path)
+        json_size = len(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        )
+        assert binary_size < json_size / 2, (binary_size, json_size)
+
+    def test_threshold_keeps_short_lists_inline(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        short = list(range(ARRAY_MIN_LENGTH - 1))
+        write_checkpoint(path, {"short": short})
+        header_line, _, _ = open(path, "rb").read().partition(b"\n")
+        assert json.loads(header_line)["arrays_bytes"] == 0
+
+    def test_mixed_type_lists_stay_inline(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        mixed = list(range(100)) + ["x"]
+        write_checkpoint(path, {"mixed": mixed})
+        assert read_checkpoint(path) == {"mixed": mixed}
+        header_line, _, _ = open(path, "rb").read().partition(b"\n")
+        assert json.loads(header_line)["arrays_bytes"] == 0
+
+    def test_reserved_key_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with pytest.raises(CheckpointError, match="reserved"):
+            write_checkpoint(path, {"payload": {"__ckarray__": [0, 1, "b", 1]}})
+
+    def test_extreme_values_round_trip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        values = [-(2 ** 63), 2 ** 63 - 1, 0, -1] * 16
+        write_checkpoint(path, {"extremes": values})
+        assert read_checkpoint(path) == {"extremes": values}
+
+
+class TestEncodedSections:
+    """Pre-encoded sections splice in without re-encoding — and identically."""
+
+    PAYLOAD_REST = {
+        "io": {"bytes_read": 9},
+        "loop_state": {"state": list(range(4000)), "round": 3},
+        "phase": "round",
+    }
+    COMPLETED = [
+        {"report": {"stage": "greedy"}, "result": {"independent_set": list(range(2000))}}
+    ]
+
+    def test_sectioned_write_is_byte_identical_to_plain(self, tmp_path):
+        plain = str(tmp_path / "plain.ck")
+        spliced = str(tmp_path / "spliced.ck")
+        merged = dict(self.PAYLOAD_REST, completed=self.COMPLETED)
+        write_checkpoint(plain, merged)
+        section = encode_section(self.COMPLETED, base_offset=0)
+        write_checkpoint(
+            spliced, dict(self.PAYLOAD_REST), sections={"completed": section}
+        )
+        assert open(plain, "rb").read() == open(spliced, "rb").read()
+
+    def test_cached_section_reused_across_writes(self, tmp_path):
+        section = encode_section(self.COMPLETED, base_offset=0)
+        for round_index in range(3):
+            path = str(tmp_path / f"ck{round_index}")
+            rest = dict(self.PAYLOAD_REST)
+            rest["loop_state"] = {"state": list(range(4000)), "round": round_index}
+            write_checkpoint(path, rest, sections={"completed": section})
+            payload = read_checkpoint(path)
+            assert payload["completed"] == self.COMPLETED
+            assert payload["loop_state"]["round"] == round_index
+
+    def test_wrong_base_offset_rejected(self, tmp_path):
+        section = encode_section(self.COMPLETED, base_offset=999)
+        with pytest.raises(CheckpointError, match="arrays offset"):
+            write_checkpoint(
+                str(tmp_path / "ck"), {}, sections={"completed": section}
+            )
+
+    def test_section_key_collision_rejected(self, tmp_path):
+        section = encode_section([], base_offset=0)
+        with pytest.raises(CheckpointError, match="duplicate"):
+            write_checkpoint(
+                str(tmp_path / "ck"),
+                {"completed": []},
+                sections={"completed": section},
+            )

@@ -233,6 +233,110 @@ class TestResumeAcrossReduce:
         _assert_identical(replayed, reference)
 
 
+class TestCheckpointPolicy:
+    """Time-based round-checkpoint throttling and prefix-encode caching."""
+
+    @staticmethod
+    def _fake_clock(step_seconds):
+        state = {"now": 0.0}
+
+        def clock():
+            state["now"] += step_seconds
+            return state["now"]
+
+        return clock
+
+    def _writes(self, graph, tmp_path, every, step_seconds):
+        engine = PipelineEngine(
+            PIPELINES["one_k_swap"],
+            checkpoint_path=str(tmp_path / "ck"),
+            checkpoint_every_seconds=every,
+            clock=self._fake_clock(step_seconds),
+        )
+        result = engine.run(ExecutionContext.create(graph))
+        return engine._checkpoint_writes, result
+
+    def test_throttle_skips_round_checkpoints(self, tmp_path):
+        graph = erdos_renyi_gnm(260, 800, seed=13)
+        baseline_writes, reference = self._writes(
+            graph, tmp_path, every=None, step_seconds=1.0
+        )
+        # Rounds tick the clock 1s at a time; a 1000s cadence suppresses
+        # every round write, leaving exactly one boundary per stage.
+        throttled_writes, throttled = self._writes(
+            graph, tmp_path, every=1000.0, step_seconds=1.0
+        )
+        assert baseline_writes > len(PIPELINES["one_k_swap"].stages)
+        assert throttled_writes == len(PIPELINES["one_k_swap"].stages)
+        assert throttled.independent_set == reference.independent_set
+        assert throttled.rounds == reference.rounds
+
+    def test_fast_clock_keeps_every_round(self, tmp_path):
+        graph = erdos_renyi_gnm(260, 800, seed=13)
+        baseline_writes, _ = self._writes(graph, tmp_path, every=None, step_seconds=1.0)
+        slow_cadence_writes, _ = self._writes(
+            graph, tmp_path, every=0.5, step_seconds=1.0
+        )
+        assert slow_cadence_writes == baseline_writes
+
+    def test_resume_from_throttled_checkpoint_is_bit_identical(self, tmp_path):
+        """A resume from an older (throttled) checkpoint replays the skipped
+        rounds and still matches the uninterrupted run exactly."""
+
+        graph = erdos_renyi_gnm(260, 800, seed=29)  # 3 one-k rounds
+        reference = solve_mis(graph, pipeline="one_k_swap")
+        checkpoint = str(tmp_path / "ck")
+        engine = PipelineEngine(
+            PIPELINES["one_k_swap"],
+            checkpoint_path=checkpoint,
+            # Cadence 2.5s over a 1s-step clock: the first two round
+            # checkpoints are suppressed, so write #2 is the *throttled*
+            # round-3 checkpoint and the kill lands mid-round-loop.
+            checkpoint_every_seconds=2.5,
+            clock=self._fake_clock(1.0),
+            interrupt_after=2,
+        )
+        with pytest.raises(PipelineInterrupted):
+            engine.run(ExecutionContext.create(graph))
+        resumed = PipelineEngine(
+            PIPELINES["one_k_swap"], checkpoint_path=checkpoint, resume=True
+        ).run(ExecutionContext.create(graph))
+        _assert_identical(resumed, reference)
+
+    def test_nonpositive_cadence_rejected(self):
+        with pytest.raises(SolverError, match="positive"):
+            PipelineEngine(
+                PIPELINES["greedy"],
+                checkpoint_path="ck",
+                checkpoint_every_seconds=0,
+            )
+
+    def test_completed_prefix_encoded_once_per_boundary(self, tmp_path, monkeypatch):
+        """Round writes splice the cached prefix instead of re-encoding it."""
+
+        import repro.pipeline.engine as engine_module
+
+        calls = []
+        real = engine_module.encode_section
+
+        def counting(value, base_offset=0):
+            calls.append(len(value))
+            return real(value, base_offset)
+
+        monkeypatch.setattr(engine_module, "encode_section", counting)
+        graph = erdos_renyi_gnm(260, 800, seed=13)
+        engine = PipelineEngine(
+            PIPELINES["one_k_swap"], checkpoint_path=str(tmp_path / "ck")
+        )
+        result = engine.run(ExecutionContext.create(graph))
+        # One encode per distinct prefix length (1 then 2 completed
+        # stages), not one per checkpoint write: the one-k round writes
+        # all reuse the length-1 prefix encoded at the greedy boundary.
+        assert engine._checkpoint_writes > len(calls)
+        assert calls == [1, 2]
+        assert result.num_rounds > 1
+
+
 class TestResumeGuards:
     @pytest.fixture
     def checkpoint(self, tmp_path):

@@ -410,3 +410,246 @@ class TestReducePipelinePrefix:
         assert main(["reduce", str(path), "--pipeline", "reduce_two_k_swap"]) == 0
         out = capsys.readouterr().out
         assert "solved independent set" in out
+
+
+class TestRunConfigDir:
+    """The scenario sweep: ``repro-mis run --config-dir DIR``."""
+
+    @pytest.fixture
+    def sweep_dir(self, tmp_path, capsys):
+        adjacency = tmp_path / "toy.adj"
+        main([
+            "generate", str(adjacency), "--model", "gnm",
+            "--vertices", "200", "--edges", "600", "--seed", "9",
+        ])
+        capsys.readouterr()
+        config_dir = tmp_path / "specs"
+        config_dir.mkdir()
+        for name, pipeline in (
+            ("one.json", "greedy"),
+            ("two.json", "one_k_swap"),
+            ("three.json", "two_k_swap"),
+        ):
+            (config_dir / name).write_text(
+                json.dumps(
+                    {"pipeline": pipeline, "input": str(adjacency), "max_rounds": 2}
+                )
+            )
+        return config_dir
+
+    def test_sweep_aggregates_per_stage_telemetry(self, sweep_dir, capsys):
+        assert main(["run", "--config-dir", str(sweep_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["summary"]["algorithm"] for r in payload["runs"]] == [
+            "greedy",  # one.json
+            "two_k_swap",  # three.json (sorted name order)
+            "one_k_swap",  # two.json
+        ]
+        aggregate = {row["stage"]: row for row in payload["aggregate_stages"]}
+        # greedy ran in all three pipelines; the swap stages once each.
+        assert aggregate["greedy"]["executions"] == 3
+        assert aggregate["one_k_swap"]["executions"] == 1
+        assert aggregate["two_k_swap"]["executions"] == 1
+        assert aggregate["greedy"]["sequential_scans"] == sum(
+            entry["io"]["sequential_scans"]
+            for run in payload["runs"]
+            for entry in run["stages"]
+            if entry["stage"] == "greedy"
+        )
+
+    def test_sweep_table_output(self, sweep_dir, capsys):
+        assert main(["run", "--config-dir", str(sweep_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep: 3 runs" in out
+        assert "aggregate per-stage telemetry" in out
+
+    def test_empty_directory_is_a_clean_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["run", "--config-dir", str(empty)]) == 2
+        assert "no *.json run specs" in capsys.readouterr().err
+
+    def test_malformed_spec_names_the_file(self, sweep_dir, capsys):
+        (sweep_dir / "broken.json").write_text("{nope")
+        assert main(["run", "--config-dir", str(sweep_dir)]) == 2
+        assert "broken.json" in capsys.readouterr().err
+
+    def test_resume_flag_requires_single_config(self, sweep_dir, capsys):
+        assert main(["run", "--config-dir", str(sweep_dir), "--resume"]) == 2
+        assert "single --config" in capsys.readouterr().err
+
+    def test_config_and_config_dir_are_exclusive(self, sweep_dir):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--config", "x.json", "--config-dir", str(sweep_dir),
+            ])
+
+
+class TestCheckpointCadenceFlag:
+    def test_nonpositive_cadence_rejected(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "100", "--edges", "200"])
+        capsys.readouterr()
+        assert main([
+            "solve", str(path), "--checkpoint", str(tmp_path / "ck"),
+            "--checkpoint-every-seconds", "0",
+        ]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_cadence_run_still_solves(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main(["generate", str(path), "--model", "gnm", "--vertices", "100", "--edges", "200"])
+        capsys.readouterr()
+        assert main([
+            "solve", str(path), "--pipeline", "one_k_swap",
+            "--checkpoint", str(tmp_path / "ck"),
+            "--checkpoint-every-seconds", "3600", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["size"] > 0
+
+
+class TestServiceCommands:
+    """The solver-as-a-service verbs, driven end to end through the CLI."""
+
+    @pytest.fixture
+    def adjacency(self, tmp_path, capsys):
+        path = tmp_path / "toy.adj"
+        main([
+            "generate", str(path), "--model", "gnm",
+            "--vertices", "200", "--edges", "600", "--seed", "9",
+        ])
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture
+    def spec_path(self, adjacency, tmp_path):
+        config = tmp_path / "job.json"
+        config.write_text(
+            json.dumps(
+                {"pipeline": "two_k_swap", "input": str(adjacency), "max_rounds": 2}
+            )
+        )
+        return str(config)
+
+    def test_submit_serve_status_results_cycle(self, spec_path, tmp_path, capsys):
+        service_dir = str(tmp_path / "svc")
+        assert main(["submit", service_dir, "--config", spec_path, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1 and records[0]["state"] == "queued"
+        job_id = records[0]["job_id"]
+
+        assert main(["serve", service_dir, "--drain", "--poll-interval", "0.02"]) == 0
+        capsys.readouterr()
+
+        assert main(["status", service_dir, job_id, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)[0]
+        assert record["state"] == "done"
+
+        assert main(["results", service_dir, job_id, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "two_k_swap"
+        assert payload["size"] > 0
+
+    def test_duplicate_submission_served_from_cache(
+        self, spec_path, tmp_path, capsys
+    ):
+        service_dir = str(tmp_path / "svc")
+        main(["submit", service_dir, "--config", spec_path])
+        main(["serve", service_dir, "--drain", "--poll-interval", "0.02"])
+        capsys.readouterr()
+        assert main(["submit", service_dir, "--config", spec_path, "--json"]) == 0
+        job_id = json.loads(capsys.readouterr().out)[0]["job_id"]
+        main(["serve", service_dir, "--drain", "--poll-interval", "0.02"])
+        capsys.readouterr()
+        assert main(["status", service_dir, job_id, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)[0]
+        assert record["state"] == "done"
+        assert record["cache_hit"] is True
+        assert record["attempts"] == 0
+
+    def test_crash_drill_via_interrupt_after(self, spec_path, tmp_path, capsys):
+        service_dir = str(tmp_path / "svc")
+        assert main([
+            "submit", service_dir, "--config", spec_path,
+            "--interrupt-after", "1", "--json",
+        ]) == 0
+        job_id = json.loads(capsys.readouterr().out)[0]["job_id"]
+        assert main(["serve", service_dir, "--drain", "--poll-interval", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["status", service_dir, job_id, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)[0]
+        assert record["state"] == "done"
+        assert record["attempts"] > 1  # crashed and resumed at least once
+
+    def test_submit_wait_times_out_without_a_daemon(
+        self, spec_path, tmp_path, capsys
+    ):
+        # --wait blocks on the job record; with no daemon to run the job
+        # the wait must end in a clean timeout error, not a hang.
+        service_dir = str(tmp_path / "svc")
+        assert main([
+            "submit", service_dir, "--config", spec_path,
+            "--wait", "--timeout", "0.2",
+        ]) == 2
+        assert "timed out" in capsys.readouterr().err
+
+    def test_batch_submit_directory(self, adjacency, tmp_path, capsys):
+        config_dir = tmp_path / "specs"
+        config_dir.mkdir()
+        for name, pipeline in (("a.json", "greedy"), ("b.json", "one_k_swap")):
+            (config_dir / name).write_text(
+                json.dumps(
+                    {"pipeline": pipeline, "input": str(adjacency), "max_rounds": 2}
+                )
+            )
+        service_dir = str(tmp_path / "svc")
+        assert main([
+            "submit", service_dir, "--config-dir", str(config_dir), "--json",
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert main(["serve", service_dir, "--drain", "--poll-interval", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["status", service_dir, "--json"]) == 0
+        assert [r["state"] for r in json.loads(capsys.readouterr().out)] == [
+            "done",
+            "done",
+        ]
+
+    def test_cancel_queued_job(self, spec_path, tmp_path, capsys):
+        service_dir = str(tmp_path / "svc")
+        main(["submit", service_dir, "--config", spec_path, "--json"])
+        job_id = json.loads(capsys.readouterr().out)[0]["job_id"]
+        assert main(["cancel", service_dir, job_id]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert main(["cancel", service_dir, job_id]) == 2
+        assert "cannot cancel" in capsys.readouterr().err
+
+    def test_status_on_missing_service_dir(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nowhere")]) == 2
+        assert "not a service directory" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_cadence(self, tmp_path, capsys):
+        assert main([
+            "serve", str(tmp_path / "svc"), "--drain",
+            "--checkpoint-every-seconds", "-1",
+        ]) == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_interrupt_after_requires_single_config(self, tmp_path, capsys):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        assert main([
+            "submit", str(tmp_path / "svc"), "--config-dir", str(specs),
+            "--interrupt-after", "2",
+        ]) == 2
+        assert "single --config" in capsys.readouterr().err
+
+    def test_submit_missing_input_is_a_clean_error(self, tmp_path, capsys):
+        config = tmp_path / "job.json"
+        config.write_text(
+            json.dumps({"pipeline": "greedy", "input": str(tmp_path / "no.adj")})
+        )
+        assert main(["submit", str(tmp_path / "svc"), "--config", str(config)]) == 2
+        assert "cannot digest" in capsys.readouterr().err

@@ -1,0 +1,561 @@
+"""Solver-service tests: job store, worker pool, crash recovery, cache.
+
+The acceptance drill of the service subsystem:
+
+* jobs run concurrently across worker processes;
+* a killed worker's job resumes after restart with the bit-identical
+  independent set, round telemetry and cumulative ``IOStats`` (the kill
+  is exercised both as a real ``SIGKILL`` and at *every* checkpoint
+  write via the deterministic ``interrupt_after`` knob);
+* a whole-service crash recovers on restart from the on-disk store;
+* a resubmitted identical job is served from the digest-keyed result
+  cache with no solver work, returning the identical ``MISResult``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.solver import solve_mis
+from repro.errors import JobNotFoundError, JobStateError, ServiceError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+from repro.pipeline.context import ExecutionContext
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.spec import RunSpec
+from repro.service import (
+    JobStore,
+    ResultCache,
+    ServiceClient,
+    ServiceConfig,
+    SolverService,
+    cache_key,
+    file_digest,
+)
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+
+DRAIN_TIMEOUT = 120.0
+
+
+@pytest.fixture(scope="module")
+def adjacency_path(tmp_path_factory):
+    graph = erdos_renyi_gnm(300, 900, seed=11)
+    path = str(tmp_path_factory.mktemp("graphs") / "g.adj")
+    write_adjacency_file(graph, path).close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def slow_adjacency_path(tmp_path_factory):
+    """A graph big enough that a python-backend job runs for ~a second."""
+
+    graph = plrg_graph_with_vertex_count(50_000, 2.0, seed=5)
+    path = str(tmp_path_factory.mktemp("graphs") / "slow.adj")
+    write_adjacency_file(graph, path).close()
+    return path
+
+
+def make_spec(input_path, pipeline="two_k_swap", **kwargs):
+    payload = {"pipeline": pipeline, "input": input_path, "max_rounds": 2}
+    payload.update(kwargs)
+    return RunSpec.from_dict(payload)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        workers=2,
+        poll_interval_seconds=0.02,
+        checkpoint_every_seconds=None,
+        max_restarts=100,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def reference_result(spec: RunSpec):
+    return solve_mis(
+        AdjacencyFileReader(spec.input),
+        pipeline=spec.pipeline.name,
+        backend=spec.backend,
+        max_rounds=spec.max_rounds,
+    )
+
+
+def assert_results_identical(result, reference):
+    assert result.independent_set == reference.independent_set
+    assert result.rounds == reference.rounds
+    assert result.io.as_dict() == reference.io.as_dict()
+    assert result.initial_size == reference.initial_size
+    assert result.memory_bytes == reference.memory_bytes
+
+
+# ----------------------------------------------------------------------
+# Job store
+# ----------------------------------------------------------------------
+class TestJobStore:
+    def test_submit_creates_a_queued_record(self, adjacency_path, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        record = client.submit(make_spec(adjacency_path))
+        assert record.state == "queued"
+        assert record.attempts == 0
+        assert record.input_digest == file_digest(adjacency_path)
+        fetched = client.status(record.job_id)
+        assert fetched.to_dict() == record.to_dict()
+
+    def test_unknown_job_raises_not_found(self, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        with pytest.raises(JobNotFoundError, match="no-such-job"):
+            client.status("no-such-job")
+
+    def test_corrupt_record_detected(self, adjacency_path, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        record = client.submit(make_spec(adjacency_path))
+        path = client.store.record_path(record.job_id)
+        document = json.loads(open(path).read())
+        document["record"]["state"] = "done"  # tampered, checksum now wrong
+        open(path, "w").write(json.dumps(document))
+        with pytest.raises(ServiceError, match="checksum"):
+            client.status(record.job_id)
+
+    def test_list_orders_by_submission(self, adjacency_path, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        first = client.submit(make_spec(adjacency_path))
+        second = client.submit(make_spec(adjacency_path, max_rounds=1))
+        ids = [record.job_id for record in client.list()]
+        assert ids == [first.job_id, second.job_id]
+
+    def test_missing_input_rejected_at_submit(self, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        with pytest.raises(ServiceError, match="cannot digest"):
+            client.submit(make_spec(str(tmp_path / "absent.adj")))
+
+    def test_status_requires_an_existing_store(self, tmp_path):
+        with pytest.raises(ServiceError, match="not a service directory"):
+            ServiceClient(str(tmp_path / "nowhere"), create=False)
+
+
+# ----------------------------------------------------------------------
+# Digests and cache keys
+# ----------------------------------------------------------------------
+class TestCacheKeys:
+    def test_key_ignores_persistence_knobs(self, adjacency_path):
+        digest = file_digest(adjacency_path)
+        base = make_spec(adjacency_path)
+        persisted = make_spec(
+            adjacency_path,
+            checkpoint="somewhere.ck",
+            resume=True,
+            checkpoint_every_seconds=5.0,
+        )
+        assert cache_key(base, digest) == cache_key(persisted, digest)
+
+    def test_key_tracks_solver_relevant_fields(self, adjacency_path):
+        digest = file_digest(adjacency_path)
+        base = make_spec(adjacency_path)
+        assert cache_key(base, digest) != cache_key(
+            make_spec(adjacency_path, max_rounds=1), digest
+        )
+        assert cache_key(base, digest) != cache_key(
+            make_spec(adjacency_path, pipeline="one_k_swap"), digest
+        )
+        assert cache_key(base, digest) != cache_key(
+            make_spec(adjacency_path, backend="python"), digest
+        )
+        assert cache_key(base, digest) != cache_key(base, digest + "0")
+
+    def test_digest_is_content_addressed(self, adjacency_path, tmp_path):
+        copy = str(tmp_path / "copy.adj")
+        with open(adjacency_path, "rb") as src, open(copy, "wb") as dst:
+            dst.write(src.read())
+        assert file_digest(copy) == file_digest(adjacency_path)
+        with open(copy, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            handle.write(b"\xff")
+        assert file_digest(copy) != file_digest(adjacency_path)
+
+
+# ----------------------------------------------------------------------
+# Execution, concurrency, cache
+# ----------------------------------------------------------------------
+class TestServiceExecution:
+    def test_single_job_matches_direct_solve(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        spec = make_spec(adjacency_path)
+        record = client.submit(spec)
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "done"
+        assert record.attempts == 1
+        assert not record.cache_hit
+        assert record.stages  # per-stage telemetry copied into the record
+        assert_results_identical(client.result(record.job_id), reference_result(spec))
+
+    def test_three_jobs_two_backends_one_cache_hit(self, adjacency_path, tmp_path):
+        """The acceptance drill's job mix, through the library API."""
+
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        numpy_job = client.submit(make_spec(adjacency_path, backend="numpy"))
+        python_job = client.submit(make_spec(adjacency_path, backend="python"))
+        duplicate = client.submit(make_spec(adjacency_path, backend="numpy"))
+        service = SolverService(root, fast_config(workers=2))
+        try:
+            service.run_once()
+            # Both distinct jobs start immediately on the two worker slots;
+            # the duplicate is held back by in-flight dedup.
+            assert len(service._workers) == 2
+            assert client.status(duplicate.job_id).state == "queued"
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+
+        numpy_record = client.status(numpy_job.job_id)
+        python_record = client.status(python_job.job_id)
+        duplicate_record = client.status(duplicate.job_id)
+        assert numpy_record.state == "done" and not numpy_record.cache_hit
+        assert python_record.state == "done" and not python_record.cache_hit
+        # The duplicate never ran a worker: pure cache hit.
+        assert duplicate_record.state == "done"
+        assert duplicate_record.cache_hit
+        assert duplicate_record.attempts == 0
+        # Both backends agree (the solver guarantee), and the cached result
+        # is the identical MISResult of the job it duplicates.
+        numpy_result = client.result(numpy_job.job_id)
+        python_result = client.result(python_job.job_id)
+        duplicate_result = client.result(duplicate.job_id)
+        assert numpy_result.independent_set == python_result.independent_set
+        assert duplicate_result == numpy_result
+
+    def test_resubmission_after_drain_is_a_cache_hit(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        spec = make_spec(adjacency_path)
+        original = client.submit(spec)
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+            resubmitted = client.submit(spec)
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(resubmitted.job_id)
+        assert record.state == "done"
+        assert record.cache_hit
+        assert record.attempts == 0
+        assert client.result(resubmitted.job_id) == client.result(original.job_id)
+        assert ResultCache(client.store.cache_dir).size() == 1
+
+    def test_vanished_input_fails_without_retry(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        doomed = str(tmp_path / "doomed.adj")
+        with open(adjacency_path, "rb") as src, open(doomed, "wb") as dst:
+            dst.write(src.read())
+        client = ServiceClient(root)
+        record = client.submit(make_spec(doomed))
+        os.remove(doomed)
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "failed"
+        assert record.attempts == 1  # a job error is not retried
+        assert "cannot digest input" in record.error
+
+    def test_edited_input_fails_instead_of_poisoning_the_cache(
+        self, adjacency_path, tmp_path
+    ):
+        """The cache key is pinned to the submit-time content; a job whose
+        input changed before execution must fail, not cache a wrong result
+        under the original digest."""
+
+        root = str(tmp_path / "svc")
+        mutable = str(tmp_path / "mutable.adj")
+        with open(adjacency_path, "rb") as src, open(mutable, "wb") as dst:
+            dst.write(src.read())
+        client = ServiceClient(root)
+        record = client.submit(make_spec(mutable))
+        # Replace the input with a different (valid) graph post-submit.
+        other = erdos_renyi_gnm(120, 300, seed=99)
+        write_adjacency_file(other, mutable).close()
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "failed"
+        assert "digest mismatch" in record.error
+        assert ResultCache(client.store.cache_dir).size() == 0
+
+    def test_update_expect_states_never_reverts_terminal_records(
+        self, adjacency_path, tmp_path
+    ):
+        client = ServiceClient(str(tmp_path / "svc"))
+        record = client.submit(make_spec(adjacency_path))
+        client.store.update(record.job_id, state="cancelled")
+        unchanged = client.store.update(
+            record.job_id, expect_states=("queued",), state="done"
+        )
+        assert unchanged.state == "cancelled"
+        assert client.status(record.job_id).state == "cancelled"
+
+    def test_memory_budget_error_fails_the_job(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        spec = RunSpec.from_dict(
+            {
+                "pipeline": {
+                    "name": "comparator",
+                    "stages": [{"stage": "local_search"}],
+                },
+                "input": adjacency_path,
+                "memory_limit_bytes": 64,
+            }
+        )
+        record = client.submit(spec)
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "failed"
+        assert "bytes" in record.error
+
+    def test_result_of_unfinished_job_rejected(self, adjacency_path, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        record = client.submit(make_spec(adjacency_path))
+        with pytest.raises(JobStateError, match="queued"):
+            client.result(record.job_id)
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+def _checkpoint_writes_of(spec: RunSpec, tmp_path) -> int:
+    """How many checkpoint writes an uninterrupted run of ``spec`` makes."""
+
+    reader = AdjacencyFileReader(spec.input)
+    engine = PipelineEngine(
+        spec.pipeline,
+        max_rounds=spec.max_rounds,
+        checkpoint_path=str(tmp_path / "probe.ck"),
+    )
+    engine.run(ExecutionContext.create(reader, backend=spec.backend))
+    reader.close()
+    return engine._checkpoint_writes
+
+
+class TestCrashRecovery:
+    def test_worker_killed_at_every_checkpoint_boundary_and_round(
+        self, adjacency_path, tmp_path
+    ):
+        """Sweep the deterministic kill over every interruption point.
+
+        ``interrupt_after=k`` makes the worker die right after its k-th
+        checkpoint write on *every* attempt, so the job crosses several
+        crash/resume cycles before finishing — at stage boundaries and
+        mid-round-loop alike.  Every variant must converge to the
+        bit-identical result of an uninterrupted solve.
+        """
+
+        spec = make_spec(adjacency_path)
+        reference = reference_result(spec)
+        total_writes = _checkpoint_writes_of(spec, tmp_path)
+        assert total_writes >= 3  # boundaries + at least one round write
+        for interrupt_after in range(1, total_writes + 2):
+            root = str(tmp_path / f"svc-{interrupt_after}")
+            client = ServiceClient(root)
+            record = client.submit(spec, interrupt_after=interrupt_after)
+            service = SolverService(root, fast_config(workers=1))
+            try:
+                service.drain(timeout_seconds=DRAIN_TIMEOUT)
+            finally:
+                service.stop()
+            record = client.status(record.job_id)
+            assert record.state == "done", (interrupt_after, record.error)
+            if interrupt_after <= total_writes:
+                assert record.attempts > 1  # it really crashed and resumed
+            assert_results_identical(client.result(record.job_id), reference)
+
+    def test_sigkilled_worker_resumes_bit_identically(
+        self, slow_adjacency_path, tmp_path
+    ):
+        """A real SIGKILL mid-run: the restarted job must finish identically."""
+
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        spec = make_spec(
+            slow_adjacency_path, backend="python", checkpoint_every_seconds=0.001
+        )
+        record = client.submit(spec)
+        service = SolverService(root, fast_config(workers=1))
+        try:
+            service.run_once()
+            running = client.status(record.job_id)
+            assert running.state == "running"
+            time.sleep(0.15)  # let it get past some checkpoint writes
+            os.kill(running.pid, signal.SIGKILL)
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert_results_identical(client.result(record.job_id), reference_result(spec))
+
+    def test_whole_service_crash_recovers_on_restart(
+        self, slow_adjacency_path, tmp_path
+    ):
+        """Kill the worker *and* abandon the daemon; a fresh service resumes."""
+
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        spec = make_spec(
+            slow_adjacency_path, backend="python", checkpoint_every_seconds=0.001
+        )
+        record = client.submit(spec)
+        first_daemon = SolverService(root, fast_config(workers=1))
+        first_daemon.run_once()
+        running = client.status(record.job_id)
+        assert running.state == "running"
+        time.sleep(0.15)
+        os.kill(running.pid, signal.SIGKILL)
+        # The first daemon dies too: it never requeues anything, and all
+        # that survives is the on-disk store.  (In production the killed
+        # worker is reaped by init; in-process we must reap the zombie
+        # ourselves or its pid still looks alive to the next daemon.)
+        for process in first_daemon._workers.values():
+            process.join()
+        first_daemon._workers.clear()
+        del first_daemon
+
+        second_daemon = SolverService(root, fast_config(workers=1))
+        # Recovery already requeued the orphaned running job.
+        assert client.status(record.job_id).state == "queued"
+        try:
+            second_daemon.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            second_daemon.stop()
+        record = client.status(record.job_id)
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert_results_identical(client.result(record.job_id), reference_result(spec))
+
+    def test_max_restarts_caps_crash_loops(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        record = client.submit(make_spec(adjacency_path), interrupt_after=1)
+        service = SolverService(root, fast_config(workers=1, max_restarts=0))
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "failed"
+        assert "crashed" in record.error
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def test_cancel_queued_job(self, adjacency_path, tmp_path):
+        client = ServiceClient(str(tmp_path / "svc"))
+        record = client.submit(make_spec(adjacency_path))
+        cancelled = client.cancel(record.job_id)
+        assert cancelled.state == "cancelled"
+        with pytest.raises(JobStateError, match="cancel"):
+            client.cancel(record.job_id)
+
+    def test_cancel_running_job_stops_the_worker(
+        self, slow_adjacency_path, tmp_path
+    ):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        record = client.submit(make_spec(slow_adjacency_path, backend="python"))
+        service = SolverService(root, fast_config(workers=1))
+        try:
+            service.run_once()
+            running = client.status(record.job_id)
+            assert running.state == "running"
+            client.cancel(record.job_id)
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "cancelled"
+        assert record.pid is None
+
+
+# ----------------------------------------------------------------------
+# Policies and batch submission
+# ----------------------------------------------------------------------
+class TestPolicies:
+    def test_service_default_checkpoint_cadence_is_stamped(
+        self, adjacency_path, tmp_path
+    ):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        defaulted = client.submit(make_spec(adjacency_path))
+        explicit = client.submit(
+            make_spec(adjacency_path, max_rounds=1, checkpoint_every_seconds=5.0)
+        )
+        service = SolverService(
+            root, fast_config(checkpoint_every_seconds=123.0)
+        )
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        assert client.status(defaulted.job_id).checkpoint_every_seconds == 123.0
+        assert client.status(explicit.job_id).checkpoint_every_seconds == 5.0
+
+    def test_batch_submit_directory(self, adjacency_path, tmp_path):
+        config_dir = tmp_path / "specs"
+        config_dir.mkdir()
+        for name, pipeline in (("a.json", "greedy"), ("b.json", "one_k_swap")):
+            (config_dir / name).write_text(
+                json.dumps(
+                    {"pipeline": pipeline, "input": adjacency_path, "max_rounds": 2}
+                )
+            )
+        (config_dir / "notes.txt").write_text("ignored")
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        submitted = client.submit_directory(str(config_dir))
+        assert [os.path.basename(path) for path, _ in submitted] == [
+            "a.json",
+            "b.json",
+        ]
+        service = SolverService(root, fast_config())
+        try:
+            records = service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        assert [record.state for record in records] == ["done", "done"]
+
+    def test_store_survives_restart_with_no_open_jobs(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        client.submit(make_spec(adjacency_path))
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        # A restarted service over a fully-drained store is a no-op.
+        restarted = SolverService(root, fast_config())
+        assert not restarted.has_open_jobs()
