@@ -9,7 +9,10 @@ Tables 5–6 (the (1,2)-swap local search and the DynamicUpdate
 minimum-degree greedy) and the **pipeline-engine dispatch overhead**
 (the greedy pass via ``solve_mis`` vs. the direct ``greedy_mis`` call,
 reported as ``engine_overhead_pct``) — on PLRG graphs for both kernel
-backends and
+backends — plus the **binary CSR artifact** rows (``backend: memmap``):
+one-time convert cost, text-parse vs. zero-parse startup, and the
+memmap-backed greedy pass, with text-vs-memmap parity asserted on sets,
+rounds and modeled ``IOStats`` — and
 writes the measurements, plus the numpy-over-python speedups, to
 ``BENCH_core.json`` at the repository root.  This file is the perf
 trajectory of the project: every PR runs at least the ``--smoke``
@@ -40,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -57,10 +61,15 @@ from repro.storage.adjacency_file import (  # noqa: E402
     AdjacencyFileReader,
     write_adjacency_file,
 )
+from repro.storage.binary_format import MemmapAdjacencySource  # noqa: E402
+from repro.storage.converters import adjacency_to_binary  # noqa: E402
 from repro.storage.io_stats import IOStats  # noqa: E402
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
 SMOKE_SIZES = (2_000,)
+#: The binary-artifact comparison runs its own (larger) sweep: the format
+#: exists for graphs where re-parsing the text file dominates startup.
+DEFAULT_MEMMAP_SIZES = (100_000, 1_000_000, 10_000_000)
 
 #: Timing metrics shared by every row; speedups are computed for whichever
 #: of these a size has in both backend rows.
@@ -251,6 +260,98 @@ def bench_size(
     return rows
 
 
+def bench_memmap(
+    num_vertices: int,
+    beta: float,
+    seed: int,
+    repeats: int,
+    parity: bool,
+    workdir: Path,
+) -> Dict[str, object]:
+    """Benchmark the binary CSR artifact against the text adjacency file.
+
+    "Startup" is open + scan order: the work between pointing a solver at
+    an on-disk graph and holding the vertex processing order.  For the
+    text format that is a full record parse; for the artifact it is a
+    64-byte header read plus mapping the order section.  With ``parity``
+    the memmap greedy pass is asserted bit-identical (set, rounds,
+    modeled ``IOStats``) to the text-reader pass over the same graph.
+    """
+
+    graph = plrg_graph_with_vertex_count(num_vertices, beta, seed=seed)
+    text_path = workdir / f"plrg_{num_vertices}.adj"
+    binary_path = workdir / f"plrg_{num_vertices}.csr"
+    started = time.perf_counter()
+    write_adjacency_file(graph, backing=str(text_path), stats=IOStats()).close()
+    text_write_seconds = time.perf_counter() - started
+    del graph  # the rest of the row must run from disk, like a real restart
+
+    started = time.perf_counter()
+    header = adjacency_to_binary(str(text_path), str(binary_path))
+    convert_seconds = time.perf_counter() - started
+
+    def text_startup() -> None:
+        reader = AdjacencyFileReader(str(text_path), stats=IOStats())
+        try:
+            reader.scan_order()
+        finally:
+            reader.close()
+
+    def memmap_startup() -> None:
+        with MemmapAdjacencySource(str(binary_path), stats=IOStats()) as source:
+            source.scan_order()
+
+    text_startup_seconds = _best_of(repeats, text_startup)
+    memmap_startup_seconds = _best_of(repeats, memmap_startup)
+
+    def memmap_greedy():
+        with MemmapAdjacencySource(str(binary_path), stats=IOStats()) as source:
+            return greedy_mis(source, backend="numpy")
+
+    memmap_result = memmap_greedy()
+    memmap_greedy_seconds = _best_of(repeats, memmap_greedy)
+
+    row: Dict[str, object] = {
+        "n": header.num_vertices,
+        "edges": header.num_edges,
+        "backend": "memmap",
+        "digest": header.digest,
+        "text_write_seconds": text_write_seconds,
+        "memmap_convert_seconds": convert_seconds,
+        "text_startup_seconds": text_startup_seconds,
+        "memmap_startup_seconds": memmap_startup_seconds,
+        "memmap_startup_speedup": round(
+            text_startup_seconds / max(memmap_startup_seconds, 1e-12), 2
+        ),
+        "memmap_greedy_seconds": memmap_greedy_seconds,
+        "memmap_greedy_size": memmap_result.size,
+    }
+
+    if parity:
+
+        def text_greedy():
+            reader = AdjacencyFileReader(str(text_path), stats=IOStats())
+            try:
+                return greedy_mis(reader, backend="numpy")
+            finally:
+                reader.close()
+
+        text_result = text_greedy()
+        row["text_greedy_seconds"] = _best_of(repeats, text_greedy)
+        if (
+            text_result.independent_set != memmap_result.independent_set
+            or text_result.rounds != memmap_result.rounds
+            or text_result.io.as_dict() != memmap_result.io.as_dict()
+        ):
+            raise AssertionError(
+                f"memmap/text greedy mismatch at n={header.num_vertices}"
+            )
+
+    text_path.unlink()
+    binary_path.unlink()
+    return row
+
+
 def compute_speedups(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
     """numpy-over-python ratios per graph size (only where both backends ran)."""
 
@@ -318,6 +419,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the python in-memory comparator timings above this vertex count",
     )
     parser.add_argument(
+        "--memmap-sizes",
+        default=None,
+        help="comma-separated vertex counts for the binary-artifact rows "
+        "(default: 10^5,10^6,10^7; smoke: the smoke size)",
+    )
+    parser.add_argument(
+        "--memmap-parity-max",
+        type=int,
+        default=1_000_000,
+        help="assert memmap-vs-text greedy parity up to this vertex count",
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_core.json"),
         help="path of the JSON report (default: BENCH_core.json at the repo root)",
@@ -326,12 +439,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.smoke:
         sizes = list(SMOKE_SIZES)
+        memmap_sizes = (
+            [int(s) for s in args.memmap_sizes.split(",")]
+            if args.memmap_sizes
+            else list(SMOKE_SIZES)
+        )
         repeats = args.repeats or 1
     else:
         sizes = (
             [int(s) for s in args.sizes.split(",")]
             if args.sizes
             else list(DEFAULT_SIZES)
+        )
+        memmap_sizes = (
+            [int(s) for s in args.memmap_sizes.split(",")]
+            if args.memmap_sizes
+            else list(DEFAULT_MEMMAP_SIZES)
         )
         repeats = args.repeats or 3
 
@@ -380,12 +503,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     for row in rows:
         row.pop("_printed", None)
 
+    with tempfile.TemporaryDirectory(prefix="bench_memmap_") as tmp:
+        workdir = Path(tmp)
+        for size in memmap_sizes:
+            print(f"benchmarking memmap artifact n~{size:,} ...", flush=True)
+            # Past the parity/in-memory scale, one timing run is enough —
+            # the artifact rows at 1e7+ exist to show the startup gap, not
+            # to average out noise.
+            row = bench_memmap(
+                size,
+                args.beta,
+                args.seed,
+                repeats if size <= 1_000_000 else 1,
+                size <= args.memmap_parity_max,
+                workdir,
+            )
+            rows.append(row)
+            print(
+                f"  n={row['n']:>9,} memmap: "
+                f"convert {row['memmap_convert_seconds']:.4f}s  "
+                f"startup {row['memmap_startup_seconds']:.4f}s "
+                f"vs text {row['text_startup_seconds']:.4f}s "
+                f"({row['memmap_startup_speedup']}x)  "
+                f"greedy {row['memmap_greedy_seconds']:.4f}s"
+            )
+
     speedups = compute_speedups(rows)
     report = {
         "benchmark": "bench_perf_core",
         "description": "CSR build + greedy + one-k-swap + two-k-swap + semi-external "
         "(block-batched file path) + in-memory comparator (local search, "
-        "DynamicUpdate) timings per kernel backend on PLRG graphs; "
+        "DynamicUpdate) timings per kernel backend on PLRG graphs, plus "
+        "binary CSR artifact rows (backend: memmap — convert cost, "
+        "text-parse vs. zero-parse startup, memmap greedy); "
         "speedups are python-time / numpy-time.",
         "config": {
             "beta": args.beta,
@@ -397,6 +547,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "two_k_python_max": args.two_k_python_max,
             "semi_python_max": args.semi_python_max,
             "comparator_python_max": args.comparator_python_max,
+            "memmap_sizes": memmap_sizes,
+            "memmap_parity_max": args.memmap_parity_max,
         },
         "results": rows,
         "speedups_numpy_over_python": speedups,

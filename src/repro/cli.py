@@ -22,6 +22,11 @@ Sub-commands
 ``import`` / ``export``
     Convert between SNAP-style text edge lists and the binary adjacency
     format.
+``convert``
+    Convert an adjacency file to the memory-mapped binary CSR artifact
+    (``--to-binary``; zero-parse startup, pages shared across worker
+    processes, graphs beyond RAM) or back (``--to-adjacency``).  Every
+    file-consuming command auto-detects either format by magic.
 ``reduce``
     Apply the exact kernelization rules to an adjacency file and report
     the kernel size; with ``--pipeline`` the kernel is solved through the
@@ -79,8 +84,16 @@ from repro.graphs.graph import Graph
 from repro.graphs.plrg import PLRGParameters, plrg_graph
 from repro.reporting import format_bytes, format_table
 from repro.service import ServiceClient, ServiceConfig, SolverService
-from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
-from repro.storage.converters import export_edge_list, import_edge_list
+from repro.storage.adjacency_file import write_adjacency_file
+from repro.storage.binary_format import MemmapAdjacencySource
+from repro.storage.converters import (
+    adjacency_to_binary,
+    binary_to_adjacency,
+    export_edge_list,
+    import_edge_list,
+)
+from repro.storage.registry import open_adjacency_source
+from repro.storage.scan import AdjacencyScanSource
 
 __all__ = ["main", "build_parser"]
 
@@ -222,6 +235,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-restarts allowed per job before it is failed",
     )
     serve.add_argument(
+        "--cache-limit-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the result cache: least-recently-used entries are "
+        "evicted past N bytes (default: unbounded)",
+    )
+    serve.add_argument(
         "--drain",
         action="store_true",
         help="exit once every job reaches a terminal state (batch mode)",
@@ -306,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
     export_cmd.add_argument("input", help="path of the binary adjacency file")
     export_cmd.add_argument("text_output", help="path of the text edge list to write")
 
+    convert_cmd = subparsers.add_parser(
+        "convert",
+        help="convert between the adjacency format and the memory-mapped "
+        "binary CSR artifact",
+    )
+    convert_cmd.add_argument("input", help="path of the file to convert")
+    convert_cmd.add_argument("output", help="path of the converted file to write")
+    convert_direction = convert_cmd.add_mutually_exclusive_group(required=True)
+    convert_direction.add_argument(
+        "--to-binary",
+        action="store_true",
+        help="adjacency file -> binary CSR artifact (zero-parse startup, "
+        "memory-mapped, digest-keyed)",
+    )
+    convert_direction.add_argument(
+        "--to-adjacency",
+        action="store_true",
+        help="binary CSR artifact -> adjacency file (the exact inverse)",
+    )
+
     reduce_cmd = subparsers.add_parser(
         "reduce", help="apply the exact kernelization rules to an adjacency file"
     )
@@ -378,7 +419,7 @@ def _print_result(result: MISResult, as_json: bool) -> None:
 
 def _execute_engine(
     spec: PipelineSpec,
-    reader: AdjacencyFileReader,
+    reader: AdjacencyScanSource,
     args: argparse.Namespace,
     max_rounds: Optional[int],
     checkpoint: Optional[str],
@@ -405,7 +446,7 @@ def _execute_engine(
 
 def _run_engine_command(
     spec: PipelineSpec,
-    reader: AdjacencyFileReader,
+    reader: AdjacencyScanSource,
     args: argparse.Namespace,
     max_rounds: Optional[int],
     checkpoint: Optional[str],
@@ -456,7 +497,7 @@ def _command_solve(args: argparse.Namespace) -> int:
     ):
         print("--checkpoint-every-seconds must be positive", file=sys.stderr)
         return 2
-    reader = AdjacencyFileReader(args.input)
+    reader = open_adjacency_source(args.input)
     # Every backend consumes the file semi-externally: the numpy kernels
     # run over block-batched scans, the python reference streams records.
     try:
@@ -492,7 +533,7 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        reader = AdjacencyFileReader(run_spec.input)
+        reader = open_adjacency_source(run_spec.input)
     except (StorageError, OSError) as exc:
         print(f"cannot open input {run_spec.input!r}: {exc}", file=sys.stderr)
         return 2
@@ -533,7 +574,7 @@ def _command_run_directory(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            reader = AdjacencyFileReader(run_spec.input)
+            reader = open_adjacency_source(run_spec.input)
         except (StorageError, OSError) as exc:
             print(
                 f"{path}: cannot open input {run_spec.input!r}: {exc}",
@@ -657,7 +698,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    reader = AdjacencyFileReader(args.input)
+    reader = open_adjacency_source(args.input)
     # One shared context for every engine run: the reader's I/O counters
     # accumulate across algorithms and the graph is materialised at most
     # once for the in-memory comparators.
@@ -765,6 +806,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cache_limit_bytes is not None and args.cache_limit_bytes < 0:
+        print("--cache-limit-bytes must be >= 0", file=sys.stderr)
+        return 2
     try:
         service = SolverService(
             args.service_dir,
@@ -773,6 +817,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 poll_interval_seconds=args.poll_interval,
                 checkpoint_every_seconds=args.checkpoint_every_seconds or None,
                 max_restarts=args.max_restarts,
+                cache_limit_bytes=args.cache_limit_bytes,
             ),
         )
     except ServiceError as exc:
@@ -877,7 +922,7 @@ def _command_cancel(args: argparse.Namespace) -> int:
 
 
 def _command_bound(args: argparse.Namespace) -> int:
-    reader = AdjacencyFileReader(args.input)
+    reader = open_adjacency_source(args.input)
     bound = independence_upper_bound(reader)
     print(f"independence number upper bound: {bound:,}")
     reader.close()
@@ -909,8 +954,32 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_convert(args: argparse.Namespace) -> int:
+    try:
+        if args.to_binary:
+            header = adjacency_to_binary(args.input, args.output)
+            # Verify the artifact end to end once, at birth: every later
+            # open can then trust the header checksum + size check alone.
+            MemmapAdjacencySource(args.output, verify=True).close()
+            print(
+                f"converted {args.input} -> {args.output}: "
+                f"{header.num_vertices:,} vertices, {header.num_edges:,} edges, "
+                f"digest {header.digest}"
+            )
+        else:
+            header = binary_to_adjacency(args.input, args.output)
+            print(
+                f"converted {args.input} -> {args.output}: "
+                f"{header.num_vertices:,} vertices, {header.num_edges:,} edges"
+            )
+    except (StorageError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _command_reduce(args: argparse.Namespace) -> int:
-    reader = AdjacencyFileReader(args.input)
+    reader = open_adjacency_source(args.input)
     ctx = ExecutionContext.from_args(args, reader)
     if args.pipeline is None:
         spec = PipelineSpec(name="reduce", stages=(StageSpec("reduce"),))
@@ -971,6 +1040,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _command_datasets,
         "import": _command_import,
         "export": _command_export,
+        "convert": _command_convert,
         "reduce": _command_reduce,
         "serve": _command_serve,
         "submit": _command_submit,

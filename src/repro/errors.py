@@ -36,6 +36,31 @@ class FormatError(StorageError):
     """Raised when an adjacency file does not follow the binary format."""
 
 
+class BinaryFormatError(FormatError):
+    """Raised when a binary CSR artifact does not follow its format."""
+
+
+class BinaryCorruptError(BinaryFormatError):
+    """Raised when a binary CSR artifact is truncated or fails a checksum.
+
+    A corrupt artifact is never served: the open aborts before any solver
+    sees a single record.
+    """
+
+
+class BinaryVersionError(BinaryFormatError):
+    """Raised when a binary CSR artifact has an incompatible format version."""
+
+    def __init__(self, found: int, supported: int) -> None:
+        super().__init__(
+            f"binary CSR format version {found} is not supported by this build "
+            f"(supported version: {supported}); re-run 'repro-mis convert' to "
+            f"regenerate the artifact"
+        )
+        self.found = found
+        self.supported = supported
+
+
 class MemoryBudgetError(StorageError):
     """Raised when an operation would exceed the configured memory budget."""
 

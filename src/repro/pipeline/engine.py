@@ -197,6 +197,13 @@ class PipelineEngine:
             "num_vertices": ctx.source.num_vertices,
             "num_edges": ctx.source.num_edges,
         }
+        # Binary CSR artifacts carry a content digest; folding it into the
+        # origin record makes checkpoint provenance content-addressed — a
+        # resume against a regenerated-but-different artifact is rejected
+        # even when the dimensions happen to agree.
+        digest = getattr(ctx.source, "content_digest", None)
+        if digest is not None:
+            origin["digest"] = digest
 
         completed: List[dict] = []
         reports: List[StageReport] = []

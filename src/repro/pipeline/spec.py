@@ -160,6 +160,31 @@ def _optional_int(payload, key: str, where: str) -> Optional[int]:
     return value
 
 
+def _fold_swap_knobs(
+    pipeline: PipelineSpec, knobs: Mapping[str, int]
+) -> PipelineSpec:
+    """Fold run-spec-level Two-k-swap knobs into the ``two_k_swap`` stages.
+
+    Explicit per-stage options win over the run-spec-level values, so an
+    inline pipeline can still pin one stage while the sweep varies the
+    rest.  A run spec that sets a knob but runs no ``two_k_swap`` stage is
+    a configuration error — the knob would silently do nothing.
+    """
+
+    if not any(stage.stage == "two_k_swap" for stage in pipeline.stages):
+        raise PipelineSpecError(
+            f"run spec sets {', '.join(sorted(knobs))} but pipeline "
+            f"{pipeline.name!r} has no 'two_k_swap' stage to apply them to"
+        )
+    stages = tuple(
+        StageSpec(stage.stage, {**knobs, **stage.options})
+        if stage.stage == "two_k_swap"
+        else stage
+        for stage in pipeline.stages
+    )
+    return PipelineSpec(name=pipeline.name, stages=stages)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One ``repro-mis run`` scenario: pipeline + input + execution knobs."""
@@ -229,6 +254,21 @@ class RunSpec:
                     "run spec 'checkpoint_every_seconds' must be positive"
                 )
             every = float(every)
+        # Sweep knobs of the Two-k-swap heuristic (paper Section 5.2): the
+        # run-spec level is the convenient place to sweep them, but the
+        # stage options are where they act — fold them in here so the
+        # folded pipeline (and hence the service's cache key) records the
+        # values the run actually used.
+        swap_knobs: Dict[str, int] = {}
+        for key in ("max_pairs_per_key", "max_partner_checks"):
+            value = _optional_int(payload, key, "run spec")
+            if value is None:
+                continue
+            if value < 1:
+                raise PipelineSpecError(f"run spec {key!r} must be >= 1")
+            swap_knobs[key] = value
+        if swap_knobs:
+            pipeline = _fold_swap_knobs(pipeline, swap_knobs)
         unknown = set(payload) - {
             "pipeline",
             "input",
@@ -238,6 +278,8 @@ class RunSpec:
             "checkpoint",
             "resume",
             "checkpoint_every_seconds",
+            "max_pairs_per_key",
+            "max_partner_checks",
         }
         if unknown:
             raise PipelineSpecError(

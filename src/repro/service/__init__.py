@@ -19,7 +19,7 @@ digest-keyed result cache without solver work.
   (:mod:`repro.service.worker`).
 """
 
-from repro.service.cache import ResultCache, cache_key, file_digest
+from repro.service.cache import ResultCache, cache_key, file_digest, input_digest
 from repro.service.client import ServiceClient
 from repro.service.jobstore import JOB_STATES, JobRecord, JobStore
 from repro.service.service import ServiceConfig, SolverService
@@ -36,4 +36,5 @@ __all__ = [
     "cache_key",
     "execute_job",
     "file_digest",
+    "input_digest",
 ]

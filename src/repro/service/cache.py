@@ -11,10 +11,17 @@ cached result against a fresh solve bit for bit.
 
 The key is content-addressed, not path-addressed: the input file is
 digested (size + BLAKE2b over its bytes), so renaming a graph file still
-hits while editing it misses.  The spec side of the key canonicalises
-only the solver-relevant fields — pipeline composition, round cap,
-memory limit, requested backend — and deliberately excludes checkpoint
-paths and checkpoint cadence, which cannot change the result.
+hits while editing it misses.  Binary CSR artifacts short-circuit the
+byte walk entirely — :func:`input_digest` lifts the content digest
+embedded in their header, so keying a terabyte-scale artifact costs a
+64-byte read.  The spec side of the key canonicalises only the
+solver-relevant fields — pipeline composition, round cap, memory limit,
+requested backend — and deliberately excludes checkpoint paths and
+checkpoint cadence, which cannot change the result.
+
+The cache can be bounded: ``ResultCache(directory, limit_bytes=...)``
+evicts least-recently-used entries (by file mtime, refreshed on every
+hit) until the directory fits the budget.
 """
 
 from __future__ import annotations
@@ -22,13 +29,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StorageError
 from repro.pipeline.context import resolve_backend_request
 from repro.pipeline.spec import RunSpec
 
-__all__ = ["ResultCache", "cache_key", "file_digest", "spec_key_fields"]
+__all__ = [
+    "ResultCache",
+    "cache_key",
+    "file_digest",
+    "input_digest",
+    "spec_key_fields",
+]
 
 _CHUNK_BYTES = 1 << 20
 
@@ -49,6 +62,35 @@ def file_digest(path: str) -> str:
     except OSError as exc:
         raise ServiceError(f"cannot digest input file {path!r}: {exc}") from None
     return digest.hexdigest()
+
+
+def input_digest(path: str) -> str:
+    """Content digest of a graph input file, format-aware.
+
+    A valid binary CSR artifact already carries a BLAKE2b-128 digest of
+    its sections in the header; returning it (namespaced ``csr1:`` so it
+    can never collide with a whole-file digest) keys the cache without
+    reading the sections — the zero-parse startup property extends to
+    cache lookups.  Anything else — text adjacency files, but also
+    corrupt or truncated artifacts — falls back to :func:`file_digest`,
+    which is content-true: a damaged artifact keys differently from the
+    intact one, so a failing job can never be answered from (or poison)
+    the healthy entry.
+    """
+
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(8)
+    except OSError as exc:
+        raise ServiceError(f"cannot digest input file {path!r}: {exc}") from None
+    if magic == b"SEXTCSR1":
+        from repro.storage.binary_format import read_binary_header
+
+        try:
+            return f"csr1:{read_binary_header(path).digest}"
+        except StorageError:
+            pass  # damaged artifact: fall through to the byte digest
+    return file_digest(path)
 
 
 def spec_key_fields(spec: RunSpec, input_digest: str) -> Dict[str, object]:
@@ -80,10 +122,22 @@ def cache_key(spec: RunSpec, input_digest: str) -> str:
 
 
 class ResultCache:
-    """On-disk result cache: one JSON entry per cache key."""
+    """On-disk result cache: one JSON entry per cache key.
 
-    def __init__(self, directory: str) -> None:
+    ``limit_bytes`` bounds the total size of the entry files; ``None``
+    (the default) leaves the cache unbounded.  Recency is tracked through
+    entry mtimes — cheap, crash-safe, and shared correctly across the
+    scheduler and however many workers touch the directory — and a hit
+    refreshes the entry's mtime so hot results survive eviction sweeps.
+    """
+
+    def __init__(self, directory: str, limit_bytes: Optional[int] = None) -> None:
+        if limit_bytes is not None and limit_bytes < 0:
+            raise ServiceError(
+                f"cache limit_bytes must be >= 0 or None, got {limit_bytes}"
+            )
         self.directory = directory
+        self.limit_bytes = limit_bytes
 
     def entry_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
@@ -91,8 +145,9 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The encoded ``MISResult`` stored under ``key``, or ``None``."""
 
+        path = self.entry_path(key)
         try:
-            with open(self.entry_path(key), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
             return None
@@ -100,6 +155,10 @@ class ResultCache:
             raise ServiceError(f"cache entry for {key!r} is unreadable: {exc}")
         if not isinstance(entry, dict) or "result" not in entry:
             raise ServiceError(f"cache entry for {key!r} is malformed")
+        try:
+            os.utime(path)  # mark the entry recently used
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
         return entry["result"]
 
     def put(
@@ -129,6 +188,50 @@ class ResultCache:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
+        self.evict()
+
+    def evict(self, limit_bytes: Optional[int] = None) -> List[str]:
+        """Remove least-recently-used entries until the cache fits.
+
+        ``limit_bytes`` overrides the configured limit for this sweep.
+        Returns the evicted keys, oldest first.  With no limit configured
+        this is a no-op that never touches the directory, so unbounded
+        caches pay nothing.
+        """
+
+        limit = self.limit_bytes if limit_bytes is None else limit_bytes
+        if limit is None:
+            return []
+        try:
+            names = [
+                name for name in os.listdir(self.directory) if name.endswith(".json")
+            ]
+        except FileNotFoundError:
+            return []
+        entries = []
+        total = 0
+        for name in names:
+            path = os.path.join(self.directory, name)
+            try:
+                info = os.stat(path)
+            except OSError:  # raced away mid-sweep
+                continue
+            entries.append((info.st_mtime, name, info.st_size))
+            total += info.st_size
+        # Oldest mtime first; the name tie-breaks so concurrent sweeps
+        # over same-mtime entries pick identical victims.
+        entries.sort()
+        evicted: List[str] = []
+        for mtime, name, size in entries:
+            if total <= limit:
+                break
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:  # pragma: no cover - another sweep got it first
+                pass
+            total -= size
+            evicted.append(name[: -len(".json")])
+        return evicted
 
     def size(self) -> int:
         """Number of cached results."""
@@ -139,3 +242,20 @@ class ResultCache:
             )
         except FileNotFoundError:
             return 0
+
+    def total_bytes(self) -> int:
+        """Total size of the entry files in bytes."""
+
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        total = 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                total += os.stat(os.path.join(self.directory, name)).st_size
+            except OSError:  # pragma: no cover - raced away
+                continue
+        return total

@@ -27,7 +27,7 @@ from repro.core.result import MISResult
 from repro.errors import JobStateError, ServiceError
 from repro.pipeline.engine import decode_result
 from repro.pipeline.spec import RunSpec, iter_run_specs
-from repro.service.cache import cache_key, file_digest
+from repro.service.cache import cache_key, input_digest
 from repro.service.jobstore import JobRecord, JobStore
 
 __all__ = ["ServiceClient"]
@@ -61,7 +61,7 @@ class ServiceClient:
             spec = RunSpec.from_path(spec)
         if interrupt_after is not None and interrupt_after < 1:
             raise ServiceError("interrupt_after must be >= 1 (checkpoint writes)")
-        digest = file_digest(spec.input)
+        digest = input_digest(spec.input)
         now = time.time()
         record = JobRecord(
             job_id=self.store.new_job_id(),

@@ -69,12 +69,16 @@ class ServiceConfig:
     checkpoints at most every this many seconds (``None`` = every
     round).  ``max_restarts`` caps how many times one job's worker may
     die before the job is failed instead of requeued.
+    ``cache_limit_bytes`` bounds the result cache on disk; the scheduler
+    evicts least-recently-used entries past the budget (``None`` =
+    unbounded).
     """
 
     workers: int = 2
     poll_interval_seconds: float = 0.2
     checkpoint_every_seconds: Optional[float] = 30.0
     max_restarts: int = 100
+    cache_limit_bytes: Optional[int] = None
 
 
 class SolverService:
@@ -82,8 +86,10 @@ class SolverService:
 
     def __init__(self, root: str, config: Optional[ServiceConfig] = None) -> None:
         self.store = JobStore(root)
-        self.cache = ResultCache(self.store.cache_dir)
         self.config = config or ServiceConfig()
+        self.cache = ResultCache(
+            self.store.cache_dir, limit_bytes=self.config.cache_limit_bytes
+        )
         if self.config.workers < 1:
             raise ServiceError("a service needs at least one worker slot")
         self._mp = _mp_context()
@@ -112,6 +118,9 @@ class SolverService:
                 self._adopted[record.job_id] = record.pid
             else:
                 self._requeue(record, reason="worker died while the service was down")
+        # A previous daemon may have run without (or with a larger) cache
+        # budget; bring the directory under this daemon's limit.
+        self.cache.evict()
 
     def _requeue(self, record: JobRecord, reason: str) -> None:
         if record.attempts > self.config.max_restarts:
@@ -142,12 +151,14 @@ class SolverService:
         self._schedule()
 
     def _reap(self) -> None:
+        reaped = False
         for job_id, process in list(self._workers.items()):
             if process.is_alive():
                 continue
             process.join()
             exitcode = process.exitcode
             del self._workers[job_id]
+            reaped = True
             record = self.store.get(job_id)
             if record.state == "running":
                 # Exit 0 with a terminal record is the success contract;
@@ -155,6 +166,11 @@ class SolverService:
                 # negative code, even a zero exit that skipped its
                 # bookkeeping — is a crash, and the job resumes.
                 self._requeue(record, reason=f"worker exited with {exitcode}")
+        if reaped:
+            # Workers write cache entries without knowing the budget; the
+            # scheduler sweeps after every batch of exits (a reap is the
+            # only moment the cache can have grown).
+            self.cache.evict()
 
     def _watch_adopted(self) -> None:
         for job_id, pid in list(self._adopted.items()):

@@ -33,9 +33,10 @@ from typing import Optional
 from repro.errors import PipelineInterrupted, ReproError
 from repro.pipeline.context import ExecutionContext
 from repro.pipeline.engine import PipelineEngine, encode_result
-from repro.service.cache import ResultCache, file_digest, spec_key_fields
+from repro.service.cache import ResultCache, input_digest, spec_key_fields
 from repro.service.jobstore import JobStore
-from repro.storage.adjacency_file import AdjacencyFileReader
+from repro.storage.registry import open_adjacency_source
+from repro.storage.scan import AdjacencyScanSource
 
 __all__ = ["WORKER_INTERRUPTED", "execute_job", "worker_main"]
 
@@ -64,7 +65,7 @@ def execute_job(root: str, job_id: str) -> int:
     spec = record.run_spec()
     checkpoint = store.checkpoint_path(job_id)
 
-    reader: Optional[AdjacencyFileReader] = None
+    reader: Optional[AdjacencyScanSource] = None
     try:
         # Everything up to and including the engine run converts solver
         # errors — unreadable input, malformed spec, bad cadence, memory
@@ -73,14 +74,15 @@ def execute_job(root: str, job_id: str) -> int:
         try:
             # The cache key (and the user's submission) are pinned to the
             # input content digested at submit time; solving whatever the
-            # file happens to contain *now* would poison the cache.
-            current_digest = file_digest(spec.input)
+            # file happens to contain *now* would poison the cache.  For a
+            # binary CSR artifact this is a header read, not a byte walk.
+            current_digest = input_digest(spec.input)
             if current_digest != record.input_digest:
                 raise ReproError(
                     f"input {spec.input!r} changed since the job was "
                     f"submitted (content digest mismatch); resubmit the job"
                 )
-            reader = AdjacencyFileReader(spec.input)
+            reader = open_adjacency_source(spec.input)
             ctx = ExecutionContext.create(
                 reader,
                 backend=spec.backend,

@@ -12,6 +12,11 @@ sub-package provides that substrate:
 * :mod:`repro.storage.adjacency_file` — writer and sequential-scan reader.
 * :mod:`repro.storage.scan` — the scan-source protocol shared by the
   on-disk reader and the in-memory emulation used in tests/benchmarks.
+* :mod:`repro.storage.binary_format` — the memory-mapped binary CSR
+  artifact (zero-parse startup, page-cache sharing, graphs beyond RAM)
+  and its checksummed on-disk format.
+* :mod:`repro.storage.registry` — magic-based dispatch that opens either
+  on-disk format as a scan source.
 * :mod:`repro.storage.external_sort` — degree-ordered external sorting of
   adjacency files (the pre-processing step of Section 4.1).
 * :mod:`repro.storage.memory` — the semi-external memory budget model used
@@ -38,6 +43,15 @@ from repro.storage.scan import (
     InMemoryAdjacencyScan,
     as_scan_source,
 )
+from repro.storage.binary_format import (
+    BINARY_FORMAT_VERSION,
+    BINARY_MAGIC,
+    BinaryCSRHeader,
+    MemmapAdjacencySource,
+    read_binary_header,
+    write_binary_csr,
+)
+from repro.storage.registry import open_adjacency_source, register_scan_format
 from repro.storage.external_sort import (
     external_sort_by_degree,
     greedy_total_io_cost,
@@ -54,6 +68,14 @@ __all__ = [
     "AdjacencyScanSource",
     "InMemoryAdjacencyScan",
     "as_scan_source",
+    "BINARY_FORMAT_VERSION",
+    "BINARY_MAGIC",
+    "BinaryCSRHeader",
+    "MemmapAdjacencySource",
+    "read_binary_header",
+    "write_binary_csr",
+    "open_adjacency_source",
+    "register_scan_format",
     "external_sort_by_degree",
     "greedy_total_io_cost",
     "sort_io_cost",

@@ -19,7 +19,7 @@ from array import array
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import FormatError, StorageError
-from repro.graphs.graph import HAVE_NUMPY, Graph
+from repro.graphs.graph import HAVE_NUMPY, Graph, permutation_array
 from repro.storage import format as fmt
 from repro.storage.blocks import DEFAULT_BATCH_BLOCKS, DEFAULT_BLOCK_SIZE, BlockDevice
 from repro.storage.io_stats import IOStats
@@ -65,11 +65,21 @@ def write_adjacency_file(
     """
 
     scan_order = list(order) if order is not None else graph.degree_ascending_order()
-    if sorted(scan_order) != list(range(graph.num_vertices)):
+    order_array = None
+    if _np is not None:
+        order_array = permutation_array(scan_order, graph.num_vertices)
+        if order_array is None:
+            raise StorageError("order must be a permutation of all vertex ids")
+    elif sorted(scan_order) != list(range(graph.num_vertices)):
         raise StorageError("order must be a permutation of all vertex ids")
 
     device = BlockDevice(backing, block_size=block_size, stats=stats, create=True)
     device.append(fmt.pack_header(graph.num_vertices, graph.num_edges))
+    if order_array is not None and _write_records_vectorized(
+        graph, device, order_array, sort_neighbors_by_degree
+    ):
+        device.flush()
+        return device
     for vertex in scan_order:
         neighbors = list(graph.neighbors(vertex))
         if sort_neighbors_by_degree:
@@ -77,6 +87,63 @@ def write_adjacency_file(
         device.append(fmt.pack_record(vertex, neighbors))
     device.flush()
     return device
+
+
+#: Append granularity of the vectorized writer.  Chunked appends of one
+#: contiguous byte stream telescope to the same ``IOStats`` totals as the
+#: per-record appends of the scalar path (partially filled tail blocks are
+#: charged once either way), so the chunk size is a pure memory knob.
+_WRITE_CHUNK_BYTES = 8 << 20
+
+
+def _write_records_vectorized(
+    graph: Graph, device: BlockDevice, order_array, sort_neighbors_by_degree: bool
+) -> bool:
+    """Append all records as one vectorized uint32 stream (numpy graphs only).
+
+    Produces bytes identical to the scalar per-record path — same record
+    order, same neighbour order (the ``(degree, id)`` sort is a stable
+    lexsort over the id-sorted CSR rows, matching ``list.sort`` on unique
+    keys) — at array speed, which is what makes writing the n >= 1e7
+    benchmark inputs practical.  Returns False when the graph's CSR is not
+    ndarray-backed, leaving the scalar path to do the work.
+    """
+
+    offsets, targets = graph.csr_arrays()
+    if not isinstance(offsets, _np.ndarray):
+        return False
+    num_vertices = graph.num_vertices
+    if num_vertices > fmt.MAX_VERTEX_ID + 1:
+        raise FormatError(
+            f"vertex id {num_vertices - 1} does not fit in 4 bytes"
+        )
+    degrees = offsets[order_array + 1] - offsets[order_array]
+    total = int(degrees.sum())
+    local = _np.zeros(num_vertices + 1, dtype=_np.int64)
+    _np.cumsum(degrees, out=local[1:])
+    gather = _np.arange(total, dtype=_np.int64) + _np.repeat(
+        offsets[order_array] - local[:-1], degrees
+    )
+    record_targets = targets[gather]
+    if sort_neighbors_by_degree:
+        all_degrees = offsets[1:] - offsets[:-1]
+        rows = _np.repeat(_np.arange(num_vertices, dtype=_np.int64), degrees)
+        sort_idx = _np.lexsort(
+            (record_targets, all_degrees[record_targets], rows)
+        )
+        record_targets = record_targets[sort_idx]
+    words = _np.empty(2 * num_vertices + total, dtype="<u4")
+    word_starts = 2 * _np.arange(num_vertices, dtype=_np.int64) + local[:-1]
+    words[word_starts] = order_array
+    words[word_starts + 1] = degrees
+    positions = _np.arange(total, dtype=_np.int64) + _np.repeat(
+        word_starts + 2 - local[:-1], degrees
+    )
+    words[positions] = record_targets
+    payload = words.tobytes()
+    for start in range(0, len(payload), _WRITE_CHUNK_BYTES):
+        device.append(payload[start : start + _WRITE_CHUNK_BYTES])
+    return True
 
 
 class AdjacencyFileReader:

@@ -28,6 +28,8 @@ convenient: ``greedy_mis(graph)`` just works.
 
 from __future__ import annotations
 
+import os as _os
+
 from typing import (
     Iterator,
     List,
@@ -310,22 +312,29 @@ class InMemoryAdjacencyScan:
 
 
 def as_scan_source(
-    graph_or_source: Union[Graph, AdjacencyScanSource],
+    graph_or_source: Union[str, "_os.PathLike", Graph, AdjacencyScanSource],
     order: Union[str, Sequence[int]] = "degree",
     stats: Optional[IOStats] = None,
 ) -> AdjacencyScanSource:
-    """Coerce a graph or an existing scan source into a scan source.
+    """Coerce a graph, a path or an existing scan source into a scan source.
 
     A :class:`Graph` is wrapped into an :class:`InMemoryAdjacencyScan` with
-    the requested order; an existing source is returned unchanged (the
-    ``order`` argument is ignored for it, because its order is fixed by the
-    file layout).
+    the requested order; a filesystem path is opened through the format
+    registry (text adjacency file or binary CSR artifact, detected by
+    magic); an existing source is returned unchanged (the ``order``
+    argument is ignored for both file cases, because their order is fixed
+    by the file layout).
     """
 
     if isinstance(graph_or_source, Graph):
         return InMemoryAdjacencyScan(graph_or_source, order=order, stats=stats)
+    if isinstance(graph_or_source, (str, _os.PathLike)):
+        from repro.storage.registry import open_adjacency_source
+
+        return open_adjacency_source(graph_or_source, stats=stats)
     if isinstance(graph_or_source, AdjacencyScanSource):
         return graph_or_source
     raise StorageError(
-        f"expected a Graph or an adjacency scan source, got {type(graph_or_source).__name__}"
+        f"expected a Graph, a graph file path or an adjacency scan source, "
+        f"got {type(graph_or_source).__name__}"
     )

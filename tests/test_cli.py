@@ -653,3 +653,92 @@ class TestServiceCommands:
         )
         assert main(["submit", str(tmp_path / "svc"), "--config", str(config)]) == 2
         assert "cannot digest" in capsys.readouterr().err
+
+
+class TestConvertCommand:
+    def _generate(self, tmp_path):
+        path = tmp_path / "toy.adj"
+        assert main([
+            "generate", str(path), "--model", "gnm",
+            "--vertices", "200", "--edges", "500", "--seed", "7",
+        ]) == 0
+        return path
+
+    def test_convert_round_trip_is_the_identity(self, tmp_path, capsys):
+        text = self._generate(tmp_path)
+        binary = tmp_path / "toy.csr"
+        restored = tmp_path / "restored.adj"
+        assert main(["convert", str(text), str(binary), "--to-binary"]) == 0
+        out = capsys.readouterr().out
+        assert "200 vertices" in out
+        assert "digest" in out
+        assert main(["convert", str(binary), str(restored), "--to-adjacency"]) == 0
+        assert text.read_bytes() == restored.read_bytes()
+
+    def test_solve_auto_detects_the_binary_artifact(self, tmp_path, capsys):
+        text = self._generate(tmp_path)
+        binary = tmp_path / "toy.csr"
+        main(["convert", str(text), str(binary), "--to-binary"])
+        capsys.readouterr()
+        assert main(["solve", str(text), "--pipeline", "two_k_swap", "--json"]) == 0
+        text_payload = json.loads(capsys.readouterr().out)
+        assert main(["solve", str(binary), "--pipeline", "two_k_swap", "--json"]) == 0
+        binary_payload = json.loads(capsys.readouterr().out)
+        # Wall-clock timings legitimately differ between the two runs; the
+        # parity contract is sets, rounds, extras and modeled IOStats.
+        for payload in (text_payload, binary_payload):
+            payload.pop("elapsed_seconds", None)
+            for stage in payload.get("stages", []):
+                stage.pop("elapsed_seconds", None)
+        assert text_payload == binary_payload
+
+    def test_compare_bound_and_reduce_accept_the_artifact(self, tmp_path, capsys):
+        text = self._generate(tmp_path)
+        binary = tmp_path / "toy.csr"
+        main(["convert", str(text), str(binary), "--to-binary"])
+        capsys.readouterr()
+        assert main(["bound", str(binary)]) == 0
+        assert "upper bound" in capsys.readouterr().out
+        assert main([
+            "compare", str(binary), "--algorithms", "greedy,local_search",
+        ]) == 0
+        assert "local_search" in capsys.readouterr().out
+        assert main(["reduce", str(binary)]) == 0
+        assert "kernel vertices" in capsys.readouterr().out
+
+    def test_convert_requires_a_direction(self, tmp_path):
+        text = self._generate(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["convert", str(text), str(tmp_path / "out.csr")])
+
+    def test_convert_wrong_direction_is_a_clean_error(self, tmp_path, capsys):
+        text = self._generate(tmp_path)
+        capsys.readouterr()
+        # --to-adjacency on a text file: the magic is not a CSR artifact.
+        assert main([
+            "convert", str(text), str(tmp_path / "out.adj"), "--to-adjacency",
+        ]) == 2
+        assert "not a binary CSR artifact" in capsys.readouterr().err
+
+    def test_convert_missing_input_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "convert", str(tmp_path / "no.adj"), str(tmp_path / "o.csr"),
+            "--to-binary",
+        ]) == 2
+        assert capsys.readouterr().err
+
+
+class TestServeCacheLimitFlag:
+    def test_negative_cache_limit_rejected(self, tmp_path, capsys):
+        assert main([
+            "serve", str(tmp_path / "svc"), "--cache-limit-bytes", "-1",
+        ]) == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_cache_limit_reaches_the_service_config(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", str(tmp_path / "svc"), "--cache-limit-bytes", "4096"]
+        )
+        assert args.cache_limit_bytes == 4096
+        default = build_parser().parse_args(["serve", str(tmp_path / "svc")])
+        assert default.cache_limit_bytes is None

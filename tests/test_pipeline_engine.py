@@ -120,6 +120,62 @@ class TestSpecs:
         run_spec = RunSpec.from_dict({"pipeline": "two_k_swap", "input": "g.adj"})
         assert run_spec.pipeline is BUILTIN_PIPELINES["two_k_swap"]
 
+    def test_run_spec_folds_swap_knobs_into_two_k_stage(self):
+        run_spec = RunSpec.from_dict(
+            {
+                "pipeline": "two_k_swap",
+                "input": "g.adj",
+                "max_pairs_per_key": 4,
+                "max_partner_checks": 16,
+            }
+        )
+        (greedy, two_k) = run_spec.pipeline.stages
+        assert greedy.options == {}
+        assert two_k.options == {"max_pairs_per_key": 4, "max_partner_checks": 16}
+        # The folded knobs are part of the serialized spec (and hence any
+        # cache key derived from it).
+        encoded = run_spec.to_dict()["pipeline"]["stages"][1]
+        assert encoded["options"] == {
+            "max_pairs_per_key": 4,
+            "max_partner_checks": 16,
+        }
+
+    def test_explicit_stage_options_beat_run_spec_knobs(self):
+        run_spec = RunSpec.from_dict(
+            {
+                "pipeline": {
+                    "name": "pinned",
+                    "stages": [
+                        {"stage": "greedy"},
+                        {"stage": "two_k_swap", "options": {"max_pairs_per_key": 2}},
+                    ],
+                },
+                "input": "g.adj",
+                "max_pairs_per_key": 64,
+                "max_partner_checks": 32,
+            }
+        )
+        two_k = run_spec.pipeline.stages[1]
+        assert two_k.options["max_pairs_per_key"] == 2  # the stage pins it
+        assert two_k.options["max_partner_checks"] == 32  # the sweep fills it
+
+    def test_swap_knobs_without_two_k_stage_rejected(self):
+        with pytest.raises(PipelineSpecError, match="no 'two_k_swap' stage"):
+            RunSpec.from_dict(
+                {"pipeline": "greedy", "input": "g.adj", "max_pairs_per_key": 4}
+            )
+
+    @pytest.mark.parametrize("value", [0, -3, "many", 1.5])
+    def test_swap_knobs_validated(self, value):
+        with pytest.raises(PipelineSpecError):
+            RunSpec.from_dict(
+                {
+                    "pipeline": "two_k_swap",
+                    "input": "g.adj",
+                    "max_partner_checks": value,
+                }
+            )
+
     @pytest.mark.parametrize(
         "payload, message",
         [

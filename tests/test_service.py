@@ -559,3 +559,169 @@ class TestPolicies:
         # A restarted service over a fully-drained store is a no-op.
         restarted = SolverService(root, fast_config())
         assert not restarted.has_open_jobs()
+
+
+# ----------------------------------------------------------------------
+# Binary CSR inputs and cache eviction
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def binary_path(adjacency_path, tmp_path_factory):
+    from repro.storage.converters import adjacency_to_binary
+
+    path = str(tmp_path_factory.mktemp("graphs") / "g.csr")
+    adjacency_to_binary(adjacency_path, path)
+    return path
+
+
+class TestBinaryInputs:
+    def test_input_digest_lifts_the_embedded_artifact_digest(
+        self, adjacency_path, binary_path
+    ):
+        from repro.service import input_digest
+        from repro.storage.binary_format import read_binary_header
+
+        digest = input_digest(binary_path)
+        assert digest == f"csr1:{read_binary_header(binary_path).digest}"
+        # Text files keep the whole-file digest, unprefixed.
+        assert input_digest(adjacency_path) == file_digest(adjacency_path)
+
+    def test_corrupt_artifact_falls_back_to_byte_digest(
+        self, binary_path, tmp_path
+    ):
+        from repro.service import input_digest
+
+        damaged = str(tmp_path / "damaged.csr")
+        with open(binary_path, "rb") as src:
+            data = bytearray(src.read())
+        data[70] ^= 0xFF  # flip a section byte; header stays valid
+        with open(damaged, "wb") as dst:
+            dst.write(bytes(data))
+        size = os.path.getsize(damaged)
+        with open(damaged, "r+b") as handle:
+            handle.truncate(size - 1)  # now also truncated: header check fails
+        digest = input_digest(damaged)
+        assert not digest.startswith("csr1:")
+        assert digest == file_digest(damaged)
+
+    def test_binary_job_matches_text_job_bit_for_bit(
+        self, adjacency_path, binary_path, tmp_path
+    ):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        text_record = client.submit(make_spec(adjacency_path))
+        binary_record = client.submit(make_spec(binary_path))
+        assert text_record.cache_key != binary_record.cache_key  # different inputs
+        assert binary_record.input_digest.startswith("csr1:")
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        text_result = client.result(text_record.job_id)
+        binary_result = client.result(binary_record.job_id)
+        assert_results_identical(binary_result, text_result)
+
+    def test_edited_artifact_fails_instead_of_poisoning_the_cache(
+        self, adjacency_path, tmp_path
+    ):
+        from repro.storage.converters import adjacency_to_binary
+
+        root = str(tmp_path / "svc")
+        artifact = str(tmp_path / "mutable.csr")
+        adjacency_to_binary(adjacency_path, artifact)
+        client = ServiceClient(root)
+        record = client.submit(make_spec(artifact))
+        # Regenerate the artifact from a different graph before any worker
+        # starts: the digest pinned at submit no longer matches.
+        other = str(tmp_path / "other.adj")
+        write_adjacency_file(erdos_renyi_gnm(120, 300, seed=99), other).close()
+        adjacency_to_binary(other, artifact)
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        record = client.status(record.job_id)
+        assert record.state == "failed"
+        assert "digest mismatch" in record.error
+        assert ResultCache(client.store.cache_dir).size() == 0
+
+
+class TestCacheEviction:
+    def _fill(self, cache, keys, payload_bytes=200):
+        for index, key in enumerate(keys):
+            cache.put(key, {"n": index}, {"pad": "x" * payload_bytes})
+            os.utime(cache.entry_path(key), (1_000_000 + index, 1_000_000 + index))
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        self._fill(cache, ["a", "b", "c"])
+        assert cache.evict() == []
+        assert cache.size() == 3
+
+    def test_evicts_oldest_mtime_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        self._fill(cache, ["a", "b", "c"])
+        entry_bytes = os.path.getsize(cache.entry_path("a"))
+        cache.limit_bytes = 2 * entry_bytes
+        assert cache.evict() == ["a"]
+        assert cache.get("a") is None
+        assert cache.get("b") is not None and cache.get("c") is not None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        self._fill(cache, ["a", "b", "c"])
+        assert cache.get("a") is not None  # os.utime bumps "a" to newest
+        entry_bytes = os.path.getsize(cache.entry_path("a"))
+        cache.limit_bytes = 2 * entry_bytes
+        assert cache.evict() == ["b"]
+        assert cache.get("a") is not None
+
+    def test_put_evicts_past_the_limit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), limit_bytes=0)
+        cache.put("a", {}, {"pad": "x"})
+        assert cache.size() == 0
+
+    def test_total_bytes_tracks_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.total_bytes() == 0
+        self._fill(cache, ["a", "b"])
+        assert cache.total_bytes() == sum(
+            os.path.getsize(cache.entry_path(k)) for k in ("a", "b")
+        )
+
+    def test_negative_limit_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match=">= 0"):
+            ResultCache(str(tmp_path / "cache"), limit_bytes=-1)
+
+    def test_service_sweeps_after_workers_finish(self, adjacency_path, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        client.submit(make_spec(adjacency_path))
+        client.submit(make_spec(adjacency_path, backend="python"))
+        service = SolverService(
+            root, fast_config(workers=1, cache_limit_bytes=0)
+        )
+        try:
+            records = service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        assert [record.state for record in records] == ["done", "done"]
+        # Every entry was evicted as soon as its worker was reaped.
+        assert service.cache.size() == 0
+
+    def test_restarted_service_applies_a_tighter_limit(
+        self, adjacency_path, tmp_path
+    ):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        client.submit(make_spec(adjacency_path))
+        service = SolverService(root, fast_config())
+        try:
+            service.drain(timeout_seconds=DRAIN_TIMEOUT)
+        finally:
+            service.stop()
+        assert service.cache.size() == 1
+        # recover() of the next daemon enforces the new budget.
+        tighter = SolverService(root, fast_config(cache_limit_bytes=0))
+        assert tighter.cache.size() == 0
