@@ -189,8 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--config",
         metavar="PATH",
         help="JSON run spec: {'pipeline': name-or-inline-spec, 'input': file, "
-        "and optional 'backend', 'max_rounds', 'memory_limit_bytes', "
-        "'checkpoint', 'resume', 'checkpoint_every_seconds'}",
+        "and optional 'backend', 'workers', 'max_rounds', "
+        "'memory_limit_bytes', 'checkpoint', 'resume', "
+        "'checkpoint_every_seconds'}",
     )
     run_source.add_argument(
         "--config-dir",
@@ -211,7 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("service_dir", help="service directory (created if missing)")
     serve.add_argument(
-        "--workers", type=int, default=2, help="concurrent worker processes"
+        "--job-workers",
+        "--workers",
+        dest="job_workers",
+        type=int,
+        default=2,
+        help="concurrent job worker processes (one per job; a job's own "
+        "intra-job parallelism comes from the 'workers' field of its run "
+        "spec). --workers is accepted as a legacy alias",
     )
     serve.add_argument(
         "--poll-interval",
@@ -241,6 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="bound the result cache: least-recently-used entries are "
         "evicted past N bytes (default: unbounded)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout-seconds",
+        type=float,
+        default=None,
+        metavar="N",
+        help="kill and requeue a worker whose progress heartbeat (beaten "
+        "every swap round and stage boundary) is older than N seconds "
+        "while its pid is still alive; size N above the longest single "
+        "round expected (default: disabled)",
     )
     serve.add_argument(
         "--drain",
@@ -537,9 +555,11 @@ def _command_run(args: argparse.Namespace) -> int:
     except (StorageError, OSError) as exc:
         print(f"cannot open input {run_spec.input!r}: {exc}", file=sys.stderr)
         return 2
-    # The run spec's backend fills the namespace slot the shared context
-    # builder reads, so resolution is identical to the other commands.
+    # The run spec's backend and worker count fill the namespace slots the
+    # shared context builder reads, so resolution is identical to the
+    # other commands.
     args.backend = run_spec.backend or "auto"
+    args.workers = run_spec.workers
     try:
         return _run_engine_command(
             run_spec.pipeline,
@@ -582,6 +602,7 @@ def _command_run_directory(args: argparse.Namespace) -> int:
             )
             return 2
         args.backend = run_spec.backend or "auto"
+        args.workers = run_spec.workers
         try:
             result = _execute_engine(
                 run_spec.pipeline,
@@ -809,22 +830,29 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.cache_limit_bytes is not None and args.cache_limit_bytes < 0:
         print("--cache-limit-bytes must be >= 0", file=sys.stderr)
         return 2
+    if (
+        args.heartbeat_timeout_seconds is not None
+        and args.heartbeat_timeout_seconds <= 0
+    ):
+        print("--heartbeat-timeout-seconds must be positive", file=sys.stderr)
+        return 2
     try:
         service = SolverService(
             args.service_dir,
             ServiceConfig(
-                workers=args.workers,
+                workers=args.job_workers,
                 poll_interval_seconds=args.poll_interval,
                 checkpoint_every_seconds=args.checkpoint_every_seconds or None,
                 max_restarts=args.max_restarts,
                 cache_limit_bytes=args.cache_limit_bytes,
+                heartbeat_timeout_seconds=args.heartbeat_timeout_seconds,
             ),
         )
     except ServiceError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(
-        f"serving {args.service_dir} with {args.workers} worker(s)"
+        f"serving {args.service_dir} with {args.job_workers} job worker(s)"
         + (" until drained" if args.drain else ""),
         file=sys.stderr,
     )

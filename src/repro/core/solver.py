@@ -78,6 +78,10 @@ class SemiExternalMISSolver:
         Throttle round checkpoints to at most one per this many seconds
         (``None`` = checkpoint every round); stage-boundary checkpoints
         are always written.
+    workers:
+        Worker processes per solver pass (``1`` = the serial path).  An
+        execution property like ``backend``: results are bit-identical
+        across worker counts, and checkpoints resume under any count.
     """
 
     pipeline: str = "two_k_swap"
@@ -89,6 +93,7 @@ class SemiExternalMISSolver:
     checkpoint_path: Optional[str] = None
     resume: bool = False
     checkpoint_every_seconds: Optional[float] = None
+    workers: int = 1
 
     def solve(self, graph_or_source: Union[Graph, AdjacencyScanSource]) -> MISResult:
         """Run the configured pipeline and return the final result."""
@@ -115,6 +120,7 @@ class SemiExternalMISSolver:
             backend=self.backend,
             memory_model=self.memory_model,
             order=order,
+            workers=self.workers,
         )
         engine = PipelineEngine(
             spec,
@@ -137,6 +143,7 @@ def solve_mis(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     checkpoint_every_seconds: Optional[float] = None,
+    workers: int = 1,
 ) -> MISResult:
     """One-shot convenience wrapper around :class:`SemiExternalMISSolver`."""
 
@@ -149,5 +156,6 @@ def solve_mis(
         checkpoint_path=checkpoint_path,
         resume=resume,
         checkpoint_every_seconds=checkpoint_every_seconds,
+        workers=workers,
     )
     return solver.solve(graph_or_source)

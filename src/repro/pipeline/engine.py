@@ -142,6 +142,7 @@ class PipelineEngine:
         interrupt_after: Optional[int] = None,
         checkpoint_every_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        progress: Optional[Callable[[], None]] = None,
     ) -> None:
         self.spec = spec
         self.max_rounds = max_rounds
@@ -149,6 +150,12 @@ class PipelineEngine:
         self.checkpoint_path = checkpoint_path
         self.resume = resume
         self.interrupt_after = interrupt_after
+        #: Called at every solver progress point — each completed swap
+        #: round and each stage boundary — regardless of checkpoint
+        #: throttling.  The service worker beats its heartbeat here, so
+        #: "no call" means "no progress", which is exactly the hang
+        #: signal the scheduler's stale-heartbeat timeout looks for.
+        self.progress = progress
         if checkpoint_every_seconds is not None and checkpoint_every_seconds <= 0:
             raise SolverError("checkpoint_every_seconds must be positive or None")
         self.checkpoint_every_seconds = checkpoint_every_seconds
@@ -277,11 +284,19 @@ class PipelineEngine:
             )
 
             on_round = None
-            if self.checkpoint_path is not None and stage.resumable:
-                io_before_payload = io_before.as_dict()
+            checkpoint_rounds = self.checkpoint_path is not None and stage.resumable
+            if checkpoint_rounds or self.progress is not None:
+                io_before_payload = io_before.as_dict() if checkpoint_rounds else None
 
-                def on_round(loop_state, _index=index, _io=io_before_payload):
-                    if not self._round_checkpoint_due():
+                def on_round(
+                    loop_state,
+                    _index=index,
+                    _io=io_before_payload,
+                    _checkpoint=checkpoint_rounds,
+                ):
+                    if self.progress is not None:
+                        self.progress()
+                    if not _checkpoint or not self._round_checkpoint_due():
                         return
                     self._write_checkpoint(
                         ctx,
@@ -341,6 +356,8 @@ class PipelineEngine:
             reports.append(report)
             last_result = result
             previous = None if stage.transforms_source else result
+            if self.progress is not None:
+                self.progress()
 
             if self.checkpoint_path is not None:
                 self._write_checkpoint(

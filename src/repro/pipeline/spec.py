@@ -197,6 +197,7 @@ class RunSpec:
     checkpoint: Optional[str] = None
     resume: bool = False
     checkpoint_every_seconds: Optional[float] = None
+    workers: int = 1
 
     @classmethod
     def from_dict(cls, payload) -> "RunSpec":
@@ -254,6 +255,11 @@ class RunSpec:
                     "run spec 'checkpoint_every_seconds' must be positive"
                 )
             every = float(every)
+        workers = payload.get("workers", 1)
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise PipelineSpecError("run spec 'workers' must be an integer")
+        if workers < 1:
+            raise PipelineSpecError("run spec 'workers' must be >= 1")
         # Sweep knobs of the Two-k-swap heuristic (paper Section 5.2): the
         # run-spec level is the convenient place to sweep them, but the
         # stage options are where they act — fold them in here so the
@@ -280,6 +286,7 @@ class RunSpec:
             "checkpoint_every_seconds",
             "max_pairs_per_key",
             "max_partner_checks",
+            "workers",
         }
         if unknown:
             raise PipelineSpecError(
@@ -296,6 +303,7 @@ class RunSpec:
             checkpoint=checkpoint,
             resume=resume,
             checkpoint_every_seconds=every,
+            workers=workers,
         )
 
     @classmethod
@@ -325,6 +333,7 @@ class RunSpec:
             "checkpoint": self.checkpoint,
             "resume": self.resume,
             "checkpoint_every_seconds": self.checkpoint_every_seconds,
+            "workers": self.workers,
         }
 
 

@@ -188,7 +188,10 @@ class GreedyStage(Stage):
 
     def run(self, ctx, previous, options, resume_state=None, on_round=None):
         return greedy_mis(
-            ctx.source, memory_model=ctx.memory_model, backend=ctx.backend
+            ctx.source,
+            memory_model=ctx.memory_model,
+            backend=ctx.backend,
+            workers=ctx.workers,
         )
 
 
@@ -223,6 +226,7 @@ class OneKSwapStage(Stage):
             backend=ctx.backend,
             resume_state=resume_state,
             on_round=on_round,
+            workers=ctx.workers,
         )
 
 
@@ -244,6 +248,7 @@ class TwoKSwapStage(Stage):
             backend=ctx.backend,
             resume_state=resume_state,
             on_round=on_round,
+            workers=ctx.workers,
         )
 
 

@@ -100,16 +100,23 @@ def spec_key_fields(spec: RunSpec, input_digest: str) -> Dict[str, object]:
     they change how a run is persisted, never what it computes.  The
     requested backend stays in the key per the service contract (both
     backends produce bit-identical pipeline results, but a cache entry
-    records exactly what was asked for).
+    records exactly what was asked for).  ``workers`` joins the key under
+    the same contract, but only when parallel execution was actually
+    requested (``> 1``): the serial default is omitted so every key
+    minted before the field existed remains valid — cache entries from
+    older service directories keep hitting.
     """
 
-    return {
+    fields: Dict[str, object] = {
         "backend": resolve_backend_request(spec.backend) or "auto",
         "input_digest": input_digest,
         "max_rounds": spec.max_rounds,
         "memory_limit_bytes": spec.memory_limit_bytes,
         "pipeline": spec.pipeline.to_dict(),
     }
+    if spec.workers > 1:
+        fields["workers"] = spec.workers
+    return fields
 
 
 def cache_key(spec: RunSpec, input_digest: str) -> str:

@@ -190,12 +190,14 @@ class JobStore:
         self.checkpoints_dir = os.path.join(root, "checkpoints")
         self.results_dir = os.path.join(root, "results")
         self.cache_dir = os.path.join(root, "cache")
+        self.heartbeats_dir = os.path.join(root, "heartbeats")
         if create:
             for directory in (
                 self.jobs_dir,
                 self.checkpoints_dir,
                 self.results_dir,
                 self.cache_dir,
+                self.heartbeats_dir,
             ):
                 os.makedirs(directory, exist_ok=True)
         elif not os.path.isdir(self.jobs_dir):
@@ -215,6 +217,40 @@ class JobStore:
 
     def result_path(self, job_id: str) -> str:
         return os.path.join(self.results_dir, f"{job_id}.json")
+
+    def heartbeat_path(self, job_id: str) -> str:
+        return os.path.join(self.heartbeats_dir, f"{job_id}.hb")
+
+    def touch_heartbeat(self, job_id: str) -> None:
+        """Stamp the job's progress heartbeat (file mtime is the beat).
+
+        Workers beat at every solver progress point (swap round, stage
+        boundary); the scheduler compares the mtime against its timeout to
+        tell a *hung* worker — live pid, no progress — from a merely slow
+        one.  Created in the older layouts too: the directory may predate
+        the heartbeat feature.
+        """
+
+        os.makedirs(self.heartbeats_dir, exist_ok=True)
+        path = self.heartbeat_path(job_id)
+        with open(path, "a", encoding="utf-8"):
+            pass
+        os.utime(path, None)
+
+    def heartbeat_age(self, job_id: str, now: Optional[float] = None) -> Optional[float]:
+        """Seconds since the job's last beat, or ``None`` when never beaten."""
+
+        try:
+            mtime = os.stat(self.heartbeat_path(job_id)).st_mtime
+        except OSError:
+            return None
+        return (time.time() if now is None else now) - mtime
+
+    def clear_heartbeat(self, job_id: str) -> None:
+        try:
+            os.unlink(self.heartbeat_path(job_id))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # Record persistence

@@ -71,7 +71,13 @@ class ServiceConfig:
     die before the job is failed instead of requeued.
     ``cache_limit_bytes`` bounds the result cache on disk; the scheduler
     evicts least-recently-used entries past the budget (``None`` =
-    unbounded).
+    unbounded).  ``heartbeat_timeout_seconds`` arms hung-worker
+    detection: a running worker whose pid is alive but whose progress
+    heartbeat (beaten every swap round and stage boundary) is older than
+    the timeout is killed and its job requeued to resume from the
+    checkpoint.  ``None`` (the default) disables the check — a single
+    round of a huge graph can legitimately take minutes, so the timeout
+    must be sized by the operator.
     """
 
     workers: int = 2
@@ -79,6 +85,7 @@ class ServiceConfig:
     checkpoint_every_seconds: Optional[float] = 30.0
     max_restarts: int = 100
     cache_limit_bytes: Optional[int] = None
+    heartbeat_timeout_seconds: Optional[float] = None
 
 
 class SolverService:
@@ -147,6 +154,7 @@ class SolverService:
 
         self._reap()
         self._watch_adopted()
+        self._check_heartbeats()
         self._apply_cancellations()
         self._schedule()
 
@@ -182,6 +190,52 @@ class SolverService:
                 del self._adopted[job_id]
                 if record.state == "running":
                     self._requeue(record, reason=f"orphan worker {pid} died")
+
+    def _check_heartbeats(self) -> None:
+        """Kill and requeue hung workers (live pid, stale progress beat).
+
+        Pid liveness catches workers that *die*; this catches workers
+        that are alive but stuck — a deadlocked worker pool, unkillable
+        I/O — by watching the progress heartbeat the worker stamps at
+        every swap round and stage boundary.  The kill is a plain
+        SIGKILL: by the crash-recovery contract the job's checkpoint is
+        complete on disk, so the requeued attempt resumes bit-identically
+        and the hang costs wall time, never work or correctness.
+        """
+
+        timeout = self.config.heartbeat_timeout_seconds
+        if timeout is None:
+            return
+        for job_id, process in list(self._workers.items()):
+            if not process.is_alive():
+                continue  # a dead worker is _reap's case, next pass
+            age = self.store.heartbeat_age(job_id)
+            if age is None or age <= timeout:
+                continue
+            process.kill()
+            process.join()
+            del self._workers[job_id]
+            record = self.store.get(job_id)
+            if record.state == "running":
+                self._requeue(
+                    record,
+                    reason=f"worker hung (no heartbeat for {age:.1f}s)",
+                )
+        for job_id, pid in list(self._adopted.items()):
+            age = self.store.heartbeat_age(job_id)
+            if age is None or age <= timeout:
+                continue
+            try:
+                os.kill(pid, 9)
+            except ProcessLookupError:
+                pass
+            del self._adopted[job_id]
+            record = self.store.get(job_id)
+            if record.state == "running":
+                self._requeue(
+                    record,
+                    reason=f"orphan worker {pid} hung (no heartbeat for {age:.1f}s)",
+                )
 
     def _apply_cancellations(self) -> None:
         for record in self.store.list():
@@ -273,6 +327,11 @@ class SolverService:
         )
         if record.state != "running":
             return
+        # The attempt's heartbeat clock starts now, not at the worker's
+        # first beat: a worker that hangs before ever beating (or a
+        # requeued job inheriting an old stale file) is still timed from
+        # a fresh stamp.
+        self.store.touch_heartbeat(record.job_id)
         process = self._mp.Process(
             target=worker_main, args=(self.store.root, record.job_id)
         )

@@ -65,6 +65,16 @@ def execute_job(root: str, job_id: str) -> int:
     spec = record.run_spec()
     checkpoint = store.checkpoint_path(job_id)
 
+    # Progress heartbeat: stamped now (the worker is alive and about to
+    # work) and then at every engine progress point — each swap round and
+    # stage boundary.  A worker that is alive but stuck mid-round stops
+    # beating, which is what the scheduler's stale-heartbeat timeout
+    # detects; a worker that merely dies is caught by pid liveness.
+    store.touch_heartbeat(job_id)
+
+    def _beat() -> None:
+        store.touch_heartbeat(job_id)
+
     reader: Optional[AdjacencyScanSource] = None
     try:
         # Everything up to and including the engine run converts solver
@@ -87,6 +97,7 @@ def execute_job(root: str, job_id: str) -> int:
                 reader,
                 backend=spec.backend,
                 memory_limit_bytes=spec.memory_limit_bytes,
+                workers=spec.workers,
             )
             engine = PipelineEngine(
                 spec.pipeline,
@@ -96,6 +107,7 @@ def execute_job(root: str, job_id: str) -> int:
                 resume=os.path.exists(checkpoint),
                 interrupt_after=record.interrupt_after,
                 checkpoint_every_seconds=record.checkpoint_every_seconds,
+                progress=_beat,
             )
             result = engine.run(ctx)
         except PipelineInterrupted:
@@ -110,6 +122,7 @@ def execute_job(root: str, job_id: str) -> int:
                 error=str(exc),
                 pid=None,
             )
+            store.clear_heartbeat(job_id)
             return 0
 
         encoded = encode_result(result)
@@ -127,6 +140,7 @@ def execute_job(root: str, job_id: str) -> int:
             pid=None,
             stages=list(result.extras.get("stages", [])),
         )
+        store.clear_heartbeat(job_id)
         return 0
     finally:
         if reader is not None:

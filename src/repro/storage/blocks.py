@@ -96,6 +96,11 @@ class BlockDevice:
 
         return self._path
 
+    def raw_file(self) -> BinaryIO:
+        """The backing file object (used by forked workers of in-memory devices)."""
+
+        return self._file
+
     @property
     def size(self) -> int:
         """Current size of the device contents in bytes."""
@@ -130,6 +135,31 @@ class BlockDevice:
         last = (offset + length - 1) // self.block_size
         return last - first + 1
 
+    def charge_read(self, offset: int, length: int) -> None:
+        """Account for a read of ``[offset, offset+length)`` without doing it.
+
+        Applies exactly the charges :meth:`read_at` would apply — bytes,
+        ceil-spanned blocks with the sequential one-block discount, seek
+        detection — and advances the sequential cursor identically, so a
+        caller that already holds the bytes (a striped worker scan, a
+        re-mapped artifact) can keep the modeled ``IOStats`` bit-identical
+        to a real sequential scan.
+        """
+
+        if offset < 0 or length < 0:
+            raise StorageError("offset and length must be non-negative")
+        sequential = offset == self._next_sequential_offset
+        self._next_sequential_offset = offset + length
+        blocks = self._blocks_spanned(offset, length)
+        # A sequential read that starts inside the block the previous read
+        # already touched does not transfer that block again (the buffer
+        # manager still holds it), so it is not charged twice.
+        if sequential and length > 0 and offset // self.block_size == self._last_block_read:
+            blocks -= 1
+        if length > 0:
+            self._last_block_read = (offset + length - 1) // self.block_size
+        self.stats.record_read(length, blocks, sequential)
+
     def read_at(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes starting at ``offset`` and account for them.
 
@@ -145,17 +175,7 @@ class BlockDevice:
             raise StorageError(
                 f"short read: requested {length} bytes at offset {offset}, got {len(data)}"
             )
-        sequential = offset == self._next_sequential_offset
-        self._next_sequential_offset = offset + length
-        blocks = self._blocks_spanned(offset, length)
-        # A sequential read that starts inside the block the previous read
-        # already touched does not transfer that block again (the buffer
-        # manager still holds it), so it is not charged twice.
-        if sequential and length > 0 and offset // self.block_size == self._last_block_read:
-            blocks -= 1
-        if length > 0:
-            self._last_block_read = (offset + length - 1) // self.block_size
-        self.stats.record_read(length, blocks, sequential)
+        self.charge_read(offset, length)
         return data
 
     def append(self, data: bytes) -> int:

@@ -1,0 +1,432 @@
+"""Intra-job parallel execution tests: parity, resume, service knobs.
+
+The acceptance contract of the parallel layer is *bit-identical
+determinism*: for every worker count, backend and source kind, the
+sharded passes must reproduce the serial backends exactly — independent
+sets, per-round telemetry, oscillation fingerprints, ``on_round``
+checkpoint snapshots and modeled ``IOStats``.  Worker count is an
+execution property like ``backend``, so checkpoints written under one
+worker count must resume under any other.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, build_parser, main
+from repro.core.kernels import resolve_backend
+from repro.core.parallel import close_parallel_sessions, parallelize_kernel
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.plrg import plrg_graph_with_vertex_count
+from repro.pipeline.spec import BUILTIN_PIPELINES, RunSpec
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    SolverService,
+    cache_key,
+)
+from repro.service.cache import spec_key_fields
+from repro.storage.adjacency_file import AdjacencyFileReader, write_adjacency_file
+from repro.storage.binary_format import MemmapAdjacencySource
+from repro.storage.converters import adjacency_to_binary
+from repro.storage.scan import as_scan_source
+
+np = pytest.importorskip("numpy")
+
+
+@pytest.fixture(autouse=True)
+def _reap_worker_pools():
+    """Release cached worker pools after every test.
+
+    Cached sessions deliberately outlive a pass; tests must not leak
+    their worker processes (or shared-memory segments) into each other.
+    """
+
+    yield
+    close_parallel_sessions()
+
+
+def _graph(kind: str):
+    if kind == "gnm":
+        return erdos_renyi_gnm(1_200, 3_600, seed=7)
+    return plrg_graph_with_vertex_count(1_000, 2.1, seed=3)
+
+
+def _kernel(source, backend: str, workers: int):
+    kernel = resolve_backend(backend, source)
+    if workers > 1:
+        kernel = parallelize_kernel(kernel, workers)
+    return kernel
+
+
+def _run_greedy_one_k(graph, backend: str, workers: int):
+    source = as_scan_source(graph)
+    kernel = _kernel(source, backend, workers)
+    initial = kernel.greedy_pass(source)
+    snapshots = []
+    out = kernel.one_k_swap_pass(source, initial, None, on_round=snapshots.append)
+    return initial, out, snapshots, source.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Parity: serial vs sharded, across graphs × backends × worker counts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+@pytest.mark.parametrize("kind", ["gnm", "plrg"])
+def test_parity_in_memory(kind, backend, workers):
+    graph = _graph(kind)
+    serial = _run_greedy_one_k(graph, backend, 1)
+    parallel = _run_greedy_one_k(graph, backend, workers)
+    assert parallel[0] == serial[0], "greedy sets differ"
+    assert parallel[1] == serial[1], "one-k result tuples differ"
+    assert len(parallel[2]) == len(serial[2])
+    for got, want in zip(parallel[2], serial[2]):
+        assert got == want, "round checkpoint snapshots differ"
+    assert parallel[3] == serial[3], "modeled IOStats differ"
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parity_two_k(workers):
+    graph = erdos_renyi_gnm(800, 2_400, seed=5)
+    def run(w):
+        source = as_scan_source(graph)
+        kernel = _kernel(source, "numpy", w)
+        initial = kernel.greedy_pass(source)
+        out = kernel.two_k_swap_pass(source, initial, None, 64, 256)
+        return out, source.stats.as_dict()
+    serial = run(1)
+    parallel = run(workers)
+    assert parallel == serial
+
+
+@pytest.fixture(scope="module")
+def file_sources(tmp_path_factory):
+    graph = erdos_renyi_gnm(2_500, 8_000, seed=13)
+    root = tmp_path_factory.mktemp("parallel-sources")
+    text = str(root / "g.adj")
+    write_adjacency_file(graph, text).close()
+    binary = str(root / "g.csr1")
+    adjacency_to_binary(text, binary)
+    return text, binary
+
+
+@pytest.mark.parametrize("kind", ["text", "memmap"])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parity_semi_external(file_sources, kind, workers):
+    text, binary = file_sources
+
+    def run(w):
+        if kind == "text":
+            source = AdjacencyFileReader(text)
+        else:
+            source = MemmapAdjacencySource(binary)
+        try:
+            kernel = _kernel(source, "numpy", w)
+            initial = kernel.greedy_pass(source)
+            out = kernel.one_k_swap_pass(source, initial, None)
+            return initial, out, source.stats.as_dict()
+        finally:
+            close_parallel_sessions()
+            source.close()
+
+    assert run(workers) == run(1)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints carry across worker counts
+# ----------------------------------------------------------------------
+def test_cross_worker_count_resume():
+    graph = erdos_renyi_gnm(2_000, 6_000, seed=17)
+    source = as_scan_source(graph)
+    initial = resolve_backend("numpy", source).greedy_pass(source)
+
+    def snapshot_after_two_rounds(workers):
+        src = as_scan_source(graph)
+        snaps = []
+        _kernel(src, "numpy", workers).one_k_swap_pass(
+            src, initial, 2, on_round=snaps.append
+        )
+        return json.loads(json.dumps(snaps[-1]))
+
+    def finish(resume_state, workers):
+        src = as_scan_source(graph)
+        return _kernel(src, "numpy", workers).one_k_swap_pass(
+            src, frozenset(), None, resume=resume_state
+        )
+
+    snap_parallel = snapshot_after_two_rounds(4)
+    snap_serial = snapshot_after_two_rounds(1)
+    assert snap_parallel == snap_serial, "round-2 checkpoint states differ"
+
+    src = as_scan_source(graph)
+    uninterrupted = resolve_backend("numpy", src).one_k_swap_pass(src, initial, None)
+    # Written parallel, resumed serial — and the reverse.
+    assert finish(snap_parallel, 1) == uninterrupted
+    assert finish(snap_serial, 4) == uninterrupted
+
+
+def test_mid_round_kill_resume_drill_workers4(tmp_path, capsys):
+    """CLI drill: kill at every checkpoint write under ``--workers 4``."""
+
+    graph = erdos_renyi_gnm(900, 2_700, seed=23)
+    input_path = str(tmp_path / "g.adj")
+    write_adjacency_file(graph, input_path).close()
+    checkpoint = str(tmp_path / "drill.ck")
+
+    rc = main(
+        [
+            "solve",
+            input_path,
+            "--pipeline",
+            "one_k_swap",
+            "--backend",
+            "numpy",
+            "--workers",
+            "4",
+            "--checkpoint",
+            checkpoint,
+            "--interrupt-after",
+            "1",
+            "--json",
+        ]
+    )
+    capsys.readouterr()
+    assert rc == EXIT_INTERRUPTED
+    for _ in range(64):
+        rc = main(
+            [
+                "solve",
+                input_path,
+                "--pipeline",
+                "one_k_swap",
+                "--backend",
+                "numpy",
+                "--workers",
+                "4",
+                "--checkpoint",
+                checkpoint,
+                "--resume",
+                "--interrupt-after",
+                "1",
+                "--json",
+            ]
+        )
+        if rc == 0:
+            break
+        assert rc == EXIT_INTERRUPTED
+        capsys.readouterr()
+    assert rc == 0
+    drilled = json.loads(capsys.readouterr().out)
+
+    rc = main(
+        [
+            "solve",
+            input_path,
+            "--pipeline",
+            "one_k_swap",
+            "--backend",
+            "numpy",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    reference = json.loads(capsys.readouterr().out)
+    for field in ("size", "rounds", "sequential_scans", "random_vertex_lookups"):
+        assert drilled[field] == reference[field]
+
+
+# ----------------------------------------------------------------------
+# Run specs and the CLI runner
+# ----------------------------------------------------------------------
+def test_run_spec_workers_flow(tmp_path, capsys):
+    graph = erdos_renyi_gnm(600, 1_800, seed=29)
+    input_path = str(tmp_path / "g.adj")
+    write_adjacency_file(graph, input_path).close()
+
+    def run_with(workers):
+        config = tmp_path / f"run-w{workers}.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "pipeline": "one_k_swap",
+                    "input": input_path,
+                    "backend": "numpy",
+                    "workers": workers,
+                }
+            )
+        )
+        assert main(["run", "--config", str(config), "--json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    serial = run_with(1)
+    parallel = run_with(2)
+    for field in ("size", "rounds", "sequential_scans", "random_vertex_lookups"):
+        assert parallel[field] == serial[field]
+
+
+def test_run_spec_rejects_bad_workers():
+    from repro.errors import PipelineSpecError
+
+    with pytest.raises(PipelineSpecError):
+        RunSpec.from_json(
+            '{"pipeline": "greedy", "input": "g.adj", "workers": 0}'
+        )
+    with pytest.raises(PipelineSpecError):
+        RunSpec.from_json(
+            '{"pipeline": "greedy", "input": "g.adj", "workers": true}'
+        )
+
+
+# ----------------------------------------------------------------------
+# Result-cache key stability across the workers field's introduction
+# ----------------------------------------------------------------------
+def test_cache_key_stable_for_serial_specs():
+    """A ``workers=1`` spec must key exactly as before the field existed.
+
+    The serial default is omitted from the key fields, so service
+    directories populated by older daemons keep hitting their cache.
+    """
+
+    spec = RunSpec(pipeline=BUILTIN_PIPELINES["one_k_swap"], input="g.csr1")
+    digest = "csr1:feedfacefeedfacefeedfacefeedface"
+    fields = spec_key_fields(spec, digest)
+    assert set(fields) == {
+        "backend",
+        "input_digest",
+        "max_rounds",
+        "memory_limit_bytes",
+        "pipeline",
+    }
+    # The key of the identical pre-workers field dict, computed the way
+    # the cache computes it — byte-for-byte the old on-disk key.
+    import hashlib
+
+    legacy = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    expected = hashlib.blake2b(legacy.encode("utf-8"), digest_size=16).hexdigest()
+    assert cache_key(spec, digest) == expected
+
+
+def test_cache_key_distinguishes_parallel_specs():
+    digest = "csr1:feedfacefeedfacefeedfacefeedface"
+    serial = RunSpec(pipeline=BUILTIN_PIPELINES["greedy"], input="g.csr1")
+    parallel = RunSpec(
+        pipeline=BUILTIN_PIPELINES["greedy"], input="g.csr1", workers=4
+    )
+    assert spec_key_fields(parallel, digest)["workers"] == 4
+    assert cache_key(serial, digest) != cache_key(parallel, digest)
+
+
+# ----------------------------------------------------------------------
+# Service: hung-worker detection and the serve CLI knobs
+# ----------------------------------------------------------------------
+def _hang_forever(root, job_id):  # pragma: no cover - killed mid-sleep
+    time.sleep(600)
+
+
+def test_stale_heartbeat_kills_and_requeues(tmp_path, monkeypatch):
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("hang simulation needs fork start method")
+    graph = erdos_renyi_gnm(200, 600, seed=31)
+    input_path = str(tmp_path / "g.adj")
+    write_adjacency_file(graph, input_path).close()
+    root = str(tmp_path / "svc")
+    client = ServiceClient(root)
+    record = client.submit(
+        RunSpec(pipeline=BUILTIN_PIPELINES["greedy"], input=input_path)
+    )
+
+    # The forked worker inherits the patched target and never beats.
+    monkeypatch.setattr("repro.service.service.worker_main", _hang_forever)
+    service = SolverService(
+        root,
+        ServiceConfig(
+            workers=1,
+            poll_interval_seconds=0.02,
+            heartbeat_timeout_seconds=0.3,
+            max_restarts=0,
+        ),
+    )
+    try:
+        service.run_once()
+        assert client.status(record.job_id).state == "running"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            service.run_once()
+            if client.status(record.job_id).is_terminal():
+                break
+            time.sleep(0.05)
+        final = client.status(record.job_id)
+        assert final.state == "failed"
+        assert "hung" in (final.error or "")
+    finally:
+        service.stop()
+
+
+def test_heartbeat_timeout_spares_live_workers(tmp_path):
+    """An armed (generous) timeout never kills a job that makes progress."""
+
+    graph = erdos_renyi_gnm(300, 900, seed=37)
+    input_path = str(tmp_path / "g.adj")
+    write_adjacency_file(graph, input_path).close()
+    root = str(tmp_path / "svc")
+    client = ServiceClient(root)
+    record = client.submit(
+        RunSpec(
+            pipeline=BUILTIN_PIPELINES["one_k_swap"],
+            input=input_path,
+            backend="numpy",
+        )
+    )
+    service = SolverService(
+        root,
+        ServiceConfig(
+            workers=1, poll_interval_seconds=0.02, heartbeat_timeout_seconds=60.0
+        ),
+    )
+    try:
+        service.drain(timeout_seconds=120.0)
+    finally:
+        service.stop()
+    final = client.status(record.job_id)
+    assert final.state == "done", final.error
+    # Terminal bookkeeping removes the beat file.
+    assert not os.path.exists(service.store.heartbeat_path(record.job_id))
+
+
+def test_serve_accepts_job_workers_and_legacy_alias():
+    parser = build_parser()
+    modern = parser.parse_args(["serve", "svc", "--job-workers", "3"])
+    assert modern.job_workers == 3
+    legacy = parser.parse_args(["serve", "svc", "--workers", "5"])
+    assert legacy.job_workers == 5
+    armed = parser.parse_args(
+        ["serve", "svc", "--heartbeat-timeout-seconds", "2.5"]
+    )
+    assert armed.heartbeat_timeout_seconds == 2.5
+
+
+# ----------------------------------------------------------------------
+# Session cache lifecycle
+# ----------------------------------------------------------------------
+def test_close_parallel_sessions_releases_pools():
+    from repro.core.parallel import passes
+
+    graph = erdos_renyi_gnm(500, 1_500, seed=41)
+    source = as_scan_source(graph)
+    kernel = _kernel(source, "numpy", 2)
+    kernel.greedy_pass(source)
+    assert passes._SESSION_CACHE, "pass should leave a warm session"
+    procs = [
+        proc for session in passes._SESSION_CACHE.values()
+        for proc in session.pool._procs
+    ]
+    assert procs and all(proc.is_alive() for proc in procs)
+    close_parallel_sessions()
+    assert not passes._SESSION_CACHE
+    assert all(not proc.is_alive() for proc in procs)
