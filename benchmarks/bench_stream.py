@@ -1,0 +1,363 @@
+"""Streaming dynamic MIS throughput and drift harness.
+
+Measures the update path of :class:`repro.dynamic.DynamicMISMaintainer`:
+sustained updates/second of ``apply_updates`` for the scalar ``python``
+kernel backend versus the conflict-free ``numpy`` wave backend over the
+*same* mixed insert/delete stream, plus the solution-size drift of the
+maintained set against a recompute-from-scratch ``solve_mis`` run on
+the final graph.  Two graph families bracket the workload space: the
+paper's sparse PLRG model (most vertices selected — random updates are
+conflict-heavy and fall through to the scalar path) and a dense gnm
+model (a small selected fraction — almost every update is quiet and the
+waves commit in bulk).  The two
+backends are asserted to land on the identical selected set on every
+run, so the harness doubles as a cross-backend parity check.  The
+measurements go to ``BENCH_stream.json`` at the repository root; CI
+runs the ``--smoke`` configuration on every PR and the committed JSON
+records the full sweep (the paper-scale point is n = 1e6).
+
+Usage
+-----
+::
+
+    python benchmarks/bench_stream.py             # full sweep (default n=1e6)
+    python benchmarks/bench_stream.py --smoke     # tiny CI-friendly run
+    python benchmarks/bench_stream.py --sizes 10000,1000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import solve_mis  # noqa: E402
+from repro.core.kernels import available_backends  # noqa: E402
+from repro.dynamic import DynamicMISMaintainer  # noqa: E402
+from repro.graphs.generators import erdos_renyi_gnm  # noqa: E402
+from repro.graphs.plrg import plrg_graph_with_vertex_count  # noqa: E402
+
+DEFAULT_SIZES = (100_000, 1_000_000)
+SMOKE_SIZES = (2_000,)
+
+#: Updates per graph, scaled down for smoke runs.
+DEFAULT_UPDATES = 100_000
+SMOKE_UPDATES = 2_000
+
+
+def make_update_stream(
+    graph, count: int, seed: int, insert_fraction: float
+) -> List[Tuple[str, int, int]]:
+    """A reproducible mixed stream over the graph's own vertex range.
+
+    Insertions draw random (possibly already-present — a no-op under
+    ``exist_ok``) pairs; deletions draw from the original edge set so a
+    realistic share of them actually remove live edges and exercise the
+    re-saturation path.
+    """
+
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    edges = list(graph.iter_edges())
+    stream: List[Tuple[str, int, int]] = []
+    for _ in range(count):
+        if rng.random() < insert_fraction or not edges:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            while v == u:
+                v = rng.randrange(n)
+            stream.append(("+", u, v))
+        else:
+            u, v = edges[rng.randrange(len(edges))]
+            stream.append(("-", u, v))
+    return stream
+
+
+def run_stream(
+    graph,
+    stream: List[Tuple[str, int, int]],
+    backend: str,
+    batch_size: int,
+    pipeline: str,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """Drain the stream through one backend; returns timing plus the set.
+
+    The stream is deterministic, so repeats rebuild the maintainer and
+    replay it; ``apply_seconds`` is the best of ``repeats`` replays.
+    """
+
+    apply_seconds = None
+    for _ in range(max(1, repeats)):
+        maintainer = DynamicMISMaintainer(
+            graph, pipeline=pipeline, backend=backend
+        )
+        elapsed = 0.0
+        for start in range(0, len(stream), batch_size):
+            chunk = stream[start : start + batch_size]
+            insertions = [(u, v) for op, u, v in chunk if op == "+"]
+            deletions = [(u, v) for op, u, v in chunk if op == "-"]
+            begin = time.perf_counter()
+            maintainer.apply_updates(insertions, deletions)
+            elapsed += time.perf_counter() - begin
+        apply_seconds = elapsed if apply_seconds is None else min(
+            apply_seconds, elapsed
+        )
+    stats = maintainer.stats
+    return {
+        "backend": backend,
+        "apply_seconds": apply_seconds,
+        "updates_per_second": len(stream) / apply_seconds if apply_seconds else None,
+        "set_size": maintainer.size,
+        "selected": maintainer.independent_set,
+        "evictions": stats.evictions,
+        "insertions_applied": stats.edges_inserted,
+        "deletions_applied": stats.edges_deleted,
+        "maintainer": maintainer,
+    }
+
+
+def build_graph(family: str, size: int, beta: float, avg_degree: int, seed: int):
+    """One graph of the benchmark family.
+
+    ``plrg`` is the paper's sparse power-law model: most vertices end up
+    selected, so a random update stream is conflict-heavy and the wave
+    kernel degenerates towards the scalar path.  ``gnm`` is a denser
+    uniform graph whose selected set is a small fraction of the vertices:
+    almost every update is quiet and the waves commit in bulk.
+    """
+
+    if family == "plrg":
+        return plrg_graph_with_vertex_count(size, beta, seed=seed)
+    if family == "gnm":
+        return erdos_renyi_gnm(size, size * avg_degree // 2, seed=seed)
+    raise ValueError(f"unknown graph family {family!r}")
+
+
+def bench_size(
+    family: str,
+    size: int,
+    updates: int,
+    beta: float,
+    avg_degree: int,
+    seed: int,
+    batch_size: int,
+    insert_fraction: float,
+    pipeline: str,
+    python_max: int,
+    repeats: int,
+) -> List[Dict[str, object]]:
+    """All rows for one graph: per-backend throughput plus drift."""
+
+    graph = build_graph(family, size, beta, avg_degree, seed)
+    stream = make_update_stream(graph, updates, seed + 1, insert_fraction)
+
+    backends = [b for b in ("python", "numpy") if b in available_backends()]
+    if "numpy" not in backends:
+        backends = ["python"]
+    runs: Dict[str, Dict[str, object]] = {}
+    for backend in backends:
+        if backend == "python" and size > python_max:
+            continue
+        runs[backend] = run_stream(
+            graph, stream, backend, batch_size, pipeline, repeats=repeats
+        )
+
+    # Cross-backend parity: the wave kernel must land on the identical set.
+    selected_sets = {frozenset(run["selected"]) for run in runs.values()}
+    if len(selected_sets) > 1:
+        raise AssertionError(
+            f"backend parity violated at n={size}: selected sets differ"
+        )
+
+    # Drift: maintained set size vs. a from-scratch pipeline run on the
+    # final graph.  The maintainer is constructive (greedy + re-saturation),
+    # so the recompute (greedy + swap rounds) is the quality bar.
+    reference_run = next(iter(runs.values()))
+    final_graph = reference_run["maintainer"].to_graph()
+    recompute = solve_mis(final_graph, pipeline=pipeline)
+    recompute_size = len(recompute.independent_set)
+    maintained_size = reference_run["set_size"]
+    drift_pct = (
+        100.0 * (recompute_size - maintained_size) / recompute_size
+        if recompute_size
+        else 0.0
+    )
+
+    rows = []
+    for backend, run in runs.items():
+        rows.append(
+            {
+                "family": family,
+                "n": size,
+                "num_edges": graph.num_edges,
+                "updates": updates,
+                "batch_size": batch_size,
+                "backend": backend,
+                "apply_seconds": run["apply_seconds"],
+                "updates_per_second": run["updates_per_second"],
+                "set_size": run["set_size"],
+                "evictions": run["evictions"],
+                "insertions_applied": run["insertions_applied"],
+                "deletions_applied": run["deletions_applied"],
+                "recompute_set_size": recompute_size,
+                "drift_pct": drift_pct,
+            }
+        )
+    return rows
+
+
+def compute_speedups(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """numpy-over-python throughput ratio per graph family and size."""
+
+    by_key: Dict[Tuple[str, int], Dict[str, float]] = {}
+    for row in rows:
+        key = (row["family"], row["n"])
+        by_key.setdefault(key, {})[row["backend"]] = row["apply_seconds"]
+    speedups = {}
+    for (family, size), times in sorted(by_key.items()):
+        if "python" in times and "numpy" in times and times["numpy"]:
+            speedups[f"{family}/{size}"] = times["python"] / times["numpy"]
+    return speedups
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated vertex counts (default: 10^5,10^6)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny run for CI (n=2000)"
+    )
+    parser.add_argument(
+        "--updates", type=int, default=None, help="updates per graph"
+    )
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N stream replays per backend (default 3; smoke 1)",
+    )
+    parser.add_argument(
+        "--insert-fraction",
+        type=float,
+        default=0.7,
+        help="share of the stream that is edge insertions",
+    )
+    parser.add_argument(
+        "--families",
+        default="plrg,gnm",
+        help="comma-separated graph families (plrg: sparse/conflict-heavy, "
+        "gnm: dense/quiet-dominated)",
+    )
+    parser.add_argument("--beta", type=float, default=2.1, help="PLRG beta")
+    parser.add_argument(
+        "--avg-degree", type=int, default=20, help="gnm average degree"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pipeline", default="two_k_swap", help="recompute/seed pipeline"
+    )
+    parser.add_argument(
+        "--python-max",
+        type=int,
+        default=1_000_000,
+        help="skip the scalar backend above this vertex count",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_stream.json"),
+        help="path of the JSON report (default: BENCH_stream.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = list(SMOKE_SIZES)
+        updates = args.updates or SMOKE_UPDATES
+        repeats = args.repeats or 1
+    else:
+        sizes = (
+            [int(s) for s in args.sizes.split(",")]
+            if args.sizes
+            else list(DEFAULT_SIZES)
+        )
+        updates = args.updates or DEFAULT_UPDATES
+        repeats = args.repeats or 3
+
+    families = [f for f in args.families.split(",") if f]
+    rows: List[Dict[str, object]] = []
+    for family in families:
+        for size in sizes:
+            print(
+                f"{family} n={size:,}: {updates:,} updates "
+                f"(batch {args.batch_size}) ..."
+            )
+            size_rows = bench_size(
+                family,
+                size,
+                updates,
+                args.beta,
+                args.avg_degree,
+                args.seed,
+                args.batch_size,
+                args.insert_fraction,
+                args.pipeline,
+                args.python_max,
+                repeats,
+            )
+            rows.extend(size_rows)
+            for row in size_rows:
+                print(
+                    f"  {row['backend']:>7}: {row['updates_per_second']:>12,.0f} "
+                    f"updates/s  set={row['set_size']:,} "
+                    f"(recompute {row['recompute_set_size']:,}, "
+                    f"drift {row['drift_pct']:.2f}%)"
+                )
+
+    speedups = compute_speedups(rows)
+    report = {
+        "benchmark": "bench_stream",
+        "description": "Sustained apply_updates throughput of the dynamic MIS "
+        "maintainer per kernel backend (scalar python loop vs. conflict-free "
+        "numpy waves) over mixed update streams on two graph families — "
+        "sparse PLRG (conflict-heavy: most vertices are selected, so random "
+        "updates keep flipping flags through the scalar path) and dense gnm "
+        "(quiet-dominated: waves commit in bulk) — with the solution-size "
+        "drift of the maintained set against a recompute-from-scratch "
+        "solve_mis run on the final graph; speedups are "
+        "python-time / numpy-time.",
+        "config": {
+            "families": families,
+            "beta": args.beta,
+            "avg_degree": args.avg_degree,
+            "seed": args.seed,
+            "updates": updates,
+            "batch_size": args.batch_size,
+            "insert_fraction": args.insert_fraction,
+            "pipeline": args.pipeline,
+            "python_max": args.python_max,
+            "repeats": repeats,
+            "smoke": bool(args.smoke),
+            "backends": list(available_backends()),
+        },
+        "results": rows,
+        "speedups_numpy_over_python": speedups,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

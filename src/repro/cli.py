@@ -8,6 +8,10 @@ Sub-commands
 ``solve``
     Run one of the pipelines on an adjacency file (or generate a graph on
     the fly) and print the result summary.
+``watch``
+    Hold a graph open and keep its MIS valid over an edge-update stream
+    (``--updates FILE``): batched application, per-batch checkpoints, and
+    ``--resume`` for bit-identical recovery after a kill.
 ``compare``
     Run the semi-external pipelines next to the in-memory comparators
     (local search, DynamicUpdate) on one file — a Table 5/6-style
@@ -67,6 +71,7 @@ from repro.core.result import MISResult
 from repro.core.solver import PIPELINES
 from repro.errors import (
     CheckpointError,
+    GraphError,
     JobNotFoundError,
     JobStateError,
     MemoryBudgetError,
@@ -74,16 +79,23 @@ from repro.errors import (
     PipelineSpecError,
     ServiceError,
     StorageError,
+    StreamError,
 )
-from repro.pipeline.context import ExecutionContext, add_execution_arguments
+from repro.pipeline.context import (
+    ExecutionContext,
+    add_execution_arguments,
+    resolve_backend_request,
+)
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.spec import PipelineSpec, RunSpec, StageSpec, iter_run_specs
+from repro.pipeline.stream import StreamSession
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.graphs.generators import erdos_renyi_gnm
 from repro.graphs.graph import Graph
 from repro.graphs.plrg import PLRGParameters, plrg_graph
 from repro.reporting import format_bytes, format_table
 from repro.service import ServiceClient, ServiceConfig, SolverService
+from repro.service.cache import input_digest
 from repro.storage.adjacency_file import write_adjacency_file
 from repro.storage.binary_format import MemmapAdjacencySource
 from repro.storage.converters import (
@@ -165,6 +177,70 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical",
     )
     solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="hold a graph open and keep its MIS valid over an edge-update "
+        "stream",
+    )
+    watch.add_argument("input", help="path of a binary adjacency file")
+    watch.add_argument(
+        "--updates",
+        required=True,
+        metavar="FILE",
+        help="edge-update file: one '+ u v' (insert) or '- u v' (delete) "
+        "per line, '#' comments allowed",
+    )
+    watch.add_argument(
+        "--pipeline",
+        choices=sorted(PIPELINES),
+        default="two_k_swap",
+        help="pipeline used to compute the initial set (and for rebuilds)",
+    )
+    add_execution_arguments(watch)
+    watch.add_argument(
+        "--batch-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="updates applied (and checkpointed) per batch; bounds per-batch "
+        "latency",
+    )
+    watch.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fold the delta overlay back into fresh CSR arrays once it "
+        "holds N directed entries (default: never)",
+    )
+    watch.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a versioned checkpoint (maintainer state + stream "
+        "cursor) after every batch, making the session resumable",
+    )
+    watch.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed session from --checkpoint; the final set is "
+        "bit-identical to an uninterrupted run",
+    )
+    watch.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="testing/drill knob: exit with status 3 right after the N-th "
+        "checkpoint write",
+    )
+    watch.add_argument(
+        "--quiet", action="store_true", help="suppress the per-batch lines"
+    )
+    watch.add_argument(
+        "--json", action="store_true", help="emit the final summary as JSON"
+    )
 
     compare = subparsers.add_parser(
         "compare",
@@ -531,6 +607,82 @@ def _command_solve(args: argparse.Namespace) -> int:
         )
     finally:
         reader.close()
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.interrupt_after is not None and args.checkpoint is None:
+        print("--interrupt-after requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.interrupt_after is not None and args.interrupt_after < 1:
+        print("--interrupt-after must be >= 1 (checkpoint writes)", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.compact_threshold is not None and args.compact_threshold < 1:
+        print("--compact-threshold must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        reader = open_adjacency_source(args.input)
+    except (StorageError, OSError) as exc:
+        print(f"cannot open input {args.input!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        # The graph digest pins the checkpoint to this input's content:
+        # resuming against a different (or edited) graph is refused.
+        digest = input_digest(args.input)
+        ctx = ExecutionContext.create(
+            reader, backend=resolve_backend_request(args.backend)
+        )
+        session = StreamSession(
+            ctx.materialize_graph(),
+            args.updates,
+            graph_digest=digest,
+            pipeline=args.pipeline,
+            backend=resolve_backend_request(args.backend),
+            batch_size=args.batch_size,
+            compact_threshold=args.compact_threshold,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            interrupt_after=args.interrupt_after,
+        )
+        total = session.total_batches
+        for report in session.process():
+            if not args.quiet and not args.json:
+                compacted = ", compacted" if report.compacted else ""
+                print(
+                    f"batch {report.batch_index + 1}/{total}: "
+                    f"+{report.insertions}/-{report.deletions}, "
+                    f"set={report.set_size}, "
+                    f"overlay={report.overlay_size}{compacted}"
+                )
+    except PipelineInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (StreamError, GraphError, CheckpointError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        reader.close()
+    summary = session.result()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        stats = summary["stats"]
+        print(f"pipeline        : {summary['pipeline']}")
+        print(f"batches         : {summary['batches_applied']}")
+        print(
+            f"updates         : +{stats['edges_inserted']}"
+            f"/-{stats['edges_deleted']}"
+        )
+        print(f"evictions       : {stats['evictions']}")
+        print(f"compactions     : {stats['compactions']}")
+        print(f"final set size  : {summary['set_size']}")
+        print(f"elapsed seconds : {summary['elapsed_seconds']:.3f}")
+    return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -1061,6 +1213,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _command_generate,
         "solve": _command_solve,
+        "watch": _command_watch,
         "compare": _command_compare,
         "run": _command_run,
         "bound": _command_bound,

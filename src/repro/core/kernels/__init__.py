@@ -15,6 +15,7 @@ from repro.core.kernels.base import (
     register_backend,
     resolve_backend,
     resolve_graph_backend,
+    resolve_maintainer_backend,
     set_default_backend,
 )
 from repro.core.kernels.python_backend import PythonBackend
@@ -37,5 +38,6 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "resolve_graph_backend",
+    "resolve_maintainer_backend",
     "set_default_backend",
 ]

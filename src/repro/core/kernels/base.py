@@ -52,6 +52,7 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "resolve_graph_backend",
+    "resolve_maintainer_backend",
     "set_default_backend",
 ]
 
@@ -144,6 +145,20 @@ class KernelBackend(abc.ABC):
 
         return True
 
+    def supports_maintainer(self, maintainer) -> bool:
+        """Whether this backend can apply update batches to ``maintainer``.
+
+        The streaming update path (:meth:`dynamic_apply_pass`) mutates the
+        flat state arrays of a
+        :class:`~repro.dynamic.maintainer.DynamicMISMaintainer` in place;
+        a backend that requires a specific array representation (the
+        numpy backend needs ndarray state) reports it here and
+        :func:`resolve_maintainer_backend` falls back to the scalar
+        reference.
+        """
+
+        return True
+
     @abc.abstractmethod
     def greedy_pass(self, source) -> FrozenSet[int]:
         """Algorithm 1: one sequential scan, returns the independent set."""
@@ -228,6 +243,23 @@ class KernelBackend(abc.ABC):
         changed are skipped).  Vertices whose degree *drops to* the round's
         degree mid-round wait for a later round.  Returns the selection
         sequence, which is bit-identical across backends.
+        """
+
+    @abc.abstractmethod
+    def dynamic_apply_pass(self, maintainer, insertions, deletions) -> None:
+        """Apply one normalised update batch to a dynamic MIS maintainer.
+
+        ``insertions`` and ``deletions`` are lists of ``(u, v)`` int pairs
+        already validated and deduplicated by
+        :meth:`~repro.dynamic.maintainer.DynamicMISMaintainer.apply_updates`;
+        the pass mutates the maintainer in place with exactly the per-edge
+        semantics of ``insert_edge`` / ``delete_edge``, every insertion
+        first.  The python backend is the scalar reference; the numpy
+        backend processes conflict-free sub-batches as vectorized waves
+        and falls back to the scalar path at every update that changes a
+        selection flag.  The resulting selected set, tightness array,
+        selection sequence and drift counters are bit-identical across
+        backends.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -327,5 +359,21 @@ def resolve_graph_backend(name: Optional[str], graph) -> KernelBackend:
 
     backend = get_backend(name)
     if not backend.supports_graph(graph):
+        return _REGISTRY["python"]
+    return backend
+
+
+def resolve_maintainer_backend(name: Optional[str], maintainer) -> KernelBackend:
+    """Pick the backend that will apply update batches to ``maintainer``.
+
+    Mirrors :func:`resolve_graph_backend` for the streaming dynamic-MIS
+    path: when the requested backend cannot operate on the maintainer's
+    state arrays (per :meth:`KernelBackend.supports_maintainer`), the
+    scalar ``python`` reference runs instead — the results are
+    bit-identical either way.
+    """
+
+    backend = get_backend(name)
+    if not backend.supports_maintainer(maintainer):
         return _REGISTRY["python"]
     return backend

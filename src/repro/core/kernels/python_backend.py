@@ -736,6 +736,18 @@ class PythonBackend(KernelBackend):
             cursor = round_min
         return tuple(selection)
 
+    def dynamic_apply_pass(self, maintainer, insertions, deletions) -> None:
+        """Scalar reference: apply every update with the per-edge methods.
+
+        This is exactly the pre-refactor ``apply_updates`` loop and the
+        parity ground truth for the numpy backend's vectorized waves.
+        """
+
+        for u, v in insertions:
+            maintainer.insert_edge(u, v)
+        for u, v in deletions:
+            maintainer.delete_edge(u, v)
+
 
 def _csr_lists(graph) -> Tuple[List[int], List[int]]:
     """The graph's CSR arrays as plain Python lists (fast scalar indexing)."""

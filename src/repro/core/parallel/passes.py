@@ -333,6 +333,14 @@ class ParallelKernel(KernelBackend):
     def dynamic_update_pass(self, *args, **kwargs):
         return self._delegate.dynamic_update_pass(*args, **kwargs)
 
+    def supports_maintainer(self, maintainer) -> bool:
+        return self._delegate.supports_maintainer(maintainer)
+
+    def dynamic_apply_pass(self, *args, **kwargs):
+        # Update application is inherently serial state maintenance; the
+        # sharded passes add nothing, so it rides the delegate unchanged.
+        return self._delegate.dynamic_apply_pass(*args, **kwargs)
+
     # ------------------------------------------------------------------
     # Algorithm 1: greedy (wave-iterated fixpoint)
     # ------------------------------------------------------------------

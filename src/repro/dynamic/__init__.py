@@ -2,11 +2,16 @@
 
 The paper's conclusion lists "incremental massive graphs with frequent
 updates" as the main direction for future work.  This sub-package provides
-a prototype of that direction: :class:`DynamicMISMaintainer` keeps a
-maximal independent set valid across edge insertions, edge deletions and
-vertex arrivals, repairing locally after each update and exposing a
-``rebuild`` hook that re-runs the swap pipelines when the accumulated
-drift warrants it.
+that direction: :class:`DynamicMISMaintainer` keeps a maximal
+independent set valid across edge insertions/deletions, vertex arrivals
+and vertex deletions, repairing locally after each update.  Batched
+updates (``apply_updates``) dispatch through the kernel-backend registry
+— scalar python reference or conflict-free numpy waves, bit-identical —
+and the delta overlay compacts back into fresh CSR base arrays past
+``compact_threshold``.  A ``rebuild`` hook re-runs the swap pipelines
+when the accumulated drift warrants it, and
+:class:`repro.pipeline.stream.StreamSession` turns the maintainer into a
+checkpointed streaming session (``repro-mis watch``).
 """
 
 from repro.dynamic.maintainer import DynamicMISMaintainer, UpdateStats

@@ -28,11 +28,22 @@ Update rules:
 ``delete_edge(u, v)``
     If the deletion leaves an unselected endpoint with no selected
     neighbour, it is added.
-``add_vertex()``
-    A fresh isolated vertex is always added to the set.
+``add_vertex()`` / ``delete_vertex(v)``
+    A fresh isolated vertex always joins the set; deleting a vertex
+    detaches its incident edges and re-saturates its neighbourhood.
 ``apply_updates(insertions, deletions)``
-    Bulk form for update streams: applies every insertion, then every
-    deletion, each with exactly the per-edge semantics above.
+    Bulk form for update streams: dedupes each batch, applies every
+    insertion, then every deletion, each with exactly the per-edge
+    semantics above.  The per-update logic is dispatched through the
+    kernel-backend registry: the ``python`` backend is the scalar
+    reference loop, the ``numpy`` backend commits conflict-free spans of
+    the batch as vectorized waves with bit-identical results.  Every
+    selection change is appended to :attr:`journal` as ``("select" |
+    "unselect", vertex)``.
+``compact()``
+    Fold the delta overlay back into fresh CSR base arrays once it grows
+    past ``compact_threshold`` (checked after every ``apply_updates``
+    batch); the selected set and all counters are untouched.
 ``rebuild(pipeline=...)``
     Recompute the set from scratch with any of the library pipelines —
     the counterpart of the paper's periodic swap passes — and reset the
@@ -42,11 +53,12 @@ Update rules:
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.core.kernels import resolve_maintainer_backend
 from repro.core.solver import solve_mis
-from repro.errors import GraphError, SolverError
+from repro.errors import DuplicateEdgeError, GraphError, SolverError, VertexError
 from repro.graphs.graph import Graph
 
 try:  # pragma: no cover - exercised implicitly on every import
@@ -64,9 +76,11 @@ class UpdateStats:
     edges_inserted: int = 0
     edges_deleted: int = 0
     vertices_added: int = 0
+    vertices_deleted: int = 0
     evictions: int = 0
     additions: int = 0
     rebuilds: int = 0
+    compactions: int = 0
 
 
 class DynamicMISMaintainer:
@@ -77,9 +91,16 @@ class DynamicMISMaintainer:
         graph: Optional[Graph] = None,
         initial: Optional[Iterable[int]] = None,
         pipeline: str = "two_k_swap",
+        backend: Optional[str] = None,
+        compact_threshold: Optional[int] = None,
     ) -> None:
         self._pipeline = pipeline
+        self._backend = backend
+        self.compact_threshold = compact_threshold
         self.stats = UpdateStats()
+        #: Ordered record of every selection change as ("select" |
+        #: "unselect", vertex); parity tests compare it across backends.
+        self.journal: List[Tuple[str, int]] = []
         # Immutable CSR base (the initial graph) + per-vertex delta overlay.
         self._base_offsets = None
         self._base_targets = None
@@ -125,6 +146,9 @@ class DynamicMISMaintainer:
                 if self._tight[v]:
                     raise SolverError("the initial set is not independent")
             self._saturate(range(self._base_n))
+            # The journal records the *update stream*; construction-time
+            # saturation is part of the initial state, not an update.
+            self.journal.clear()
 
     # ------------------------------------------------------------------
     # Flat-array plumbing
@@ -381,11 +405,13 @@ class DynamicMISMaintainer:
         for u in self._neighbors(vertex):
             self._tight[u] += 1
         self.stats.additions += 1
+        self.journal.append(("select", vertex))
 
     def _unselect(self, vertex: int) -> None:
         self._selected[vertex] = False
         for u in self._neighbors(vertex):
             self._tight[u] -= 1
+        self.journal.append(("unselect", vertex))
 
     def add_vertex(self) -> int:
         """Add an isolated vertex; it immediately joins the independent set."""
@@ -396,8 +422,12 @@ class DynamicMISMaintainer:
         self.stats.vertices_added += 1
         return vertex
 
-    def insert_edge(self, u: int, v: int) -> None:
-        """Insert the undirected edge ``{u, v}``, creating vertices as needed."""
+    def insert_edge(self, u: int, v: int, *, exist_ok: bool = True) -> None:
+        """Insert the undirected edge ``{u, v}``, creating vertices as needed.
+
+        Inserting an edge that already exists is a no-op by default; with
+        ``exist_ok=False`` it raises :class:`DuplicateEdgeError` instead.
+        """
 
         if u == v:
             raise GraphError("self loops are not allowed")
@@ -411,7 +441,9 @@ class DynamicMISMaintainer:
             if not self._selected[vertex] and not self._tight[vertex]:
                 self._select(vertex)
         if self._has_edge(u, v):
-            return
+            if exist_ok:
+                return
+            raise DuplicateEdgeError(u, v)
         self._apply_edge_insert(u, v)
         self.stats.edges_inserted += 1
 
@@ -455,27 +487,106 @@ class DynamicMISMaintainer:
         self.stats.edges_deleted += 1
         self._saturate((u, v))
 
+    def delete_vertex(self, vertex: int) -> None:
+        """Delete ``vertex`` and its incident edges from the graph.
+
+        The vertex leaves the set if it was selected, and its former
+        neighbourhood is re-saturated (any neighbour left without a
+        selected neighbour is added back greedily, smallest degree
+        first).  Raises :class:`VertexError` for unknown vertices.
+        """
+
+        if vertex < 0:
+            raise GraphError("vertex ids must be non-negative")
+        if vertex >= self._capacity or not self._present[vertex]:
+            raise VertexError(vertex, self._max_id + 1)
+        neighbors = self._neighbors(vertex)
+        if self._selected[vertex]:
+            self._unselect(vertex)
+        for u in neighbors:
+            for a, b in ((u, vertex), (vertex, u)):
+                added = self._added.get(a)
+                if added and b in added:
+                    added.discard(b)
+                else:
+                    self._removed.setdefault(a, set()).add(b)
+            self._degree[u] -= 1
+        self._degree[vertex] = 0
+        self._tight[vertex] = 0
+        self._present[vertex] = False
+        self._num_present -= 1
+        self._num_edges -= len(neighbors)
+        self.stats.edges_deleted += len(neighbors)
+        self.stats.vertices_deleted += 1
+        self._saturate(neighbors)
+
+    @staticmethod
+    def _normalize_updates(
+        updates: Iterable[Tuple[int, int]], *, strict: bool
+    ) -> List[Tuple[int, int]]:
+        """Coerce, validate and dedupe one side of an update batch.
+
+        Duplicates of the same undirected edge keep only the first
+        occurrence in its original orientation (orientation feeds the
+        eviction tie-break).  ``strict`` mirrors the per-edge methods:
+        insertions raise on malformed pairs, deletions drop them as
+        no-ops.
+        """
+
+        if hasattr(updates, "tolist"):
+            updates = updates.tolist()
+        seen: Set[Tuple[int, int]] = set()
+        normalized: List[Tuple[int, int]] = []
+        for pair in updates:
+            u, v = int(pair[0]), int(pair[1])
+            if u == v:
+                if strict:
+                    raise GraphError("self loops are not allowed")
+                continue
+            if u < 0 or v < 0:
+                if strict:
+                    raise GraphError("vertex ids must be non-negative")
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            normalized.append((u, v))
+        return normalized
+
     def apply_updates(
         self,
         insertions: Iterable[Tuple[int, int]] = (),
         deletions: Iterable[Tuple[int, int]] = (),
+        *,
+        exist_ok: bool = True,
     ) -> UpdateStats:
         """Apply a bulk update stream: every insertion, then every deletion.
 
         Accepts any iterable of ``(u, v)`` pairs — including ``(m, 2)``
-        integer ndarrays — and applies each update with exactly the
-        per-edge semantics of :meth:`insert_edge` / :meth:`delete_edge`.
-        Returns the (cumulative) :class:`UpdateStats`.
+        integer ndarrays.  Each batch side is deduplicated first (repeats
+        of the same undirected edge keep the first occurrence only), then
+        handed to the kernel backend's ``dynamic_apply_pass``, which
+        applies each update with exactly the per-edge semantics of
+        :meth:`insert_edge` / :meth:`delete_edge`.  With
+        ``exist_ok=False`` an insertion that duplicates an existing edge
+        raises :class:`DuplicateEdgeError` before anything is applied,
+        matching :meth:`insert_edge`'s single-edge strict mode.  Returns
+        the (cumulative) :class:`UpdateStats`.
         """
 
-        if hasattr(insertions, "tolist"):
-            insertions = insertions.tolist()
-        if hasattr(deletions, "tolist"):
-            deletions = deletions.tolist()
-        for u, v in insertions:
-            self.insert_edge(int(u), int(v))
-        for u, v in deletions:
-            self.delete_edge(int(u), int(v))
+        insertions = self._normalize_updates(insertions, strict=True)
+        deletions = self._normalize_updates(deletions, strict=False)
+        if not exist_ok:
+            # Deletions run after insertions and duplicates are gone, so
+            # checking against the pre-batch graph is exactly the moment
+            # insert_edge would have seen each edge.
+            for u, v in insertions:
+                if self._has_edge(u, v):
+                    raise DuplicateEdgeError(u, v)
+        backend = resolve_maintainer_backend(self._backend, self)
+        backend.dynamic_apply_pass(self, insertions, deletions)
+        self._maybe_compact()
         return self.stats
 
     def rebuild(self, pipeline: Optional[str] = None) -> None:
@@ -496,6 +607,140 @@ class DynamicMISMaintainer:
         self._recompute_tightness()
         self._saturate(self._present_ids())
         self.stats.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    @property
+    def overlay_size(self) -> int:
+        """Number of directed entries in the delta overlay."""
+
+        return sum(len(s) for s in self._added.values()) + sum(
+            len(s) for s in self._removed.values()
+        )
+
+    def compact(self) -> None:
+        """Fold the delta overlay back into fresh CSR base arrays.
+
+        Compaction only rewrites the adjacency representation: the
+        selected set, tightness, degree and presence arrays — and hence
+        every future update decision — are untouched.  Afterwards the
+        overlay is empty and per-vertex neighbour scans are pure CSR
+        slices again.
+        """
+
+        graph = self.to_graph()
+        self._base_offsets, self._base_targets = graph.csr_arrays()
+        self._base_n = graph.num_vertices
+        self._added.clear()
+        self._removed.clear()
+        self.stats.compactions += 1
+
+    def _maybe_compact(self) -> None:
+        if (
+            self.compact_threshold is not None
+            and self.overlay_size >= self.compact_threshold
+        ):
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # Checkpoint state
+    # ------------------------------------------------------------------
+    def base_arrays(self) -> Tuple[Any, Any]:
+        """The immutable CSR base ``(offsets, targets)`` arrays."""
+
+        if self._base_offsets is None:
+            offsets, targets = Graph(0, []).csr_arrays()
+            return offsets, targets
+        return self._base_offsets, self._base_targets
+
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable maintainer state (without the CSR base).
+
+        Together with :meth:`base_arrays` this captures the full state:
+        :meth:`from_state` rebuilds an identical maintainer — degrees and
+        tightness are recomputed deterministically from the adjacency and
+        selection, so only flags, overlays and counters are stored.
+        """
+
+        absent = [
+            v for v in range(self._max_id + 1)
+            if not (v < self._capacity and self._present[v])
+        ]
+        return {
+            "pipeline": self._pipeline,
+            "max_id": self._max_id,
+            "num_present": self._num_present,
+            "num_edges": self._num_edges,
+            "selected": self._selected_ids(),
+            "absent": absent,
+            "added": sorted(
+                (u, v)
+                for u, neighbors in self._added.items()
+                for v in neighbors
+                if u < v
+            ),
+            "removed": sorted(
+                (u, v)
+                for u, neighbors in self._removed.items()
+                for v in neighbors
+                if u < v
+            ),
+            "stats": asdict(self.stats),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        payload: Dict[str, Any],
+        base_offsets,
+        base_targets,
+        *,
+        backend: Optional[str] = None,
+        compact_threshold: Optional[int] = None,
+    ) -> "DynamicMISMaintainer":
+        """Rebuild a maintainer from :meth:`state_payload` + CSR base."""
+
+        maintainer = cls(
+            pipeline=payload["pipeline"],
+            backend=backend,
+            compact_threshold=compact_threshold,
+        )
+        maintainer._base_offsets = base_offsets
+        maintainer._base_targets = base_targets
+        maintainer._base_n = len(base_offsets) - 1
+        max_id = int(payload["max_id"])
+        maintainer._max_id = max_id
+        maintainer._num_present = int(payload["num_present"])
+        maintainer._num_edges = int(payload["num_edges"])
+        maintainer._grow(max_id + 1)
+        if _np is not None and isinstance(maintainer._present, _np.ndarray):
+            maintainer._present[: max_id + 1] = True
+            base_n = maintainer._base_n
+            if base_n and isinstance(base_offsets, _np.ndarray):
+                maintainer._degree[:base_n] = _np.diff(base_offsets)
+        else:
+            for v in range(max_id + 1):
+                maintainer._present[v] = True
+            for v in range(maintainer._base_n):
+                maintainer._degree[v] = base_offsets[v + 1] - base_offsets[v]
+        for v in payload["absent"]:
+            maintainer._present[v] = False
+        for u, v in payload["added"]:
+            maintainer._added.setdefault(u, set()).add(v)
+            maintainer._added.setdefault(v, set()).add(u)
+        for u, v in payload["removed"]:
+            maintainer._removed.setdefault(u, set()).add(v)
+            maintainer._removed.setdefault(v, set()).add(u)
+        for u, neighbors in maintainer._added.items():
+            maintainer._degree[u] += len(neighbors)
+        for u, neighbors in maintainer._removed.items():
+            maintainer._degree[u] -= len(neighbors)
+        for v in payload["selected"]:
+            maintainer._selected[v] = True
+        maintainer._recompute_tightness()
+        maintainer.stats = UpdateStats(**payload["stats"])
+        return maintainer
 
     # ------------------------------------------------------------------
     # Internals

@@ -28,6 +28,19 @@ class VertexError(GraphError):
         self.num_vertices = num_vertices
 
 
+class DuplicateEdgeError(GraphError):
+    """Raised when an edge insert targets an edge that already exists.
+
+    Only raised in strict mode (``exist_ok=False``) — the default update
+    semantics treat a duplicate insert as a no-op.  Carries the edge so
+    stream processors can report the offending update.
+    """
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge {{{u}, {v}}} already exists in the graph")
+        self.edge = (u, v)
+
+
 class StorageError(ReproError):
     """Raised when the semi-external storage layer encounters bad data."""
 
@@ -111,6 +124,15 @@ class PipelineInterrupted(SolverError):
     ``repro-mis solve --interrupt-after N`` (and the crash-resume tests)
     use this to simulate a killed run right after the N-th checkpoint
     write; the checkpoint file on disk is complete and resumable.
+    """
+
+
+class StreamError(SolverError):
+    """Raised when a stream session is misconfigured or cannot resume.
+
+    Covers malformed update files, checkpoint pins that do not match the
+    resuming session (different graph, update stream or batch size), and
+    stream checkpoints from an incompatible stream-format version.
     """
 
 

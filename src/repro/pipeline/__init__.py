@@ -7,7 +7,9 @@ The execution spine of the system: declarative pipeline specs
 (:mod:`repro.pipeline.engine`), which also provides versioned
 checkpoint/resume for long semi-external runs.  The solver facade, the
 CLI commands and the benchmark harness are all thin layers over this
-package.
+package.  :mod:`repro.pipeline.stream` adds streaming sessions that keep
+a dynamic MIS valid over edge-update files with the same
+checkpoint/resume guarantees.
 """
 
 from repro.pipeline.context import (
@@ -24,9 +26,11 @@ from repro.pipeline.stages import (
     get_stage,
     register_stage,
 )
+from repro.pipeline.stream import BatchReport, StreamSession
 
 __all__ = [
     "BUILTIN_PIPELINES",
+    "BatchReport",
     "ExecutionContext",
     "PipelineEngine",
     "PipelineSpec",
@@ -34,6 +38,7 @@ __all__ = [
     "Stage",
     "StageReport",
     "StageSpec",
+    "StreamSession",
     "add_execution_arguments",
     "available_stages",
     "get_stage",

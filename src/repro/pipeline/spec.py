@@ -198,6 +198,13 @@ class RunSpec:
     resume: bool = False
     checkpoint_every_seconds: Optional[float] = None
     workers: int = 1
+    #: Streaming runs: an edge-update file turns the run into a stream
+    #: session (the maintained dynamic MIS consumes the updates in
+    #: ``batch_size`` batches, compacting its overlay at
+    #: ``compact_threshold``).
+    updates: Optional[str] = None
+    batch_size: Optional[int] = None
+    compact_threshold: Optional[int] = None
 
     @classmethod
     def from_dict(cls, payload) -> "RunSpec":
@@ -260,6 +267,21 @@ class RunSpec:
             raise PipelineSpecError("run spec 'workers' must be an integer")
         if workers < 1:
             raise PipelineSpecError("run spec 'workers' must be >= 1")
+        updates = payload.get("updates")
+        if updates is not None and not isinstance(updates, str):
+            raise PipelineSpecError("run spec 'updates' must be a path or null")
+        batch_size = _optional_int(payload, "batch_size", "run spec")
+        if batch_size is not None and batch_size < 1:
+            raise PipelineSpecError("run spec 'batch_size' must be >= 1")
+        compact_threshold = _optional_int(payload, "compact_threshold", "run spec")
+        if compact_threshold is not None and compact_threshold < 1:
+            raise PipelineSpecError("run spec 'compact_threshold' must be >= 1")
+        if updates is None and (
+            batch_size is not None or compact_threshold is not None
+        ):
+            raise PipelineSpecError(
+                "run spec 'batch_size'/'compact_threshold' require 'updates'"
+            )
         # Sweep knobs of the Two-k-swap heuristic (paper Section 5.2): the
         # run-spec level is the convenient place to sweep them, but the
         # stage options are where they act — fold them in here so the
@@ -287,6 +309,9 @@ class RunSpec:
             "max_pairs_per_key",
             "max_partner_checks",
             "workers",
+            "updates",
+            "batch_size",
+            "compact_threshold",
         }
         if unknown:
             raise PipelineSpecError(
@@ -304,6 +329,9 @@ class RunSpec:
             resume=resume,
             checkpoint_every_seconds=every,
             workers=workers,
+            updates=updates,
+            batch_size=batch_size,
+            compact_threshold=compact_threshold,
         )
 
     @classmethod
@@ -334,6 +362,9 @@ class RunSpec:
             "resume": self.resume,
             "checkpoint_every_seconds": self.checkpoint_every_seconds,
             "workers": self.workers,
+            "updates": self.updates,
+            "batch_size": self.batch_size,
+            "compact_threshold": self.compact_threshold,
         }
 
 

@@ -1,0 +1,349 @@
+"""Streaming dynamic MIS sessions over edge-update files.
+
+A :class:`StreamSession` holds one graph open, consumes an update stream
+in fixed-size batches and keeps the maintained independent set valid
+after every batch (the :mod:`repro.dynamic` maintainer preserves
+independence and maximality per update; the kernel backend decides
+whether the batch is applied as a scalar loop or as vectorized waves).
+Per-batch latency is bounded by the batch size — the session never holds
+more than one batch of updates in flight.
+
+Update files are plain text, one update per line::
+
+    # comments and blank lines are skipped
+    + 12 57       # insert edge {12, 57}
+    - 3 9         # delete edge {3, 9}
+
+Within a batch every insertion is applied before every deletion; this is
+part of the stream semantics and keeps a batch's outcome independent of
+line interleaving inside it.
+
+Crash recovery mirrors the pipeline engine: after every batch the
+session writes a versioned checkpoint (maintainer state + stream cursor)
+through :mod:`repro.storage.checkpoint`.  The header pins the graph
+digest, the update-file digest, the batch size and the pipeline, so a
+resumed session provably continues *the same* stream — any mismatch
+raises :class:`~repro.errors.StreamError`.  Because the cursor advances
+in whole batches and every update is deterministic, a session SIGKILLed
+at any point resumes to a final set bit-identical to an uninterrupted
+run.  The immutable CSR base is pre-encoded once per compaction and
+spliced into every checkpoint verbatim, so steady-state checkpoint cost
+is proportional to the (small) overlay and selection state, not the
+graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PipelineInterrupted, StreamError
+from repro.storage.checkpoint import (
+    EncodedSection,
+    encode_section,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+try:  # pragma: no cover - exercised implicitly on every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+__all__ = [
+    "STREAM_VERSION",
+    "BatchReport",
+    "StreamSession",
+    "load_updates",
+    "updates_digest",
+]
+
+#: Stream checkpoint layout version, pinned in every checkpoint.  Bump on
+#: any change to the pinned fields or the state payload; older stream
+#: checkpoints then fail with :class:`StreamError` instead of resuming
+#: into a different stream semantics.
+STREAM_VERSION = 1
+
+
+def _maintainer_cls():
+    # Imported lazily: repro.dynamic sits above repro.core.solver, which
+    # itself imports this package for the pipeline registry.
+    from repro.dynamic.maintainer import DynamicMISMaintainer
+
+    return DynamicMISMaintainer
+
+
+def load_updates(path: str) -> List[Tuple[str, int, int]]:
+    """Parse an update file into ``(op, u, v)`` triples.
+
+    ``op`` is ``"+"`` (insert) or ``"-"`` (delete).  Raises
+    :class:`StreamError` naming the offending line for anything
+    malformed.
+    """
+
+    updates: List[Tuple[str, int, int]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise StreamError(f"cannot read update file {path!r}: {exc}") from None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[0] not in ("+", "-"):
+            raise StreamError(
+                f"{path}:{lineno}: expected '+ u v' or '- u v', got {raw.strip()!r}"
+            )
+        try:
+            u, v = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise StreamError(
+                f"{path}:{lineno}: vertex ids must be integers, got {raw.strip()!r}"
+            ) from None
+        updates.append((parts[0], u, v))
+    return updates
+
+
+def updates_digest(path: str) -> str:
+    """BLAKE2b digest of an update file's bytes (the stream identity)."""
+
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Telemetry for one applied update batch."""
+
+    batch_index: int
+    insertions: int
+    deletions: int
+    set_size: int
+    overlay_size: int
+    compacted: bool
+    elapsed_seconds: float
+
+    def summary(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class StreamSession:
+    """Hold a graph open and keep its MIS valid across an update stream."""
+
+    def __init__(
+        self,
+        graph,
+        updates_path: str,
+        *,
+        graph_digest: Optional[str] = None,
+        pipeline: str = "two_k_swap",
+        backend: Optional[str] = None,
+        batch_size: int = 1024,
+        compact_threshold: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        interrupt_after: Optional[int] = None,
+        progress: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise StreamError("batch size must be at least 1")
+        self._updates = load_updates(updates_path)
+        self._updates_digest = updates_digest(updates_path)
+        self._graph_digest = graph_digest
+        self._pipeline = pipeline
+        self._backend = backend
+        self._batch_size = batch_size
+        self._compact_threshold = compact_threshold
+        self._checkpoint = checkpoint
+        self._interrupt_after = interrupt_after
+        self._progress = progress
+        self._cursor = 0
+        self._writes = 0
+        self._elapsed = 0.0
+        self._base_section: Optional[EncodedSection] = None
+
+        if resume and checkpoint and os.path.exists(checkpoint):
+            self._maintainer = self._restore(checkpoint)
+        else:
+            self._maintainer = _maintainer_cls()(
+                graph,
+                pipeline=pipeline,
+                backend=backend,
+                compact_threshold=compact_threshold,
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _pins(self) -> Dict[str, Any]:
+        return {
+            "stream_version": STREAM_VERSION,
+            "graph_digest": self._graph_digest,
+            "updates_digest": self._updates_digest,
+            "update_count": len(self._updates),
+            "batch_size": self._batch_size,
+            "pipeline": self._pipeline,
+            "compact_threshold": self._compact_threshold,
+        }
+
+    def _encode_base(self) -> EncodedSection:
+        offsets, targets = self._maintainer.base_arrays()
+        if hasattr(offsets, "tolist"):
+            offsets = offsets.tolist()
+        if hasattr(targets, "tolist"):
+            targets = targets.tolist()
+        return encode_section(
+            {"offsets": list(offsets), "targets": list(targets)}, base_offset=0
+        )
+
+    def _write_checkpoint(self) -> None:
+        if self._base_section is None:
+            self._base_section = self._encode_base()
+        payload = {
+            "cursor": self._cursor,
+            "pins": self._pins(),
+            "state": self._maintainer.state_payload(),
+        }
+        # "base" sorts before every array-bearing payload key ("state"),
+        # so the spliced document is byte-identical to a plain write.
+        write_checkpoint(
+            self._checkpoint, payload, sections={"base": self._base_section}
+        )
+        self._writes += 1
+        if (
+            self._interrupt_after is not None
+            and self._writes >= self._interrupt_after
+        ):
+            raise PipelineInterrupted(
+                f"stream interrupted after checkpoint {self._writes} "
+                f"as requested; resume with the same arguments"
+            )
+
+    def _restore(self, checkpoint: str) -> "DynamicMISMaintainer":
+        payload = read_checkpoint(checkpoint)
+        pins = payload.get("pins") or {}
+        if pins.get("stream_version") != STREAM_VERSION:
+            raise StreamError(
+                f"stream checkpoint version {pins.get('stream_version')!r} is "
+                f"not supported by this build (supported: {STREAM_VERSION})"
+            )
+        for field, mine in (
+            ("graph_digest", self._graph_digest),
+            ("updates_digest", self._updates_digest),
+            ("update_count", len(self._updates)),
+            ("batch_size", self._batch_size),
+            ("pipeline", self._pipeline),
+            ("compact_threshold", self._compact_threshold),
+        ):
+            theirs = pins.get(field)
+            if theirs != mine:
+                raise StreamError(
+                    f"stream checkpoint pins {field}={theirs!r} but this "
+                    f"session has {field}={mine!r}; refusing to resume a "
+                    f"different stream"
+                )
+        base = payload["base"]
+        offsets, targets = base["offsets"], base["targets"]
+        if _np is not None:
+            offsets = _np.asarray(offsets, dtype=_np.int64)
+            targets = _np.asarray(targets, dtype=_np.int64)
+        maintainer = _maintainer_cls().from_state(
+            payload["state"],
+            offsets,
+            targets,
+            backend=self._backend,
+            compact_threshold=self._compact_threshold,
+        )
+        self._cursor = int(payload["cursor"])
+        return maintainer
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    @property
+    def maintainer(self) -> "DynamicMISMaintainer":
+        return self._maintainer
+
+    @property
+    def cursor(self) -> int:
+        """Number of whole batches applied so far."""
+
+        return self._cursor
+
+    @property
+    def total_batches(self) -> int:
+        return -(-len(self._updates) // self._batch_size)
+
+    def process(self) -> Iterator[BatchReport]:
+        """Apply the remaining batches, yielding a report after each one.
+
+        Writes a checkpoint and fires the ``progress`` hook after every
+        batch; raises :class:`PipelineInterrupted` right after the
+        ``interrupt_after``-th checkpoint write (the file on disk is
+        complete and resumable).
+        """
+
+        maintainer = self._maintainer
+        while self._cursor * self._batch_size < len(self._updates):
+            start = self._cursor * self._batch_size
+            chunk = self._updates[start : start + self._batch_size]
+            insertions = [(u, v) for op, u, v in chunk if op == "+"]
+            deletions = [(u, v) for op, u, v in chunk if op == "-"]
+            compactions = maintainer.stats.compactions
+            began = time.perf_counter()
+            maintainer.apply_updates(insertions, deletions)
+            elapsed = time.perf_counter() - began
+            self._elapsed += elapsed
+            compacted = maintainer.stats.compactions > compactions
+            if compacted:
+                # The base changed; re-encode it once, reuse it until the
+                # next compaction.
+                self._base_section = None
+            self._cursor += 1
+            if self._checkpoint:
+                self._write_checkpoint()
+            if self._progress is not None:
+                self._progress()
+            yield BatchReport(
+                batch_index=self._cursor - 1,
+                insertions=len(insertions),
+                deletions=len(deletions),
+                set_size=maintainer.size,
+                overlay_size=maintainer.overlay_size,
+                compacted=compacted,
+                elapsed_seconds=elapsed,
+            )
+
+    def run(self) -> Dict[str, Any]:
+        """Drain the stream and return the final :meth:`result`."""
+
+        for _report in self.process():
+            pass
+        return self.result()
+
+    def result(self) -> Dict[str, Any]:
+        """JSON-ready summary of the session's current state."""
+
+        maintainer = self._maintainer
+        return {
+            "algorithm": "stream",
+            "pipeline": self._pipeline,
+            "batch_size": self._batch_size,
+            "batches_applied": self._cursor,
+            "total_batches": self.total_batches,
+            "num_vertices": maintainer.num_vertices,
+            "num_edges": maintainer.num_edges,
+            "set_size": maintainer.size,
+            "overlay_size": maintainer.overlay_size,
+            "independent_set": sorted(maintainer.independent_set),
+            "stats": asdict(maintainer.stats),
+            "elapsed_seconds": self._elapsed,
+        }

@@ -104,7 +104,11 @@ def spec_key_fields(spec: RunSpec, input_digest: str) -> Dict[str, object]:
     the same contract, but only when parallel execution was actually
     requested (``> 1``): the serial default is omitted so every key
     minted before the field existed remains valid — cache entries from
-    older service directories keep hitting.
+    older service directories keep hitting.  Stream runs join the key the
+    same way: the update-file digest, batch size and compaction threshold
+    appear only when ``updates`` is set (the batch boundaries never change
+    the final set, but compaction cadence is observable in the stream
+    telemetry, so the full stream identity is keyed).
     """
 
     fields: Dict[str, object] = {
@@ -116,6 +120,10 @@ def spec_key_fields(spec: RunSpec, input_digest: str) -> Dict[str, object]:
     }
     if spec.workers > 1:
         fields["workers"] = spec.workers
+    if spec.updates is not None:
+        fields["updates_digest"] = file_digest(spec.updates)
+        fields["batch_size"] = spec.batch_size
+        fields["compact_threshold"] = spec.compact_threshold
     return fields
 
 

@@ -27,7 +27,7 @@ from repro.core.result import MISResult
 from repro.errors import JobStateError, ServiceError
 from repro.pipeline.engine import decode_result
 from repro.pipeline.spec import RunSpec, iter_run_specs
-from repro.service.cache import cache_key, input_digest
+from repro.service.cache import cache_key, file_digest, input_digest
 from repro.service.jobstore import JobRecord, JobStore
 
 __all__ = ["ServiceClient"]
@@ -62,12 +62,18 @@ class ServiceClient:
         if interrupt_after is not None and interrupt_after < 1:
             raise ServiceError("interrupt_after must be >= 1 (checkpoint writes)")
         digest = input_digest(spec.input)
+        # Stream jobs pin the update file the same way the input is
+        # pinned: digested at submit time, re-checked by the worker.
+        updates_digest = (
+            file_digest(spec.updates) if spec.updates is not None else None
+        )
         now = time.time()
         record = JobRecord(
             job_id=self.store.new_job_id(),
             spec=spec.to_dict(),
             state="queued",
             input_digest=digest,
+            updates_digest=updates_digest,
             cache_key=cache_key(spec, digest),
             created_at=now,
             updated_at=now,

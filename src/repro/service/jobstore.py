@@ -86,6 +86,9 @@ class JobRecord:
         One of :data:`JOB_STATES`.
     input_digest:
         Content digest of the input adjacency file at submit time.
+    updates_digest:
+        Content digest of the edge-update file at submit time (stream
+        jobs only; ``None`` for plain solves).
     cache_key:
         Digest of ``(input_digest, canonical spec, backend)`` — the
         result-cache key.
@@ -129,6 +132,7 @@ class JobRecord:
     cache_hit: bool = False
     error: Optional[str] = None
     stages: List[dict] = field(default_factory=list)
+    updates_digest: Optional[str] = None
 
     def run_spec(self) -> RunSpec:
         """The submitted spec as a :class:`RunSpec` object."""
@@ -155,6 +159,7 @@ class JobRecord:
             "cache_hit": self.cache_hit,
             "error": self.error,
             "stages": list(self.stages),
+            "updates_digest": self.updates_digest,
         }
 
     @classmethod
@@ -176,6 +181,9 @@ class JobRecord:
                 cache_hit=bool(payload["cache_hit"]),
                 error=payload["error"],
                 stages=list(payload["stages"]),
+                # .get(): records minted before the stream job type have
+                # no updates_digest and must keep decoding.
+                updates_digest=payload.get("updates_digest"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"job record is malformed: {exc}") from None

@@ -2,8 +2,10 @@
 
 A worker owns exactly one job: it rebuilds the run from the job record,
 executes the pipeline through :class:`~repro.pipeline.engine.PipelineEngine`
-with the job's private checkpoint file, and writes the encoded result,
-the cache entry and the terminal job record.  The process boundary is
+(or, for specs with an ``updates`` file, drains a
+:class:`~repro.pipeline.stream.StreamSession` over the maintained
+dynamic MIS) with the job's private checkpoint file, and writes the
+encoded result, the cache entry and the terminal job record.  The process boundary is
 the whole point — a worker that is ``kill -9``-ed (or dies with the
 machine) leaves a complete checkpoint and a ``running`` record behind,
 and the scheduler restarts the job with ``resume=True``, which the
@@ -30,10 +32,12 @@ import os
 import sys
 from typing import Optional
 
+from repro.core.result import MISResult
 from repro.errors import PipelineInterrupted, ReproError
-from repro.pipeline.context import ExecutionContext
+from repro.pipeline.context import ExecutionContext, resolve_backend_request
 from repro.pipeline.engine import PipelineEngine, encode_result
-from repro.service.cache import ResultCache, input_digest, spec_key_fields
+from repro.pipeline.stream import StreamSession
+from repro.service.cache import ResultCache, file_digest, input_digest, spec_key_fields
 from repro.service.jobstore import JobStore
 from repro.storage.registry import open_adjacency_source
 from repro.storage.scan import AdjacencyScanSource
@@ -55,6 +59,49 @@ def _write_result(store: JobStore, job_id: str, encoded: dict) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temp_path, path)
+
+
+def _run_stream(spec, record, ctx, checkpoint, beat) -> MISResult:
+    """Execute a stream job: drain the update file over the maintained set.
+
+    The session checkpoints after every batch and beats the heartbeat at
+    the same cadence, so the scheduler's liveness machinery (and the
+    ``interrupt_after`` drill) works identically for stream and solve
+    jobs.  A killed worker leaves the per-batch checkpoint behind and the
+    resumed attempt continues the stream bit-identically.
+    """
+
+    session = StreamSession(
+        ctx.materialize_graph(),
+        spec.updates,
+        graph_digest=record.input_digest,
+        pipeline=spec.pipeline.name,
+        backend=resolve_backend_request(spec.backend),
+        batch_size=spec.batch_size or 1024,
+        compact_threshold=spec.compact_threshold,
+        checkpoint=checkpoint,
+        resume=os.path.exists(checkpoint),
+        interrupt_after=record.interrupt_after,
+        progress=beat,
+    )
+    summary = session.run()
+    extras = {
+        "batch_size": summary["batch_size"],
+        "batches_applied": summary["batches_applied"],
+        "overlay_size": summary["overlay_size"],
+    }
+    extras.update(
+        (f"stream_{key}", value) for key, value in summary["stats"].items()
+    )
+    return MISResult(
+        algorithm="stream",
+        independent_set=frozenset(summary["independent_set"]),
+        elapsed_seconds=float(summary["elapsed_seconds"]),
+        # Constructive, like dynamic_update: no improvement phase, so the
+        # initial size equals the final size.
+        initial_size=len(summary["independent_set"]),
+        extras=extras,
+    )
 
 
 def execute_job(root: str, job_id: str) -> int:
@@ -92,6 +139,14 @@ def execute_job(root: str, job_id: str) -> int:
                     f"input {spec.input!r} changed since the job was "
                     f"submitted (content digest mismatch); resubmit the job"
                 )
+            if spec.updates is not None and record.updates_digest is not None:
+                current_updates = file_digest(spec.updates)
+                if current_updates != record.updates_digest:
+                    raise ReproError(
+                        f"update file {spec.updates!r} changed since the job "
+                        f"was submitted (content digest mismatch); resubmit "
+                        f"the job"
+                    )
             reader = open_adjacency_source(spec.input)
             ctx = ExecutionContext.create(
                 reader,
@@ -99,17 +154,21 @@ def execute_job(root: str, job_id: str) -> int:
                 memory_limit_bytes=spec.memory_limit_bytes,
                 workers=spec.workers,
             )
-            engine = PipelineEngine(
-                spec.pipeline,
-                max_rounds=spec.max_rounds,
-                checkpoint_path=checkpoint,
-                # A previous attempt's checkpoint means this start resumes.
-                resume=os.path.exists(checkpoint),
-                interrupt_after=record.interrupt_after,
-                checkpoint_every_seconds=record.checkpoint_every_seconds,
-                progress=_beat,
-            )
-            result = engine.run(ctx)
+            if spec.updates is not None:
+                result = _run_stream(spec, record, ctx, checkpoint, _beat)
+            else:
+                engine = PipelineEngine(
+                    spec.pipeline,
+                    max_rounds=spec.max_rounds,
+                    checkpoint_path=checkpoint,
+                    # A previous attempt's checkpoint means this start
+                    # resumes.
+                    resume=os.path.exists(checkpoint),
+                    interrupt_after=record.interrupt_after,
+                    checkpoint_every_seconds=record.checkpoint_every_seconds,
+                    progress=_beat,
+                )
+                result = engine.run(ctx)
         except PipelineInterrupted:
             # The deterministic stand-in for a kill: die without touching
             # the record, exactly as SIGKILL would.

@@ -1,0 +1,599 @@
+"""Tests for the streaming dynamic MIS stack.
+
+Covers the three layers of the stream refactor: the kernel-backend
+``dynamic_apply_pass`` (python scalar reference vs numpy vectorized
+waves, bit-identical), the maintainer's compaction and checkpoint state,
+and the :class:`~repro.pipeline.stream.StreamSession` with its
+kill/resume guarantees, including the ``repro-mis watch`` command.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.dynamic.maintainer import DynamicMISMaintainer
+from repro.errors import PipelineInterrupted, StreamError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.plrg import PLRGParameters, plrg_graph
+from repro.pipeline.stream import (
+    STREAM_VERSION,
+    StreamSession,
+    load_updates,
+    updates_digest,
+)
+from repro.validation.checks import is_independent_set
+
+
+def random_stream(rng, max_vertex, updates, insert_bias=0.65):
+    insertions, deletions = [], []
+    for _ in range(updates):
+        u, v = rng.randrange(max_vertex), rng.randrange(max_vertex)
+        if u == v:
+            continue
+        (insertions if rng.random() < insert_bias else deletions).append((u, v))
+    return insertions, deletions
+
+
+def gnm_graph(seed=1):
+    return erdos_renyi_gnm(120, 360, seed=seed)
+
+
+def plrg_test_graph(seed=2):
+    return plrg_graph(PLRGParameters.from_vertex_count(120, 2.2), seed=seed)
+
+
+def tightness(maintainer):
+    tight = maintainer._tight
+    return tight.tolist() if hasattr(tight, "tolist") else list(tight)
+
+
+class TestBackendParity:
+    """The numpy wave pass must be bit-identical to the scalar reference."""
+
+    @pytest.mark.parametrize("make_graph", [gnm_graph, plrg_test_graph])
+    def test_selected_set_journal_and_stats_match(self, make_graph):
+        pytest.importorskip("numpy")
+
+        def run(backend):
+            rng = random.Random(23)
+            maintainer = DynamicMISMaintainer(make_graph(), backend=backend)
+            for _ in range(8):
+                insertions, deletions = random_stream(rng, 140, 150)
+                maintainer.apply_updates(insertions, deletions)
+            maintainer.check_invariants()
+            return maintainer
+
+        scalar = run("python")
+        waves = run("numpy")
+        assert scalar.independent_set == waves.independent_set
+        assert scalar.journal == waves.journal
+        assert scalar.stats == waves.stats
+        assert scalar.num_edges == waves.num_edges
+        assert tightness(scalar) == tightness(waves)
+
+    def test_parity_with_vertex_creation_beyond_capacity(self):
+        pytest.importorskip("numpy")
+
+        def run(backend):
+            maintainer = DynamicMISMaintainer(gnm_graph(), backend=backend)
+            maintainer.apply_updates(
+                insertions=[(0, 500), (500, 501), (3, 700)],
+                deletions=[(0, 500)],
+            )
+            return maintainer
+
+        scalar, waves = run("python"), run("numpy")
+        assert scalar.independent_set == waves.independent_set
+        assert scalar.journal == waves.journal
+        assert scalar.stats == waves.stats
+
+    def test_unknown_backend_falls_back_for_list_maintainers(self, monkeypatch):
+        # A maintainer whose state arrays are plain lists cannot take the
+        # numpy pass; resolution silently falls back to the scalar one.
+        import repro.dynamic.maintainer as module
+
+        monkeypatch.setattr(module, "_np", None)
+        maintainer = DynamicMISMaintainer(backend="numpy")
+        maintainer.apply_updates(insertions=[(0, 1), (1, 2)])
+        maintainer.check_invariants()
+        assert maintainer.num_edges == 2
+
+
+class TestBatchSemantics:
+    def test_batch_duplicates_are_deduplicated(self):
+        maintainer = DynamicMISMaintainer(gnm_graph())
+        before = maintainer.stats.edges_inserted
+        maintainer.apply_updates(
+            insertions=[(0, 115), (115, 0), (0, 115), (0, 115)]
+        )
+        assert maintainer.stats.edges_inserted == before + 1
+
+    def test_strict_mode_raises_a_typed_error_on_existing_edges(self):
+        from repro.errors import DuplicateEdgeError
+
+        maintainer = DynamicMISMaintainer(erdos_renyi_gnm(10, 0, seed=1))
+        maintainer.insert_edge(2, 3)
+        with pytest.raises(DuplicateEdgeError) as excinfo:
+            maintainer.apply_updates(insertions=[(2, 3)], exist_ok=False)
+        assert excinfo.value.edge == (2, 3)
+        # Matching single-edge behaviour:
+        with pytest.raises(DuplicateEdgeError):
+            maintainer.insert_edge(3, 2, exist_ok=False)
+        # The default stays a no-op (pre-existing contract).
+        maintainer.apply_updates(insertions=[(2, 3)])
+
+    def test_strict_mode_rejects_nothing_applied(self):
+        from repro.errors import DuplicateEdgeError
+
+        maintainer = DynamicMISMaintainer(erdos_renyi_gnm(10, 0, seed=1))
+        maintainer.insert_edge(0, 1)
+        edges_before = maintainer.num_edges
+        with pytest.raises(DuplicateEdgeError):
+            maintainer.apply_updates(
+                insertions=[(5, 6), (0, 1)], exist_ok=False
+            )
+        assert maintainer.num_edges == edges_before
+
+
+class TestDeleteVertex:
+    def test_deleting_a_selected_vertex_resaturates_its_neighbourhood(self):
+        from repro.graphs.generators import star_graph
+
+        maintainer = DynamicMISMaintainer(star_graph(6), initial={0})
+        maintainer.delete_vertex(0)
+        maintainer.check_invariants()
+        assert maintainer.num_vertices == 6
+        assert maintainer.num_edges == 0
+        # Every former leaf is now isolated and must have joined the set.
+        assert maintainer.independent_set == frozenset(range(1, 7))
+        assert maintainer.stats.vertices_deleted == 1
+
+    def test_deleting_an_unknown_vertex_raises(self):
+        from repro.errors import VertexError
+
+        maintainer = DynamicMISMaintainer(gnm_graph())
+        with pytest.raises(VertexError):
+            maintainer.delete_vertex(10_000)
+        maintainer.delete_vertex(5)
+        with pytest.raises(VertexError):
+            maintainer.delete_vertex(5)
+
+    def test_random_vertex_deletions_keep_invariants(self):
+        rng = random.Random(3)
+        maintainer = DynamicMISMaintainer(gnm_graph())
+        alive = set(range(120))
+        for _ in range(40):
+            victim = rng.choice(sorted(alive))
+            alive.discard(victim)
+            maintainer.delete_vertex(victim)
+        maintainer.check_invariants()
+        assert maintainer.num_vertices == 80
+
+
+@st.composite
+def update_streams(draw):
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    updates = draw(st.integers(min_value=1, max_value=250))
+    threshold = draw(st.integers(min_value=1, max_value=200))
+    kind = draw(st.sampled_from(["gnm", "plrg"]))
+    return seed, updates, threshold, kind
+
+
+class TestCompaction:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(stream=update_streams(), backend=st.sampled_from(["python", "numpy"]))
+    def test_compaction_preserves_the_solution(self, stream, backend):
+        pytest.importorskip("numpy")
+        seed, updates, threshold, kind = stream
+        graph = (
+            gnm_graph(seed=seed % 7 + 1)
+            if kind == "gnm"
+            else plrg_test_graph(seed=seed % 7 + 1)
+        )
+        rng = random.Random(seed)
+        maintainer = DynamicMISMaintainer(graph, backend=backend)
+        insertions, deletions = random_stream(rng, 140, updates)
+        maintainer.apply_updates(insertions, deletions)
+
+        selected = maintainer.independent_set
+        tight_before = tightness(maintainer)
+        edges_before = maintainer.num_edges
+        if maintainer.overlay_size >= threshold:
+            maintainer.compact()
+        maintainer.compact()
+
+        assert maintainer.overlay_size == 0
+        assert maintainer.independent_set == selected
+        assert tightness(maintainer) == tight_before
+        assert maintainer.num_edges == edges_before
+        maintainer.check_invariants()
+        current = maintainer.to_graph()
+        selected = maintainer.independent_set
+        assert is_independent_set(current, selected)
+        # Maximality over the *present* vertices: to_graph() pads with
+        # placeholder ids for vertices that were never created, which are
+        # not the maintainer's to cover.
+        for v in set(maintainer._present_ids()) - selected:
+            assert any(w in selected for w in maintainer._neighbors(v))
+
+    def test_threshold_triggers_compaction_inside_apply_updates(self):
+        maintainer = DynamicMISMaintainer(gnm_graph(), compact_threshold=10)
+        rng = random.Random(5)
+        insertions, deletions = random_stream(rng, 140, 200)
+        maintainer.apply_updates(insertions, deletions)
+        assert maintainer.stats.compactions >= 1
+        assert maintainer.overlay_size < 10
+        maintainer.check_invariants()
+
+    def test_updates_keep_working_after_compaction(self):
+        def run(threshold):
+            maintainer = DynamicMISMaintainer(
+                gnm_graph(), compact_threshold=threshold
+            )
+            rng = random.Random(9)
+            for _ in range(6):
+                insertions, deletions = random_stream(rng, 140, 80)
+                maintainer.apply_updates(insertions, deletions)
+            maintainer.check_invariants()
+            return maintainer
+
+        compacting = run(threshold=25)
+        plain = run(threshold=None)
+        assert compacting.stats.compactions > 0
+        assert plain.stats.compactions == 0
+        assert compacting.independent_set == plain.independent_set
+        assert compacting.num_edges == plain.num_edges
+        assert compacting.journal == plain.journal
+
+
+class TestUpdateFiles:
+    def test_load_updates_parses_ops_and_comments(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("# header\n+ 1 2\n\n- 3 4   # trailing\n+ 5 6\n")
+        assert load_updates(str(path)) == [
+            ("+", 1, 2),
+            ("-", 3, 4),
+            ("+", 5, 6),
+        ]
+
+    @pytest.mark.parametrize("line", ["~ 1 2", "+ 1", "+ a b", "1 2"])
+    def test_load_updates_rejects_malformed_lines(self, tmp_path, line):
+        path = tmp_path / "u.txt"
+        path.write_text(f"+ 0 1\n{line}\n")
+        with pytest.raises(StreamError) as excinfo:
+            load_updates(str(path))
+        assert ":2:" in str(excinfo.value)
+
+    def test_updates_digest_tracks_content(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        a.write_text("+ 1 2\n")
+        b.write_text("+ 1 2\n")
+        assert updates_digest(str(a)) == updates_digest(str(b))
+        b.write_text("+ 1 3\n")
+        assert updates_digest(str(a)) != updates_digest(str(b))
+
+
+@pytest.fixture
+def stream_setup(tmp_path):
+    graph = gnm_graph(seed=4)
+    rng = random.Random(8)
+    lines = []
+    for _ in range(900):
+        u, v = rng.randrange(140), rng.randrange(140)
+        if u == v:
+            continue
+        lines.append(f"{'+' if rng.random() < 0.6 else '-'} {u} {v}")
+    updates = tmp_path / "updates.txt"
+    updates.write_text("\n".join(lines) + "\n")
+    return graph, str(updates), str(tmp_path / "stream.ckpt")
+
+
+class TestStreamSession:
+    def test_session_drains_and_reports(self, stream_setup):
+        graph, updates, _ = stream_setup
+        session = StreamSession(
+            graph, updates, batch_size=100, compact_threshold=300
+        )
+        reports = list(session.process())
+        assert len(reports) == session.total_batches
+        assert reports[-1].batch_index == session.total_batches - 1
+        summary = session.result()
+        assert summary["algorithm"] == "stream"
+        assert summary["batches_applied"] == session.total_batches
+        session.maintainer.check_invariants()
+
+    def test_progress_hook_fires_per_batch(self, stream_setup):
+        graph, updates, _ = stream_setup
+        beats = []
+        session = StreamSession(
+            graph, updates, batch_size=100, progress=lambda: beats.append(1)
+        )
+        session.run()
+        assert len(beats) == session.total_batches
+
+    def test_interrupt_resume_is_bit_identical(self, stream_setup):
+        graph, updates, checkpoint = stream_setup
+        kwargs = dict(
+            graph_digest="g",
+            batch_size=64,
+            compact_threshold=250,
+        )
+        baseline = StreamSession(graph, updates, **kwargs).run()
+
+        with pytest.raises(PipelineInterrupted):
+            StreamSession(
+                graph,
+                updates,
+                checkpoint=checkpoint,
+                interrupt_after=3,
+                **kwargs,
+            ).run()
+        resumed = StreamSession(
+            graph, updates, checkpoint=checkpoint, resume=True, **kwargs
+        )
+        assert resumed.cursor == 3
+        result = resumed.run()
+        for key in (
+            "independent_set",
+            "set_size",
+            "stats",
+            "num_edges",
+            "batches_applied",
+        ):
+            assert result[key] == baseline[key]
+
+    def test_resume_refuses_a_different_stream(self, stream_setup, tmp_path):
+        graph, updates, checkpoint = stream_setup
+        with pytest.raises(PipelineInterrupted):
+            StreamSession(
+                graph,
+                updates,
+                graph_digest="g",
+                batch_size=64,
+                checkpoint=checkpoint,
+                interrupt_after=1,
+            ).run()
+        # Different batch size.
+        with pytest.raises(StreamError):
+            StreamSession(
+                graph,
+                updates,
+                graph_digest="g",
+                batch_size=65,
+                checkpoint=checkpoint,
+                resume=True,
+            )
+        # Different graph.
+        with pytest.raises(StreamError):
+            StreamSession(
+                graph,
+                updates,
+                graph_digest="other",
+                batch_size=64,
+                checkpoint=checkpoint,
+                resume=True,
+            )
+        # Different update file.
+        other = tmp_path / "other.txt"
+        other.write_text("+ 0 1\n")
+        with pytest.raises(StreamError):
+            StreamSession(
+                graph,
+                str(other),
+                graph_digest="g",
+                batch_size=64,
+                checkpoint=checkpoint,
+                resume=True,
+            )
+
+    def test_stream_version_is_pinned(self, stream_setup):
+        graph, updates, checkpoint = stream_setup
+        with pytest.raises(PipelineInterrupted):
+            StreamSession(
+                graph,
+                updates,
+                batch_size=64,
+                checkpoint=checkpoint,
+                interrupt_after=1,
+            ).run()
+        from repro.storage.checkpoint import read_checkpoint, write_checkpoint
+
+        payload = read_checkpoint(checkpoint)
+        payload["pins"]["stream_version"] = STREAM_VERSION + 1
+        write_checkpoint(checkpoint, payload)
+        with pytest.raises(StreamError):
+            StreamSession(
+                graph, updates, batch_size=64, checkpoint=checkpoint, resume=True
+            )
+
+
+class TestWatchCommand:
+    def write_graph(self, tmp_path):
+        from repro.storage.adjacency_file import write_adjacency_file
+
+        graph = gnm_graph(seed=6)
+        path = tmp_path / "g.adj"
+        write_adjacency_file(graph, str(path))
+        return str(path)
+
+    def write_updates(self, tmp_path):
+        rng = random.Random(12)
+        lines = []
+        for _ in range(600):
+            u, v = rng.randrange(140), rng.randrange(140)
+            if u == v:
+                continue
+            lines.append(f"{'+' if rng.random() < 0.6 else '-'} {u} {v}")
+        path = tmp_path / "updates.txt"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_watch_kill_and_resume_match_uninterrupted(self, tmp_path, capsys):
+        graph_path = self.write_graph(tmp_path)
+        updates_path = self.write_updates(tmp_path)
+        checkpoint = str(tmp_path / "watch.ckpt")
+        base_args = [
+            "watch",
+            graph_path,
+            "--updates",
+            updates_path,
+            "--batch-size",
+            "50",
+            "--compact-threshold",
+            "200",
+            "--quiet",
+            "--json",
+        ]
+
+        assert cli_main(base_args) == 0
+        baseline = json.loads(capsys.readouterr().out)
+
+        interrupted = base_args + [
+            "--checkpoint",
+            checkpoint,
+            "--interrupt-after",
+            "4",
+        ]
+        assert cli_main(interrupted) == 3
+        capsys.readouterr()
+        resumed = base_args + ["--checkpoint", checkpoint, "--resume"]
+        assert cli_main(resumed) == 0
+        result = json.loads(capsys.readouterr().out)
+        baseline.pop("elapsed_seconds")
+        result.pop("elapsed_seconds")
+        assert result == baseline
+
+    def test_watch_validates_its_flags(self, tmp_path, capsys):
+        graph_path = self.write_graph(tmp_path)
+        updates_path = self.write_updates(tmp_path)
+        assert (
+            cli_main(
+                ["watch", graph_path, "--updates", updates_path, "--resume"]
+            )
+            == 2
+        )
+        assert (
+            cli_main(
+                [
+                    "watch",
+                    graph_path,
+                    "--updates",
+                    updates_path,
+                    "--batch-size",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_watch_reports_malformed_update_files(self, tmp_path, capsys):
+        graph_path = self.write_graph(tmp_path)
+        bad = tmp_path / "bad.txt"
+        bad.write_text("? 1 2\n")
+        assert cli_main(["watch", graph_path, "--updates", str(bad)]) == 2
+        assert "expected" in capsys.readouterr().err
+
+
+class TestServiceStreamJobs:
+    """Stream jobs through the service worker pool — the top of the stack."""
+
+    def setup_paths(self, tmp_path):
+        from repro.storage.adjacency_file import write_adjacency_file
+
+        graph = gnm_graph(seed=9)
+        graph_path = tmp_path / "svc.adj"
+        write_adjacency_file(graph, str(graph_path))
+        rng = random.Random(21)
+        lines = []
+        for _ in range(700):
+            u, v = rng.randrange(140), rng.randrange(140)
+            if u == v:
+                continue
+            lines.append(f"{'+' if rng.random() < 0.6 else '-'} {u} {v}")
+        updates_path = tmp_path / "svc_updates.txt"
+        updates_path.write_text("\n".join(lines) + "\n")
+        return graph, str(graph_path), str(updates_path)
+
+    def make_spec(self, graph_path, updates_path):
+        from repro.pipeline.spec import RunSpec
+
+        return RunSpec.from_dict(
+            {
+                "pipeline": "two_k_swap",
+                "input": graph_path,
+                "updates": updates_path,
+                "batch_size": 100,
+                "compact_threshold": 400,
+            }
+        )
+
+    def drain(self, root, client_spec, interrupt_after=None):
+        from repro.service import ServiceClient, ServiceConfig, SolverService
+
+        client = ServiceClient(root)
+        record = client.submit(client_spec, interrupt_after=interrupt_after)
+        service = SolverService(
+            root,
+            ServiceConfig(
+                workers=1, poll_interval_seconds=0.02, max_restarts=100
+            ),
+        )
+        try:
+            service.drain(timeout_seconds=120.0)
+        finally:
+            service.stop()
+        return client, client.status(record.job_id)
+
+    def test_stream_job_matches_a_direct_session(self, tmp_path):
+        graph, graph_path, updates_path = self.setup_paths(tmp_path)
+        spec = self.make_spec(graph_path, updates_path)
+        client, record = self.drain(str(tmp_path / "svc"), spec)
+        assert record.state == "done"
+        direct = StreamSession(
+            graph, updates_path, batch_size=100, compact_threshold=400
+        ).run()
+        result = client.result(record.job_id)
+        assert result.algorithm == "stream"
+        assert result.independent_set == frozenset(direct["independent_set"])
+        assert result.extras["batches_applied"] == direct["batches_applied"]
+
+    def test_crash_drilled_stream_job_resumes_to_the_same_set(self, tmp_path):
+        graph, graph_path, updates_path = self.setup_paths(tmp_path)
+        spec = self.make_spec(graph_path, updates_path)
+        client, record = self.drain(
+            str(tmp_path / "svc"), spec, interrupt_after=2
+        )
+        # The worker died after every second batch checkpoint and was
+        # requeued until the stream drained; the set is still the one an
+        # uninterrupted session produces.
+        assert record.state == "done"
+        assert record.attempts > 1
+        direct = StreamSession(
+            graph, updates_path, batch_size=100, compact_threshold=400
+        ).run()
+        result = client.result(record.job_id)
+        assert result.independent_set == frozenset(direct["independent_set"])
+
+    def test_resubmitted_stream_job_is_a_cache_hit(self, tmp_path):
+        _, graph_path, updates_path = self.setup_paths(tmp_path)
+        spec = self.make_spec(graph_path, updates_path)
+        root = str(tmp_path / "svc")
+        client, record = self.drain(root, spec)
+        assert record.state == "done" and not record.cache_hit
+        _, duplicate = self.drain(root, spec)
+        assert duplicate.state == "done"
+        assert duplicate.cache_hit
+        assert duplicate.attempts == 0
+        assert client.result(duplicate.job_id) == client.result(record.job_id)
