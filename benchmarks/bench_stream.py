@@ -2,18 +2,25 @@
 
 Measures the update path of :class:`repro.dynamic.DynamicMISMaintainer`:
 sustained updates/second of ``apply_updates`` for the scalar ``python``
-kernel backend versus the conflict-free ``numpy`` wave backend over the
+kernel backend versus the batched ``numpy`` wave backend over the
 *same* mixed insert/delete stream, plus the solution-size drift of the
 maintained set against a recompute-from-scratch ``solve_mis`` run on
 the final graph.  Two graph families bracket the workload space: the
 paper's sparse PLRG model (most vertices selected — random updates are
-conflict-heavy and fall through to the scalar path) and a dense gnm
-model (a small selected fraction — almost every update is quiet and the
-waves commit in bulk).  The two
-backends are asserted to land on the identical selected set on every
-run, so the harness doubles as a cross-backend parity check.  The
-measurements go to ``BENCH_stream.json`` at the repository root; CI
-runs the ``--smoke`` configuration on every PR and the committed JSON
+conflict-heavy) and a dense gnm model (a small selected fraction —
+almost every update is quiet and the waves commit in bulk).  Since the
+wave kernel batches conflict-path evictions instead of falling back to
+the scalar loop, the adversarial ``plrg-adv`` family — insertions drawn
+from the seed solution's selected set, so nearly every early update
+evicts — is the worst case the ``--min-numpy-ratio`` guard pins.
+
+Backends are timed with interleaved repeats (python, numpy, python,
+numpy, ...) so a background load spike cannot skew the ratio, and every
+run asserts bit-identical selected sets, selection journals, update
+stats and tightness tables across backends — the harness doubles as a
+cross-backend parity check.  The measurements go to
+``BENCH_stream.json`` at the repository root; CI runs the ``--smoke``
+configuration with a ratio guard on every PR and the committed JSON
 records the full sweep (the paper-scale point is n = 1e6).
 
 Usage
@@ -23,17 +30,19 @@ Usage
     python benchmarks/bench_stream.py             # full sweep (default n=1e6)
     python benchmarks/bench_stream.py --smoke     # tiny CI-friendly run
     python benchmarks/bench_stream.py --sizes 10000,1000000
+    python benchmarks/bench_stream.py --conflict-sweep --sizes 100000
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import random
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -51,33 +60,76 @@ SMOKE_SIZES = (2_000,)
 DEFAULT_UPDATES = 100_000
 SMOKE_UPDATES = 2_000
 
+#: Conflict-density sweep points for ``--conflict-sweep``.
+SWEEP_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
 
 def make_update_stream(
-    graph, count: int, seed: int, insert_fraction: float
+    graph,
+    count: int,
+    seed: int,
+    insert_fraction: float,
+    conflict_targets: Optional[Sequence[int]] = None,
+    conflict_fraction: float = 0.0,
 ) -> List[Tuple[str, int, int]]:
     """A reproducible mixed stream over the graph's own vertex range.
 
     Insertions draw random (possibly already-present — a no-op under
     ``exist_ok``) pairs; deletions draw from the original edge set so a
     realistic share of them actually remove live edges and exercise the
-    re-saturation path.
+    re-saturation path.  When ``conflict_targets`` (normally the seed
+    solution's selected set) is given, a ``conflict_fraction`` share of
+    the insertions draws both endpoints from it, manufacturing
+    eviction-path updates on demand.
     """
 
     rng = random.Random(seed)
     n = graph.num_vertices
     edges = list(graph.iter_edges())
+    targets = list(conflict_targets) if conflict_targets else []
+    adversarial = len(targets) >= 2 and conflict_fraction > 0.0
     stream: List[Tuple[str, int, int]] = []
     for _ in range(count):
         if rng.random() < insert_fraction or not edges:
-            u = rng.randrange(n)
-            v = rng.randrange(n)
-            while v == u:
+            if adversarial and rng.random() < conflict_fraction:
+                u = targets[rng.randrange(len(targets))]
+                v = targets[rng.randrange(len(targets))]
+                while v == u:
+                    v = targets[rng.randrange(len(targets))]
+            else:
+                u = rng.randrange(n)
                 v = rng.randrange(n)
+                while v == u:
+                    v = rng.randrange(n)
             stream.append(("+", u, v))
         else:
             u, v = edges[rng.randrange(len(edges))]
             stream.append(("-", u, v))
     return stream
+
+
+def replay_stream(
+    graph,
+    stream: List[Tuple[str, int, int]],
+    backend: str,
+    batch_size: int,
+    pipeline: str,
+    initial: Optional[Sequence[int]] = None,
+) -> Tuple[float, DynamicMISMaintainer]:
+    """One timed replay of the stream through a fresh maintainer."""
+
+    maintainer = DynamicMISMaintainer(
+        graph, initial=initial, pipeline=pipeline, backend=backend
+    )
+    elapsed = 0.0
+    for start in range(0, len(stream), batch_size):
+        chunk = stream[start : start + batch_size]
+        insertions = [(u, v) for op, u, v in chunk if op == "+"]
+        deletions = [(u, v) for op, u, v in chunk if op == "-"]
+        begin = time.perf_counter()
+        maintainer.apply_updates(insertions, deletions)
+        elapsed += time.perf_counter() - begin
+    return elapsed, maintainer
 
 
 def run_stream(
@@ -87,6 +139,7 @@ def run_stream(
     batch_size: int,
     pipeline: str,
     repeats: int = 1,
+    initial: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
     """Drain the stream through one backend; returns timing plus the set.
 
@@ -96,21 +149,20 @@ def run_stream(
 
     apply_seconds = None
     for _ in range(max(1, repeats)):
-        maintainer = DynamicMISMaintainer(
-            graph, pipeline=pipeline, backend=backend
+        elapsed, maintainer = replay_stream(
+            graph, stream, backend, batch_size, pipeline, initial=initial
         )
-        elapsed = 0.0
-        for start in range(0, len(stream), batch_size):
-            chunk = stream[start : start + batch_size]
-            insertions = [(u, v) for op, u, v in chunk if op == "+"]
-            deletions = [(u, v) for op, u, v in chunk if op == "-"]
-            begin = time.perf_counter()
-            maintainer.apply_updates(insertions, deletions)
-            elapsed += time.perf_counter() - begin
         apply_seconds = elapsed if apply_seconds is None else min(
             apply_seconds, elapsed
         )
+    return summarize_run(stream, backend, apply_seconds, maintainer)
+
+
+def summarize_run(
+    stream, backend: str, apply_seconds: float, maintainer
+) -> Dict[str, object]:
     stats = maintainer.stats
+    applied = stats.edges_inserted + stats.edges_deleted
     return {
         "backend": backend,
         "apply_seconds": apply_seconds,
@@ -120,25 +172,72 @@ def run_stream(
         "evictions": stats.evictions,
         "insertions_applied": stats.edges_inserted,
         "deletions_applied": stats.edges_deleted,
+        "conflict_density": stats.evictions / applied if applied else 0.0,
+        "wave": maintainer.wave.snapshot(),
         "maintainer": maintainer,
     }
+
+
+def assert_backend_parity(runs: Dict[str, Dict[str, object]], size: int) -> None:
+    """The wave kernel must be bit-identical to the scalar reference.
+
+    Selected set, selection journal, update stats and the per-vertex
+    tightness table all have to match — not just the final set size.
+    """
+
+    if len(runs) < 2:
+        return
+    reference_name = next(iter(runs))
+    reference = runs[reference_name]["maintainer"]
+    for name, run in runs.items():
+        if name == reference_name:
+            continue
+        other = run["maintainer"]
+        if frozenset(run["selected"]) != frozenset(
+            runs[reference_name]["selected"]
+        ):
+            raise AssertionError(
+                f"backend parity violated at n={size}: selected sets differ"
+            )
+        if list(other.journal) != list(reference.journal):
+            raise AssertionError(
+                f"backend parity violated at n={size}: journals differ"
+            )
+        ref_stats = dataclasses.asdict(reference.stats)
+        other_stats = dataclasses.asdict(other.stats)
+        if ref_stats != other_stats:
+            raise AssertionError(
+                f"backend parity violated at n={size}: stats "
+                f"{other_stats} != {ref_stats}"
+            )
+        ref_tight = [int(t) for t in reference._tight]
+        other_tight = [int(t) for t in other._tight]
+        if ref_tight != other_tight:
+            raise AssertionError(
+                f"backend parity violated at n={size}: tightness differs"
+            )
 
 
 def build_graph(family: str, size: int, beta: float, avg_degree: int, seed: int):
     """One graph of the benchmark family.
 
     ``plrg`` is the paper's sparse power-law model: most vertices end up
-    selected, so a random update stream is conflict-heavy and the wave
-    kernel degenerates towards the scalar path.  ``gnm`` is a denser
-    uniform graph whose selected set is a small fraction of the vertices:
-    almost every update is quiet and the waves commit in bulk.
+    selected, so a random update stream is conflict-heavy.  ``gnm`` is a
+    denser uniform graph whose selected set is a small fraction of the
+    vertices: almost every update is quiet and the waves commit in bulk.
+    ``plrg-adv`` shares the plrg graph but aims its insertions at the
+    seed solution's selected set (conflict_fraction 1.0).
     """
 
-    if family == "plrg":
+    if family in ("plrg", "plrg-adv"):
         return plrg_graph_with_vertex_count(size, beta, seed=seed)
     if family == "gnm":
         return erdos_renyi_gnm(size, size * avg_degree // 2, seed=seed)
     raise ValueError(f"unknown graph family {family!r}")
+
+
+def family_conflict_fraction(family: str) -> float:
+    return 1.0 if family.endswith("-adv") else 0.0
 
 
 def bench_size(
@@ -153,29 +252,67 @@ def bench_size(
     pipeline: str,
     python_max: int,
     repeats: int,
+    conflict_fraction: Optional[float] = None,
+    label: Optional[str] = None,
 ) -> List[Dict[str, object]]:
-    """All rows for one graph: per-backend throughput plus drift."""
+    """All rows for one graph: per-backend throughput plus drift.
+
+    Repeats are interleaved across backends (python, numpy, python,
+    numpy, ...) so transient machine load hits both sides of the ratio
+    equally.  The seed MIS is solved once and shared by every replay.
+    """
 
     graph = build_graph(family, size, beta, avg_degree, seed)
-    stream = make_update_stream(graph, updates, seed + 1, insert_fraction)
+    seed_solution = sorted(solve_mis(graph, pipeline=pipeline).independent_set)
+    if conflict_fraction is None:
+        conflict_fraction = family_conflict_fraction(family)
+    stream = make_update_stream(
+        graph,
+        updates,
+        seed + 1,
+        insert_fraction,
+        conflict_targets=seed_solution if conflict_fraction > 0.0 else None,
+        conflict_fraction=conflict_fraction,
+    )
 
     backends = [b for b in ("python", "numpy") if b in available_backends()]
     if "numpy" not in backends:
         backends = ["python"]
-    runs: Dict[str, Dict[str, object]] = {}
-    for backend in backends:
-        if backend == "python" and size > python_max:
-            continue
-        runs[backend] = run_stream(
-            graph, stream, backend, batch_size, pipeline, repeats=repeats
-        )
+    backends = [
+        b for b in backends if not (b == "python" and size > python_max)
+    ]
 
-    # Cross-backend parity: the wave kernel must land on the identical set.
-    selected_sets = {frozenset(run["selected"]) for run in runs.values()}
-    if len(selected_sets) > 1:
-        raise AssertionError(
-            f"backend parity violated at n={size}: selected sets differ"
-        )
+    best: Dict[str, float] = {}
+    finals: Dict[str, DynamicMISMaintainer] = {}
+    paired: List[Dict[str, float]] = []
+    for _ in range(max(1, repeats)):
+        times: Dict[str, float] = {}
+        for backend in backends:
+            elapsed, maintainer = replay_stream(
+                graph, stream, backend, batch_size, pipeline,
+                initial=seed_solution,
+            )
+            times[backend] = elapsed
+            if backend not in best or elapsed < best[backend]:
+                best[backend] = elapsed
+            finals[backend] = maintainer
+        paired.append(times)
+    runs = {
+        backend: summarize_run(stream, backend, best[backend], finals[backend])
+        for backend in backends
+    }
+    # Per-repeat python/numpy ratios: both replays of one repeat are
+    # adjacent in time, so slow machine-level drift (frequency scaling,
+    # noisy neighbours) cancels out of the ratio even when it distorts
+    # the absolute best-of throughput.
+    pair_ratios = [
+        t["python"] / t["numpy"]
+        for t in paired
+        if "python" in t and "numpy" in t and t["numpy"]
+    ]
+
+    # Cross-backend parity: set, journal, stats and tightness must all match.
+    assert_backend_parity(runs, size)
 
     # Drift: maintained set size vs. a from-scratch pipeline run on the
     # final graph.  The maintainer is constructive (greedy + re-saturation),
@@ -195,11 +332,12 @@ def bench_size(
     for backend, run in runs.items():
         rows.append(
             {
-                "family": family,
+                "family": label or family,
                 "n": size,
                 "num_edges": graph.num_edges,
                 "updates": updates,
                 "batch_size": batch_size,
+                "conflict_fraction": conflict_fraction,
                 "backend": backend,
                 "apply_seconds": run["apply_seconds"],
                 "updates_per_second": run["updates_per_second"],
@@ -207,23 +345,39 @@ def bench_size(
                 "evictions": run["evictions"],
                 "insertions_applied": run["insertions_applied"],
                 "deletions_applied": run["deletions_applied"],
+                "conflict_density": run["conflict_density"],
+                "wave": run["wave"],
                 "recompute_set_size": recompute_size,
                 "drift_pct": drift_pct,
+                "pair_ratio_median": (
+                    sorted(pair_ratios)[len(pair_ratios) // 2]
+                    if pair_ratios
+                    else None
+                ),
             }
         )
     return rows
 
 
 def compute_speedups(rows: List[Dict[str, object]]) -> Dict[str, float]:
-    """numpy-over-python throughput ratio per graph family and size."""
+    """numpy-over-python throughput ratio per graph family and size.
+
+    Uses the median per-repeat paired ratio (drift-immune) when the
+    bench recorded one, falling back to the best-of throughput ratio.
+    """
 
     by_key: Dict[Tuple[str, int], Dict[str, float]] = {}
+    medians: Dict[Tuple[str, int], float] = {}
     for row in rows:
         key = (row["family"], row["n"])
         by_key.setdefault(key, {})[row["backend"]] = row["apply_seconds"]
+        if row.get("pair_ratio_median") is not None:
+            medians[key] = row["pair_ratio_median"]
     speedups = {}
     for (family, size), times in sorted(by_key.items()):
-        if "python" in times and "numpy" in times and times["numpy"]:
+        if (family, size) in medians:
+            speedups[f"{family}/{size}"] = medians[(family, size)]
+        elif "python" in times and "numpy" in times and times["numpy"]:
             speedups[f"{family}/{size}"] = times["python"] / times["numpy"]
     return speedups
 
@@ -246,7 +400,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeats",
         type=int,
         default=None,
-        help="best-of-N stream replays per backend (default 3; smoke 1)",
+        help="best-of-N interleaved stream replays per backend "
+        "(default 3; smoke 2)",
     )
     parser.add_argument(
         "--insert-fraction",
@@ -258,7 +413,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--families",
         default="plrg,gnm",
         help="comma-separated graph families (plrg: sparse/conflict-heavy, "
-        "gnm: dense/quiet-dominated)",
+        "gnm: dense/quiet-dominated, plrg-adv: insertions aimed at the "
+        "seed solution's selected set — the all-conflict worst case)",
+    )
+    parser.add_argument(
+        "--conflict-sweep",
+        action="store_true",
+        help="additionally sweep plrg conflict_fraction over "
+        f"{SWEEP_FRACTIONS} at each size",
     )
     parser.add_argument("--beta", type=float, default=2.1, help="PLRG beta")
     parser.add_argument(
@@ -275,6 +437,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the scalar backend above this vertex count",
     )
     parser.add_argument(
+        "--min-numpy-ratio",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any plrg-family numpy/python speedup drops "
+        "below this ratio — the wave-vs-scalar regression guard",
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_stream.json"),
         help="path of the JSON report (default: BENCH_stream.json at the repo root)",
@@ -284,7 +453,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.smoke:
         sizes = list(SMOKE_SIZES)
         updates = args.updates or SMOKE_UPDATES
-        repeats = args.repeats or 1
+        repeats = args.repeats or 2
     else:
         sizes = (
             [int(s) for s in args.sizes.split(",")]
@@ -295,11 +464,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats = args.repeats or 3
 
     families = [f for f in args.families.split(",") if f]
+    jobs: List[Tuple[str, str, Optional[float]]] = [
+        (family, family, None) for family in families
+    ]
+    if args.conflict_sweep:
+        jobs.extend(
+            ("plrg", f"plrg@c{fraction:g}", fraction)
+            for fraction in SWEEP_FRACTIONS
+        )
     rows: List[Dict[str, object]] = []
-    for family in families:
+    for family, label, conflict_fraction in jobs:
         for size in sizes:
             print(
-                f"{family} n={size:,}: {updates:,} updates "
+                f"{label} n={size:,}: {updates:,} updates "
                 f"(batch {args.batch_size}) ..."
             )
             size_rows = bench_size(
@@ -314,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.pipeline,
                 args.python_max,
                 repeats,
+                conflict_fraction=conflict_fraction,
+                label=label,
             )
             rows.extend(size_rows)
             for row in size_rows:
@@ -321,23 +500,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"  {row['backend']:>7}: {row['updates_per_second']:>12,.0f} "
                     f"updates/s  set={row['set_size']:,} "
                     f"(recompute {row['recompute_set_size']:,}, "
-                    f"drift {row['drift_pct']:.2f}%)"
+                    f"drift {row['drift_pct']:.2f}%, "
+                    f"conflict density {row['conflict_density']:.3f})"
                 )
 
     speedups = compute_speedups(rows)
     report = {
         "benchmark": "bench_stream",
         "description": "Sustained apply_updates throughput of the dynamic MIS "
-        "maintainer per kernel backend (scalar python loop vs. conflict-free "
-        "numpy waves) over mixed update streams on two graph families — "
-        "sparse PLRG (conflict-heavy: most vertices are selected, so random "
-        "updates keep flipping flags through the scalar path) and dense gnm "
-        "(quiet-dominated: waves commit in bulk) — with the solution-size "
-        "drift of the maintained set against a recompute-from-scratch "
-        "solve_mis run on the final graph; speedups are "
+        "maintainer per kernel backend (scalar python loop vs. batched numpy "
+        "waves with conflict-path eviction) over mixed update streams on "
+        "bracketing graph families — sparse PLRG (conflict-heavy: most "
+        "vertices are selected, so random updates keep evicting), dense gnm "
+        "(quiet-dominated: waves commit in bulk) and optionally plrg-adv "
+        "(every insertion aimed at the selected set) — with the "
+        "solution-size drift of the maintained set against a "
+        "recompute-from-scratch solve_mis run on the final graph; repeats "
+        "are interleaved across backends and every run asserts bit-identical "
+        "sets, journals, stats and tightness; speedups are "
         "python-time / numpy-time.",
         "config": {
             "families": families,
+            "conflict_sweep": bool(args.conflict_sweep),
             "beta": args.beta,
             "avg_degree": args.avg_degree,
             "seed": args.seed,
@@ -348,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "python_max": args.python_max,
             "repeats": repeats,
             "smoke": bool(args.smoke),
+            "min_numpy_ratio": args.min_numpy_ratio,
             "backends": list(available_backends()),
         },
         "results": rows,
@@ -356,6 +541,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
+
+    if args.min_numpy_ratio is not None:
+        guarded = {
+            key: ratio
+            for key, ratio in speedups.items()
+            if key.startswith("plrg")
+        }
+        failing = {
+            key: ratio
+            for key, ratio in guarded.items()
+            if ratio < args.min_numpy_ratio
+        }
+        if failing:
+            print(
+                "FAIL: wave-vs-scalar ratio below "
+                f"{args.min_numpy_ratio}: "
+                + ", ".join(f"{k}={v:.3f}" for k, v in sorted(failing.items()))
+            )
+            return 1
+        if guarded:
+            print(
+                f"ratio guard ok (>= {args.min_numpy_ratio}): "
+                + ", ".join(f"{k}={v:.3f}" for k, v in sorted(guarded.items()))
+            )
     return 0
 
 

@@ -189,7 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="FILE",
         help="edge-update file: one '+ u v' (insert) or '- u v' (delete) "
-        "per line, '#' comments allowed",
+        "per line, '#' comments allowed; '-' reads the stream from stdin "
+        "(checkpointable but never resumable)",
     )
     watch.add_argument(
         "--pipeline",
@@ -613,6 +614,13 @@ def _command_watch(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
+    if args.resume and args.updates == "-":
+        print(
+            "--resume cannot be combined with --updates -: a stdin stream "
+            "is consumed on first read and can never be replayed",
+            file=sys.stderr,
+        )
+        return 2
     if args.interrupt_after is not None and args.checkpoint is None:
         print("--interrupt-after requires --checkpoint PATH", file=sys.stderr)
         return 2
@@ -653,11 +661,15 @@ def _command_watch(args: argparse.Namespace) -> int:
         for report in session.process():
             if not args.quiet and not args.json:
                 compacted = ", compacted" if report.compacted else ""
+                waves = (
+                    f", waves={report.sub_waves}" if report.sub_waves else ""
+                )
                 print(
                     f"batch {report.batch_index + 1}/{total}: "
                     f"+{report.insertions}/-{report.deletions}, "
                     f"set={report.set_size}, "
-                    f"overlay={report.overlay_size}{compacted}"
+                    f"evict={report.evictions}, "
+                    f"overlay={report.overlay_size}{waves}{compacted}"
                 )
     except PipelineInterrupted as exc:
         print(str(exc), file=sys.stderr)
@@ -679,6 +691,15 @@ def _command_watch(args: argparse.Namespace) -> int:
             f"/-{stats['edges_deleted']}"
         )
         print(f"evictions       : {stats['evictions']}")
+        print(f"conflict density: {summary['conflict_density']:.3f}")
+        wave = session.maintainer.wave
+        if wave.sub_waves:
+            print(
+                f"wave scheduler  : {wave.sub_waves} sub-waves over "
+                f"{wave.chunks} chunks, "
+                f"{wave.batched_evictions} batched evictions, "
+                f"{wave.scalar_fallbacks} scalar fallbacks"
+            )
         print(f"compactions     : {stats['compactions']}")
         print(f"final set size  : {summary['set_size']}")
         print(f"elapsed seconds : {summary['elapsed_seconds']:.3f}")

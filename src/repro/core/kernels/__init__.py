@@ -9,6 +9,7 @@ auto-detects the default (numpy preferred).  See
 from repro.core.kernels.base import (
     BACKEND_ENV_VAR,
     KernelBackend,
+    WaveTelemetry,
     available_backends,
     default_backend_name,
     get_backend,
@@ -32,6 +33,7 @@ __all__ = [
     "NumpyBackend",
     "PythonBackend",
     "SwapCandidateStore",
+    "WaveTelemetry",
     "available_backends",
     "default_backend_name",
     "get_backend",

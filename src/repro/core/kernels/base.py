@@ -37,13 +37,15 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.result import RoundStats
 from repro.errors import SolverError
 
 __all__ = [
     "KernelBackend",
+    "WaveTelemetry",
     "available_backends",
     "decode_rounds",
     "default_backend_name",
@@ -58,6 +60,38 @@ __all__ = [
 
 #: Environment variable that overrides the auto-detected default backend.
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+@dataclass
+class WaveTelemetry:
+    """How the wave scheduler spent one maintainer's update stream.
+
+    Lives on :class:`~repro.dynamic.maintainer.DynamicMISMaintainer` as
+    ``maintainer.wave`` and is written only by the numpy backend's
+    dependency-partitioned wave scheduler — the scalar reference leaves
+    it at zero.  Deliberately *not* part of
+    :class:`~repro.dynamic.maintainer.UpdateStats`: the stats are the
+    cross-backend parity bar, while these counters describe *how* one
+    backend scheduled the work.  Not checkpointed (window adaptation
+    state is not either), so resumed sessions restart the counters.
+    """
+
+    #: Candidate windows examined (each may yield several sub-waves).
+    chunks: int = 0
+    #: Dependency-free sub-waves committed in bulk.
+    sub_waves: int = 0
+    #: Conflict insertions (both endpoints selected) whose eviction and
+    #: re-saturation were resolved inside a batched sub-wave.
+    batched_evictions: int = 0
+    #: Selection-flag flips (saturation selects, deletion re-covers)
+    #: journalled from batched commits rather than scalar ``_select``.
+    batched_selects: int = 0
+    #: Updates that went through the scalar per-edge methods (hard rows
+    #: and dependency-dense bursts).
+    scalar_fallbacks: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return asdict(self)
 
 
 def encode_rounds(rounds) -> List[List[int]]:
@@ -244,6 +278,24 @@ class KernelBackend(abc.ABC):
         degree mid-round wait for a later round.  Returns the selection
         sequence, which is bit-identical across backends.
         """
+
+    def normalize_updates_pass(
+        self, updates: Iterable[Tuple[int, int]], *, strict: bool
+    ) -> List[Tuple[int, int]]:
+        """Coerce, validate and dedupe one side of an update batch.
+
+        Duplicates of the same undirected edge keep only the first
+        occurrence in its original orientation (orientation feeds the
+        eviction tie-break).  ``strict`` mirrors the per-edge methods:
+        insertions raise :class:`~repro.errors.GraphError` on malformed
+        pairs, deletions drop them as no-ops.  The default is the shared
+        scalar helper; the numpy backend overrides it with a vectorized
+        sort/unique sweep producing the identical list.
+        """
+
+        from repro.core.kernels.python_backend import normalize_updates
+
+        return normalize_updates(updates, strict=strict)
 
     @abc.abstractmethod
     def dynamic_apply_pass(self, maintainer, insertions, deletions) -> None:

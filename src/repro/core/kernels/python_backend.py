@@ -34,9 +34,42 @@ from repro.core.kernels.base import (
 from repro.core.kernels.sc_store import SwapCandidateStore
 from repro.core.result import RoundStats
 from repro.core.states import VertexState as S
-from repro.errors import SolverError
+from repro.errors import GraphError, SolverError
 
-__all__ = ["PythonBackend"]
+__all__ = ["PythonBackend", "normalize_updates"]
+
+
+def normalize_updates(updates, *, strict: bool) -> List[Tuple[int, int]]:
+    """Coerce, validate and dedupe one side of an update batch.
+
+    The shared scalar reference behind every backend's
+    ``normalize_updates_pass``: duplicates of the same undirected edge
+    keep only the first occurrence in its original orientation
+    (orientation feeds the eviction tie-break).  ``strict`` mirrors the
+    per-edge maintainer methods — insertions raise on malformed pairs,
+    deletions drop them as no-ops.
+    """
+
+    if hasattr(updates, "tolist"):
+        updates = updates.tolist()
+    seen = set()
+    normalized: List[Tuple[int, int]] = []
+    for pair in updates:
+        u, v = int(pair[0]), int(pair[1])
+        if u == v:
+            if strict:
+                raise GraphError("self loops are not allowed")
+            continue
+        if u < 0 or v < 0:
+            if strict:
+                raise GraphError("vertex ids must be non-negative")
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        normalized.append((u, v))
+    return normalized
 
 # Internal compact states of the greedy bitmap-style pass.
 _INITIAL = 0

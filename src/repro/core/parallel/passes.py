@@ -336,6 +336,9 @@ class ParallelKernel(KernelBackend):
     def supports_maintainer(self, maintainer) -> bool:
         return self._delegate.supports_maintainer(maintainer)
 
+    def normalize_updates_pass(self, *args, **kwargs):
+        return self._delegate.normalize_updates_pass(*args, **kwargs)
+
     def dynamic_apply_pass(self, *args, **kwargs):
         # Update application is inherently serial state maintenance; the
         # sharded passes add nothing, so it rides the delegate unchanged.

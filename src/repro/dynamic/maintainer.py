@@ -56,7 +56,8 @@ from bisect import bisect_left
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.kernels import resolve_maintainer_backend
+from repro.core.kernels import WaveTelemetry, resolve_maintainer_backend
+from repro.core.kernels.python_backend import normalize_updates
 from repro.core.solver import solve_mis
 from repro.errors import DuplicateEdgeError, GraphError, SolverError, VertexError
 from repro.graphs.graph import Graph
@@ -93,13 +94,26 @@ class DynamicMISMaintainer:
         pipeline: str = "two_k_swap",
         backend: Optional[str] = None,
         compact_threshold: Optional[int] = None,
+        journal_limit: Optional[int] = None,
     ) -> None:
+        if journal_limit is not None and journal_limit < 0:
+            raise SolverError("journal_limit must be non-negative")
         self._pipeline = pipeline
         self._backend = backend
         self.compact_threshold = compact_threshold
+        self.journal_limit = journal_limit
         self.stats = UpdateStats()
+        #: How the wave scheduler spent this maintainer's stream; written
+        #: only by the numpy backend, zeros under the scalar reference.
+        self.wave = WaveTelemetry()
+        #: Backend scratch that survives between ``apply_updates`` calls
+        #: (e.g. the adaptive wave-window sizes).
+        self._wave_state: Dict[str, int] = {}
         #: Ordered record of every selection change as ("select" |
         #: "unselect", vertex); parity tests compare it across backends.
+        #: With ``journal_limit`` set it behaves as a ring: only the most
+        #: recent ``journal_limit`` entries are retained (trimmed at
+        #: update boundaries, so a long-lived session stays bounded).
         self.journal: List[Tuple[str, int]] = []
         # Immutable CSR base (the initial graph) + per-vertex delta overlay.
         self._base_offsets = None
@@ -113,6 +127,10 @@ class DynamicMISMaintainer:
         self._selected = self._new_bool(0)
         self._tight = self._new_int(0)
         self._degree = self._new_int(0)
+        #: Conservative per-vertex flag: True once the vertex has (ever
+        #: had) a delta-overlay entry, so vectorized adjacency gathers
+        #: can skip the per-vertex dict probes on clean vertices.
+        self._overlay_dirty = self._new_bool(0)
         self._num_present = 0
         self._num_edges = 0
         self._max_id = -1
@@ -172,7 +190,9 @@ class DynamicMISMaintainer:
             return
         new_capacity = max(needed, 2 * self._capacity, 16)
         if _np is not None and isinstance(self._present, _np.ndarray):
-            for name in ("_present", "_selected", "_tight", "_degree"):
+            for name in (
+                "_present", "_selected", "_tight", "_degree", "_overlay_dirty"
+            ):
                 old = getattr(self, name)
                 fresh = _np.zeros(new_capacity, dtype=old.dtype)
                 fresh[: old.size] = old
@@ -183,6 +203,7 @@ class DynamicMISMaintainer:
             self._selected.extend([False] * pad)
             self._tight.extend([0] * pad)
             self._degree.extend([0] * pad)
+            self._overlay_dirty.extend([False] * pad)
         self._capacity = new_capacity
 
     def _selected_ids(self) -> List[int]:
@@ -420,6 +441,7 @@ class DynamicMISMaintainer:
         self._create_vertex(vertex)
         self._select(vertex)
         self.stats.vertices_added += 1
+        self._trim_journal()
         return vertex
 
     def insert_edge(self, u: int, v: int, *, exist_ok: bool = True) -> None:
@@ -442,6 +464,7 @@ class DynamicMISMaintainer:
                 self._select(vertex)
         if self._has_edge(u, v):
             if exist_ok:
+                self._trim_journal()
                 return
             raise DuplicateEdgeError(u, v)
         self._apply_edge_insert(u, v)
@@ -452,6 +475,7 @@ class DynamicMISMaintainer:
             self._unselect(evicted)
             self.stats.evictions += 1
             self._saturate(self._neighbors(evicted) + [evicted])
+        self._trim_journal()
 
     def _apply_edge_insert(self, u: int, v: int) -> None:
         for a, b in ((u, v), (v, u)):
@@ -460,6 +484,7 @@ class DynamicMISMaintainer:
                 removed.discard(b)
             else:
                 self._added.setdefault(a, set()).add(b)
+            self._overlay_dirty[a] = True
             self._degree[a] += 1
             if self._selected[b]:
                 self._tight[a] += 1
@@ -480,12 +505,14 @@ class DynamicMISMaintainer:
                 added.discard(b)
             else:
                 self._removed.setdefault(a, set()).add(b)
+            self._overlay_dirty[a] = True
             self._degree[a] -= 1
             if self._selected[b]:
                 self._tight[a] -= 1
         self._num_edges -= 1
         self.stats.edges_deleted += 1
         self._saturate((u, v))
+        self._trim_journal()
 
     def delete_vertex(self, vertex: int) -> None:
         """Delete ``vertex`` and its incident edges from the graph.
@@ -510,6 +537,7 @@ class DynamicMISMaintainer:
                     added.discard(b)
                 else:
                     self._removed.setdefault(a, set()).add(b)
+                self._overlay_dirty[a] = True
             self._degree[u] -= 1
         self._degree[vertex] = 0
         self._tight[vertex] = 0
@@ -519,6 +547,7 @@ class DynamicMISMaintainer:
         self.stats.edges_deleted += len(neighbors)
         self.stats.vertices_deleted += 1
         self._saturate(neighbors)
+        self._trim_journal()
 
     @staticmethod
     def _normalize_updates(
@@ -533,26 +562,7 @@ class DynamicMISMaintainer:
         no-ops.
         """
 
-        if hasattr(updates, "tolist"):
-            updates = updates.tolist()
-        seen: Set[Tuple[int, int]] = set()
-        normalized: List[Tuple[int, int]] = []
-        for pair in updates:
-            u, v = int(pair[0]), int(pair[1])
-            if u == v:
-                if strict:
-                    raise GraphError("self loops are not allowed")
-                continue
-            if u < 0 or v < 0:
-                if strict:
-                    raise GraphError("vertex ids must be non-negative")
-                continue
-            key = (u, v) if u < v else (v, u)
-            if key in seen:
-                continue
-            seen.add(key)
-            normalized.append((u, v))
-        return normalized
+        return normalize_updates(updates, strict=strict)
 
     def apply_updates(
         self,
@@ -575,8 +585,9 @@ class DynamicMISMaintainer:
         the (cumulative) :class:`UpdateStats`.
         """
 
-        insertions = self._normalize_updates(insertions, strict=True)
-        deletions = self._normalize_updates(deletions, strict=False)
+        backend = resolve_maintainer_backend(self._backend, self)
+        insertions = backend.normalize_updates_pass(insertions, strict=True)
+        deletions = backend.normalize_updates_pass(deletions, strict=False)
         if not exist_ok:
             # Deletions run after insertions and duplicates are gone, so
             # checking against the pre-batch graph is exactly the moment
@@ -584,8 +595,8 @@ class DynamicMISMaintainer:
             for u, v in insertions:
                 if self._has_edge(u, v):
                     raise DuplicateEdgeError(u, v)
-        backend = resolve_maintainer_backend(self._backend, self)
         backend.dynamic_apply_pass(self, insertions, deletions)
+        self._trim_journal()
         self._maybe_compact()
         return self.stats
 
@@ -634,6 +645,11 @@ class DynamicMISMaintainer:
         self._base_n = graph.num_vertices
         self._added.clear()
         self._removed.clear()
+        if _np is not None and isinstance(self._overlay_dirty, _np.ndarray):
+            self._overlay_dirty[:] = False
+        else:
+            for v in range(self._capacity):
+                self._overlay_dirty[v] = False
         self.stats.compactions += 1
 
     def _maybe_compact(self) -> None:
@@ -698,6 +714,7 @@ class DynamicMISMaintainer:
         *,
         backend: Optional[str] = None,
         compact_threshold: Optional[int] = None,
+        journal_limit: Optional[int] = None,
     ) -> "DynamicMISMaintainer":
         """Rebuild a maintainer from :meth:`state_payload` + CSR base."""
 
@@ -705,6 +722,7 @@ class DynamicMISMaintainer:
             pipeline=payload["pipeline"],
             backend=backend,
             compact_threshold=compact_threshold,
+            journal_limit=journal_limit,
         )
         maintainer._base_offsets = base_offsets
         maintainer._base_targets = base_targets
@@ -729,9 +747,13 @@ class DynamicMISMaintainer:
         for u, v in payload["added"]:
             maintainer._added.setdefault(u, set()).add(v)
             maintainer._added.setdefault(v, set()).add(u)
+            maintainer._overlay_dirty[u] = True
+            maintainer._overlay_dirty[v] = True
         for u, v in payload["removed"]:
             maintainer._removed.setdefault(u, set()).add(v)
             maintainer._removed.setdefault(v, set()).add(u)
+            maintainer._overlay_dirty[u] = True
+            maintainer._overlay_dirty[v] = True
         for u, neighbors in maintainer._added.items():
             maintainer._degree[u] += len(neighbors)
         for u, neighbors in maintainer._removed.items():
@@ -745,6 +767,35 @@ class DynamicMISMaintainer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _trim_journal(self) -> None:
+        """Drop all but the newest ``journal_limit`` entries (ring mode)."""
+
+        limit = self.journal_limit
+        if limit is not None and len(self.journal) > limit:
+            del self.journal[: len(self.journal) - limit]
+
+    # The three hooks below are the bulk counterparts of ``_select`` /
+    # ``_unselect`` used by the wave scheduler: a committed sub-wave
+    # journals, flips selection flags and scatters tightness for many
+    # vertices in one call each instead of one python call per vertex.
+    def _journal_extend(self, entries: Iterable[Tuple[str, int]]) -> None:
+        self.journal.extend(entries)
+
+    def _store_selected(self, vertices, value: bool) -> None:
+        if _np is not None and isinstance(self._selected, _np.ndarray):
+            self._selected[vertices] = value
+        else:
+            for v in vertices:
+                self._selected[v] = value
+
+    def _scatter_tight(self, vertices, deltas) -> None:
+        if _np is not None and isinstance(self._tight, _np.ndarray):
+            _np.add.at(self._tight, vertices, deltas)
+        else:
+            scalar = not hasattr(deltas, "__len__")
+            for i, v in enumerate(vertices):
+                self._tight[v] += deltas if scalar else deltas[i]
+
     def _saturate(self, candidates: Iterable[int]) -> None:
         """Greedily add any candidate left without a selected neighbour."""
 

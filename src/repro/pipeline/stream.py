@@ -16,7 +16,10 @@ Update files are plain text, one update per line::
 
 Within a batch every insertion is applied before every deletion; this is
 part of the stream semantics and keeps a batch's outcome independent of
-line interleaving inside it.
+line interleaving inside it.  Passing ``"-"`` as the update path reads
+the stream from standard input; such a session checkpoints normally but
+pins the digest ``"-"`` and can never be resumed (stdin bytes are
+consumed on first read).
 
 Crash recovery mirrors the pipeline engine: after every batch the
 session writes a versioned checkpoint (maintainer state + stream cursor)
@@ -36,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
 import time
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -79,17 +83,24 @@ def _maintainer_cls():
 def load_updates(path: str) -> List[Tuple[str, int, int]]:
     """Parse an update file into ``(op, u, v)`` triples.
 
-    ``op`` is ``"+"`` (insert) or ``"-"`` (delete).  Raises
+    ``op`` is ``"+"`` (insert) or ``"-"`` (delete).  ``path="-"`` reads
+    the stream from standard input instead of a file.  Raises
     :class:`StreamError` naming the offending line for anything
     malformed.
     """
 
     updates: List[Tuple[str, int, int]] = []
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-    except OSError as exc:
-        raise StreamError(f"cannot read update file {path!r}: {exc}") from None
+    if path == "-":
+        lines = sys.stdin.readlines()
+        path = "<stdin>"
+    else:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise StreamError(
+                f"cannot read update file {path!r}: {exc}"
+            ) from None
     for lineno, raw in enumerate(lines, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -110,8 +121,16 @@ def load_updates(path: str) -> List[Tuple[str, int, int]]:
 
 
 def updates_digest(path: str) -> str:
-    """BLAKE2b digest of an update file's bytes (the stream identity)."""
+    """BLAKE2b digest of an update file's bytes (the stream identity).
 
+    A stream read from standard input (``path="-"``) has no replayable
+    identity; its digest is the literal string ``"-"``, which never
+    matches a file digest, so checkpoints written for a stdin stream can
+    never be resumed (the bytes are gone once consumed).
+    """
+
+    if path == "-":
+        return "-"
     digest = hashlib.blake2b(digest_size=16)
     with open(path, "rb") as handle:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
@@ -121,7 +140,14 @@ def updates_digest(path: str) -> str:
 
 @dataclass(frozen=True)
 class BatchReport:
-    """Telemetry for one applied update batch."""
+    """Telemetry for one applied update batch.
+
+    ``evictions``, ``sub_waves`` and ``scalar_fallbacks`` are deltas for
+    this batch alone: evictions count the conflict updates that forced a
+    selection change (backend-independent), the wave counters describe
+    how the numpy scheduler spent the batch (zero under the scalar
+    reference backend).
+    """
 
     batch_index: int
     insertions: int
@@ -130,6 +156,9 @@ class BatchReport:
     overlay_size: int
     compacted: bool
     elapsed_seconds: float
+    evictions: int = 0
+    sub_waves: int = 0
+    scalar_fallbacks: int = 0
 
     def summary(self) -> Dict[str, Any]:
         return asdict(self)
@@ -170,6 +199,12 @@ class StreamSession:
         self._elapsed = 0.0
         self._base_section: Optional[EncodedSection] = None
 
+        if resume and self._updates_digest == "-":
+            raise StreamError(
+                "cannot resume a stream read from stdin: its bytes are "
+                "consumed on first read, so a checkpoint pinned to "
+                "digest '-' never matches a replayable stream"
+            )
         if resume and checkpoint and os.path.exists(checkpoint):
             self._maintainer = self._restore(checkpoint)
         else:
@@ -217,6 +252,12 @@ class StreamSession:
         write_checkpoint(
             self._checkpoint, payload, sections={"base": self._base_section}
         )
+        # Everything the journal recorded up to this point is now
+        # captured by the durable checkpoint (resume rebuilds selection
+        # state from the payload, never by replaying the journal), so
+        # the replayed prefix is dead weight — drop it to keep a
+        # long-running session's memory bounded by one batch.
+        del self._maintainer.journal[:]
         self._writes += 1
         if (
             self._interrupt_after is not None
@@ -298,6 +339,9 @@ class StreamSession:
             insertions = [(u, v) for op, u, v in chunk if op == "+"]
             deletions = [(u, v) for op, u, v in chunk if op == "-"]
             compactions = maintainer.stats.compactions
+            evictions = maintainer.stats.evictions
+            sub_waves = maintainer.wave.sub_waves
+            fallbacks = maintainer.wave.scalar_fallbacks
             began = time.perf_counter()
             maintainer.apply_updates(insertions, deletions)
             elapsed = time.perf_counter() - began
@@ -320,6 +364,9 @@ class StreamSession:
                 overlay_size=maintainer.overlay_size,
                 compacted=compacted,
                 elapsed_seconds=elapsed,
+                evictions=maintainer.stats.evictions - evictions,
+                sub_waves=maintainer.wave.sub_waves - sub_waves,
+                scalar_fallbacks=maintainer.wave.scalar_fallbacks - fallbacks,
             )
 
     def run(self) -> Dict[str, Any]:
@@ -333,6 +380,8 @@ class StreamSession:
         """JSON-ready summary of the session's current state."""
 
         maintainer = self._maintainer
+        stats = maintainer.stats
+        applied = stats.edges_inserted + stats.edges_deleted
         return {
             "algorithm": "stream",
             "pipeline": self._pipeline,
@@ -344,6 +393,11 @@ class StreamSession:
             "set_size": maintainer.size,
             "overlay_size": maintainer.overlay_size,
             "independent_set": sorted(maintainer.independent_set),
-            "stats": asdict(maintainer.stats),
+            "stats": asdict(stats),
+            # Derived purely from the (checkpointed) stats so that the
+            # summary stays bit-identical across kill/resume; the wave
+            # telemetry is deliberately absent here because its counters
+            # restart on resume.
+            "conflict_density": stats.evictions / applied if applied else 0.0,
             "elapsed_seconds": self._elapsed,
         }

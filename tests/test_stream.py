@@ -93,6 +93,142 @@ class TestBackendParity:
         assert scalar.journal == waves.journal
         assert scalar.stats == waves.stats
 
+    def test_conflict_dense_stream_parity(self):
+        # Adversarial stream for the batched conflict-path eviction: a
+        # large share of insertions land between two *selected* vertices,
+        # so almost every batch carries eviction + re-saturation chains.
+        # Sets, journals, stats and tightness must stay bit-identical.
+        pytest.importorskip("numpy")
+
+        def run(backend):
+            rng = random.Random(77)
+            maintainer = DynamicMISMaintainer(
+                plrg_test_graph(seed=5), backend=backend
+            )
+            for _ in range(12):
+                selected = sorted(maintainer.independent_set)
+                insertions, deletions = [], []
+                for _ in range(120):
+                    if rng.random() < 0.7 and len(selected) >= 2:
+                        u, v = rng.sample(selected, 2)
+                    else:
+                        u, v = rng.randrange(140), rng.randrange(140)
+                        if u == v:
+                            continue
+                    if rng.random() < 0.8:
+                        insertions.append((u, v))
+                    else:
+                        deletions.append((u, v))
+                maintainer.apply_updates(insertions, deletions)
+            maintainer.check_invariants()
+            return maintainer
+
+        scalar = run("python")
+        waves = run("numpy")
+        assert scalar.independent_set == waves.independent_set
+        assert scalar.journal == waves.journal
+        assert scalar.stats == waves.stats
+        assert tightness(scalar) == tightness(waves)
+        assert scalar.stats.evictions > 50  # the stream really is hostile
+        assert waves.wave.batched_evictions > 0
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        updates=st.integers(min_value=1, max_value=220),
+        batch=st.sampled_from([1, 7, 64, 256]),
+        conflict=st.sampled_from([0.0, 0.4, 0.9]),
+        kind=st.sampled_from(["gnm", "plrg"]),
+    )
+    def test_partitioner_parity_sweep(
+        self, seed, updates, batch, conflict, kind
+    ):
+        # Property sweep over the wave partitioner: any stream shape,
+        # batch size and conflict density must reproduce the scalar
+        # reference exactly — selection sets AND journals.
+        pytest.importorskip("numpy")
+        graph = (
+            gnm_graph(seed=seed % 5 + 1)
+            if kind == "gnm"
+            else plrg_test_graph(seed=seed % 5 + 1)
+        )
+        maintainers = {
+            name: DynamicMISMaintainer(graph, backend=name)
+            for name in ("python", "numpy")
+        }
+        rng = random.Random(seed)
+        pending = []
+        for _ in range(updates):
+            selected = sorted(maintainers["python"].independent_set)
+            if rng.random() < conflict and len(selected) >= 2:
+                u, v = rng.sample(selected, 2)
+            else:
+                u, v = rng.randrange(140), rng.randrange(140)
+                if u == v:
+                    continue
+            pending.append(("+" if rng.random() < 0.65 else "-", u, v))
+            if len(pending) >= batch:
+                insertions = [(u, v) for op, u, v in pending if op == "+"]
+                deletions = [(u, v) for op, u, v in pending if op == "-"]
+                for m in maintainers.values():
+                    m.apply_updates(insertions, deletions)
+                pending = []
+                scalar, waves = maintainers["python"], maintainers["numpy"]
+                assert scalar.independent_set == waves.independent_set
+                assert scalar.journal == waves.journal
+                assert scalar.stats == waves.stats
+        maintainers["numpy"].check_invariants()
+
+    def test_normalization_matches_the_scalar_reference(self):
+        np = pytest.importorskip("numpy")
+        from repro.core.kernels import get_backend
+        from repro.core.kernels.python_backend import normalize_updates
+
+        numpy_backend = get_backend("numpy")
+        rng = random.Random(9)
+        batch = []
+        for _ in range(400):
+            u, v = rng.randrange(40), rng.randrange(40)
+            batch.append((u, v))  # self loops and duplicates included
+        for strict in (False,) if any(u == v for u, v in batch) else (True,):
+            assert numpy_backend.normalize_updates_pass(
+                batch, strict=strict
+            ) == normalize_updates(batch, strict=strict)
+        clean = [(u, v) for u, v in batch if u != v]
+        assert numpy_backend.normalize_updates_pass(
+            clean, strict=True
+        ) == normalize_updates(clean, strict=True)
+        as_array = np.asarray(clean, dtype=np.int64)
+        assert numpy_backend.normalize_updates_pass(
+            as_array, strict=True
+        ) == normalize_updates(clean, strict=True)
+
+    @pytest.mark.parametrize(
+        "bad", [[(1, 2, 3)], [(1,)], [("a", "b")], [(1, 2), (3, 4, 5)]]
+    )
+    def test_normalization_rejects_ragged_rows_like_the_reference(self, bad):
+        # Malformed rows must not be silently mis-parsed by the
+        # vectorized fast path; both backends raise the same way.
+        pytest.importorskip("numpy")
+        from repro.core.kernels import get_backend
+        from repro.core.kernels.python_backend import normalize_updates
+
+        numpy_backend = get_backend("numpy")
+        try:
+            expected = normalize_updates(bad, strict=True)
+        except Exception as exc:  # noqa: BLE001 - mirrored exactly below
+            with pytest.raises(type(exc)):
+                numpy_backend.normalize_updates_pass(bad, strict=True)
+        else:
+            assert (
+                numpy_backend.normalize_updates_pass(bad, strict=True)
+                == expected
+            )
+
     def test_unknown_backend_falls_back_for_list_maintainers(self, monkeypatch):
         # A maintainer whose state arrays are plain lists cannot take the
         # numpy pass; resolution silently falls back to the scalar one.
@@ -283,6 +419,23 @@ class TestUpdateFiles:
         b.write_text("+ 1 3\n")
         assert updates_digest(str(a)) != updates_digest(str(b))
 
+    def test_load_updates_reads_stdin(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("# streamed\n+ 1 2\n- 3 4\n")
+        )
+        assert load_updates("-") == [("+", 1, 2), ("-", 3, 4)]
+        assert updates_digest("-") == "-"
+
+    def test_load_updates_names_stdin_in_errors(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("+ 1 2\n? 9 9\n"))
+        with pytest.raises(StreamError) as excinfo:
+            load_updates("-")
+        assert "<stdin>:2:" in str(excinfo.value)
+
 
 @pytest.fixture
 def stream_setup(tmp_path):
@@ -417,6 +570,109 @@ class TestStreamSession:
                 graph, updates, batch_size=64, checkpoint=checkpoint, resume=True
             )
 
+    def test_stdin_streams_checkpoint_but_never_resume(
+        self, stream_setup, monkeypatch
+    ):
+        import io
+
+        graph, updates, checkpoint = stream_setup
+        text = open(updates, "r", encoding="utf-8").read()
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        session = StreamSession(
+            graph, "-", batch_size=100, checkpoint=checkpoint
+        )
+        summary = session.run()
+        baseline = StreamSession(graph, updates, batch_size=100).run()
+        summary.pop("elapsed_seconds")
+        baseline.pop("elapsed_seconds")
+        assert summary == baseline
+        from repro.storage.checkpoint import read_checkpoint
+
+        assert read_checkpoint(checkpoint)["pins"]["updates_digest"] == "-"
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        with pytest.raises(StreamError, match="stdin"):
+            StreamSession(
+                graph, "-", batch_size=100, checkpoint=checkpoint, resume=True
+            )
+        # A file-based session never matches the '-' pin either.
+        with pytest.raises(StreamError, match="refusing to resume"):
+            StreamSession(
+                graph,
+                updates,
+                batch_size=100,
+                checkpoint=checkpoint,
+                resume=True,
+            )
+
+    def test_checkpoint_writes_drop_the_replayed_journal_prefix(
+        self, stream_setup
+    ):
+        graph, updates, checkpoint = stream_setup
+        plain = StreamSession(graph, updates, batch_size=100)
+        plain.run()
+        assert plain.maintainer.journal  # un-checkpointed sessions keep it
+        durable = StreamSession(
+            graph, updates, batch_size=100, checkpoint=checkpoint
+        )
+        durable.run()
+        # Every batch checkpoints, and each write retires the journal
+        # entries it made durable — nothing is left in memory.
+        assert durable.maintainer.journal == []
+        assert (
+            sorted(durable.maintainer.independent_set)
+            == sorted(plain.maintainer.independent_set)
+        )
+
+    def test_batch_reports_carry_conflict_and_wave_deltas(self, stream_setup):
+        pytest.importorskip("numpy")
+        graph, updates, _ = stream_setup
+        session = StreamSession(
+            graph, updates, batch_size=100, backend="numpy"
+        )
+        reports = list(session.process())
+        maintainer = session.maintainer
+        assert (
+            sum(r.evictions for r in reports) == maintainer.stats.evictions
+        )
+        assert (
+            sum(r.sub_waves for r in reports) == maintainer.wave.sub_waves
+        )
+        assert (
+            sum(r.scalar_fallbacks for r in reports)
+            == maintainer.wave.scalar_fallbacks
+        )
+        summary = session.result()
+        applied = (
+            maintainer.stats.edges_inserted + maintainer.stats.edges_deleted
+        )
+        assert summary["conflict_density"] == (
+            maintainer.stats.evictions / applied
+        )
+        report_keys = set(reports[0].summary())
+        assert {"evictions", "sub_waves", "scalar_fallbacks"} <= report_keys
+
+
+class TestJournalRing:
+    def test_journal_limit_keeps_only_the_newest_entries(self):
+        full = DynamicMISMaintainer(gnm_graph())
+        ring = DynamicMISMaintainer(gnm_graph(), journal_limit=5)
+        rng = random.Random(31)
+        insertions, deletions = random_stream(rng, 140, 300)
+        full.apply_updates(insertions, deletions)
+        ring.apply_updates(insertions, deletions)
+        assert len(full.journal) > 5
+        assert len(ring.journal) == 5
+        assert ring.journal == full.journal[-5:]
+        ring.check_invariants()
+
+    def test_journal_limit_zero_disables_journalling(self):
+        ring = DynamicMISMaintainer(gnm_graph(), journal_limit=0)
+        rng = random.Random(32)
+        insertions, deletions = random_stream(rng, 140, 200)
+        ring.apply_updates(insertions, deletions)
+        assert ring.journal == []
+        ring.check_invariants()
+
 
 class TestWatchCommand:
     def write_graph(self, tmp_path):
@@ -497,6 +753,48 @@ class TestWatchCommand:
             == 2
         )
         capsys.readouterr()
+
+    def test_watch_reads_updates_from_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        graph_path = self.write_graph(tmp_path)
+        updates_path = self.write_updates(tmp_path)
+        base = [
+            "watch",
+            graph_path,
+            "--batch-size",
+            "50",
+            "--quiet",
+            "--json",
+        ]
+        assert cli_main(base + ["--updates", updates_path]) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        text = open(updates_path, "r", encoding="utf-8").read()
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        assert cli_main(base + ["--updates", "-"]) == 0
+        piped = json.loads(capsys.readouterr().out)
+        baseline.pop("elapsed_seconds")
+        piped.pop("elapsed_seconds")
+        assert piped == baseline
+
+    def test_watch_refuses_resume_from_stdin(self, tmp_path, capsys):
+        graph_path = self.write_graph(tmp_path)
+        checkpoint = str(tmp_path / "w.ckpt")
+        assert (
+            cli_main(
+                [
+                    "watch",
+                    graph_path,
+                    "--updates",
+                    "-",
+                    "--checkpoint",
+                    checkpoint,
+                    "--resume",
+                ]
+            )
+            == 2
+        )
+        assert "stdin" in capsys.readouterr().err
 
     def test_watch_reports_malformed_update_files(self, tmp_path, capsys):
         graph_path = self.write_graph(tmp_path)
