@@ -8,7 +8,10 @@ over the same adjacency file), the **in-memory comparators** of
 Tables 5–6 (the (1,2)-swap local search and the DynamicUpdate
 minimum-degree greedy) and the **pipeline-engine dispatch overhead**
 (the greedy pass via ``solve_mis`` vs. the direct ``greedy_mis`` call,
-reported as ``engine_overhead_pct``) — on PLRG graphs for both kernel
+reported as ``engine_overhead_pct``) and the **observability-overhead
+guard** (the same engine run with the metrics registry + span tracer
+active vs. plain, reported as ``obs_overhead_pct``; the instrumented
+run must stay within noise) — on PLRG graphs for both kernel
 backends — plus the **binary CSR artifact** rows (``backend: memmap``):
 one-time convert cost, text-parse vs. zero-parse startup, and the
 memmap-backed greedy pass, with text-vs-memmap parity asserted on sets,
@@ -62,6 +65,7 @@ from repro.core.parallel import (  # noqa: E402
 )
 from repro.graphs.generators import erdos_renyi_gnm  # noqa: E402
 from repro.graphs.graph import build_csr  # noqa: E402
+from repro.obs import MetricsRegistry, Observability, SpanTracer  # noqa: E402
 from repro.graphs.plrg import plrg_graph_with_vertex_count  # noqa: E402
 from repro.storage.adjacency_file import (  # noqa: E402
     AdjacencyFileReader,
@@ -168,6 +172,21 @@ def bench_size(
             repeats, lambda: solve_mis(graph, pipeline="greedy", backend=backend)
         )
 
+        # Observability-overhead guard: the same engine run with the full
+        # instrumentation bundle (metrics registry + span tracer) active.
+        # The instrumented run must stay within noise of the plain one —
+        # the hot path only pays per-stage/per-round/per-pass hooks, never
+        # per-vertex work.
+        def _obs_greedy():
+            solve_mis(
+                graph,
+                pipeline="greedy",
+                backend=backend,
+                obs=Observability(registry=MetricsRegistry(), tracer=SpanTracer()),
+            )
+
+        obs_greedy_seconds = _best_of(repeats, _obs_greedy)
+
         one_k_result = one_k_swap(
             graph, initial=greedy_result, max_rounds=max_rounds, backend=backend
         )
@@ -190,6 +209,13 @@ def bench_size(
             "engine_overhead_pct": round(
                 (engine_greedy_seconds - greedy_seconds)
                 / max(greedy_seconds, 1e-12)
+                * 100,
+                2,
+            ),
+            "obs_greedy_seconds": obs_greedy_seconds,
+            "obs_overhead_pct": round(
+                (obs_greedy_seconds - engine_greedy_seconds)
+                / max(engine_greedy_seconds, 1e-12)
                 * 100,
                 2,
             ),

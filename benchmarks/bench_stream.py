@@ -166,7 +166,9 @@ def summarize_run(
     return {
         "backend": backend,
         "apply_seconds": apply_seconds,
-        "updates_per_second": len(stream) / apply_seconds if apply_seconds else None,
+        # Guarded: an empty (or timer-resolution-zero) replay reports a
+        # rate of 0.0 instead of dividing by zero or going None.
+        "updates_per_second": len(stream) / apply_seconds if apply_seconds else 0.0,
         "set_size": maintainer.size,
         "selected": maintainer.independent_set,
         "evictions": stats.evictions,

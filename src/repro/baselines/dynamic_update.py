@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.core.kernels import resolve_graph_backend
+from repro.core.kernels import observe_pass, resolve_graph_backend
 from repro.core.result import MISResult
 from repro.errors import MemoryBudgetError
 from repro.graphs.graph import Graph
@@ -76,6 +76,7 @@ def dynamic_update_mis(
     kernel = resolve_graph_backend(backend, graph)
     selection = kernel.dynamic_update_pass(graph)
     elapsed = time.perf_counter() - started
+    observe_pass("dynamic_update", kernel.name, size=len(selection))
     return MISResult(
         algorithm="dynamic_update",
         independent_set=frozenset(selection),

@@ -26,7 +26,7 @@ import time
 from typing import Iterable, Optional, Set, Union
 
 from repro.core.greedy import greedy_mis
-from repro.core.kernels import resolve_graph_backend
+from repro.core.kernels import observe_pass, resolve_graph_backend
 from repro.core.result import MISResult
 from repro.errors import MemoryBudgetError, SolverError, VertexError
 from repro.graphs.graph import Graph
@@ -111,6 +111,9 @@ def local_search_mis(
         graph, frozenset(selected), max_iterations
     )
     elapsed = time.perf_counter() - started
+    observe_pass(
+        "local_search", kernel.name, size=len(independent_set), iterations=iterations
+    )
     return MISResult(
         algorithm="local_search",
         independent_set=independent_set,

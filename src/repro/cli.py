@@ -44,9 +44,18 @@ Sub-commands
     Solver-as-a-service over a service directory: ``serve`` runs the
     scheduler + process worker pool (crash-recovering, with a
     digest-keyed result cache), ``submit`` queues run specs (single
-    ``--config`` or batch ``--config-dir``), and the remaining verbs
-    inspect or cancel jobs.  The client verbs work purely against the
-    on-disk store, so they function whether or not a daemon is up.
+    ``--config`` or batch ``--config-dir``; ``--follow`` streams the
+    job's event journal live), and the remaining verbs inspect or
+    cancel jobs.  The client verbs work purely against the on-disk
+    store, so they function whether or not a daemon is up.
+``metrics``
+    Render the observability layer's metric series — from a service
+    directory (queue depth, cache hit-rate, heartbeat ages, replayed
+    per-stage telemetry) or from a snapshot file written by ``solve``/
+    ``watch --metrics-out`` — as a table, JSON, or Prometheus text
+    exposition (``--prometheus``).  ``solve`` and ``watch`` also accept
+    ``--trace FILE`` (Chrome trace-event JSON for Perfetto) and
+    ``--no-obs`` (disable instrumentation entirely).
 
 Every command that executes solver passes resolves its kernel backend
 through one shared helper (``--backend`` flag → ``REPRO_KERNEL_BACKEND``
@@ -61,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -81,6 +91,13 @@ from repro.errors import (
     StorageError,
     StreamError,
 )
+from repro.obs import (
+    MetricsRegistry,
+    NULL_OBS,
+    Observability,
+    SpanTracer,
+    follow_journal,
+)
 from repro.pipeline.context import (
     ExecutionContext,
     add_execution_arguments,
@@ -96,6 +113,8 @@ from repro.graphs.plrg import PLRGParameters, plrg_graph
 from repro.reporting import format_bytes, format_table
 from repro.service import ServiceClient, ServiceConfig, SolverService
 from repro.service.cache import input_digest
+from repro.service.jobstore import JobStore
+from repro.service.metrics import build_service_registry
 from repro.storage.adjacency_file import write_adjacency_file
 from repro.storage.binary_format import MemmapAdjacencySource
 from repro.storage.converters import (
@@ -177,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical",
     )
     solve.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    _add_obs_arguments(solve)
 
     watch = subparsers.add_parser(
         "watch",
@@ -242,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--json", action="store_true", help="emit the final summary as JSON"
     )
+    _add_obs_arguments(watch)
 
     compare = subparsers.add_parser(
         "compare",
@@ -374,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-job wait timeout with --wait",
     )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the job's event journal (stages, batches, lifecycle) "
+        "until it reaches a terminal state (single --config only)",
+    )
     submit.add_argument("--json", action="store_true", help="emit records as JSON")
 
     status = subparsers.add_parser(
@@ -382,6 +409,31 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("service_dir", help="an existing service directory")
     status.add_argument("job_id", nargs="?", default=None, help="one job id")
     status.add_argument("--json", action="store_true", help="emit records as JSON")
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also render the store-derived metrics (queue depth, cache "
+        "hit-rate, heartbeat ages, per-stage telemetry)",
+    )
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="render metrics from a service directory or a saved snapshot",
+    )
+    metrics_cmd.add_argument(
+        "target",
+        help="a service directory (live store-derived series) or a metrics "
+        "snapshot file written by solve/watch --metrics-out",
+    )
+    metrics_format = metrics_cmd.add_mutually_exclusive_group()
+    metrics_format.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format",
+    )
+    metrics_format.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
 
     results_cmd = subparsers.add_parser(
         "results", help="print the result of a finished service job"
@@ -459,6 +511,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of the solver-running commands."""
+
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file (open in Perfetto or "
+        "chrome://tracing) with spans for stages, swap rounds, kernel "
+        "passes, stream batches and checkpoint writes",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics registry snapshot as JSON "
+        "(render it later with 'repro-mis metrics FILE')",
+    )
+    group.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the observability layer entirely (metrics, spans); "
+        "the overhead guard baseline",
+    )
+
+
+def _build_obs(args: argparse.Namespace) -> Observability:
+    """Build the run's observability bundle from the CLI flags.
+
+    Flag conflicts are validated by the caller via
+    :func:`_check_obs_flags` before any file is opened.
+    """
+
+    if args.no_obs:
+        return NULL_OBS
+    tracer = SpanTracer() if args.trace else None
+    return Observability(registry=MetricsRegistry(), tracer=tracer)
+
+
+def _check_obs_flags(args: argparse.Namespace) -> Optional[str]:
+    """The flag-conflict message, or ``None`` when the combination is valid."""
+
+    if args.no_obs and (args.trace or args.metrics_out):
+        return "--no-obs cannot be combined with --trace/--metrics-out"
+    return None
+
+
+def _finish_obs(args: argparse.Namespace, obs: Observability) -> None:
+    """Write the requested trace/metrics artifacts after a finished run."""
+
+    if args.trace:
+        obs.tracer.write(args.trace)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.registry.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
 def _generate_graph(args: argparse.Namespace) -> Graph:
     """Build the requested in-memory graph for the ``generate`` command."""
 
@@ -522,6 +633,7 @@ def _execute_engine(
     interrupt_after: Optional[int] = None,
     memory_limit_bytes: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
+    obs: Optional[Observability] = None,
 ) -> MISResult:
     """Build the context and run the engine — shared by solve/run/sweep."""
 
@@ -535,6 +647,7 @@ def _execute_engine(
         resume=resume,
         interrupt_after=interrupt_after,
         checkpoint_every_seconds=checkpoint_every_seconds,
+        obs=obs,
     )
     return engine.run(ctx)
 
@@ -549,6 +662,7 @@ def _run_engine_command(
     interrupt_after: Optional[int] = None,
     memory_limit_bytes: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
+    obs: Optional[Observability] = None,
 ) -> int:
     """Run the engine and print the result (solve/run)."""
 
@@ -563,6 +677,7 @@ def _run_engine_command(
             interrupt_after=interrupt_after,
             memory_limit_bytes=memory_limit_bytes,
             checkpoint_every_seconds=checkpoint_every_seconds,
+            obs=obs,
         )
     except PipelineInterrupted as exc:
         print(str(exc), file=sys.stderr)
@@ -592,11 +707,16 @@ def _command_solve(args: argparse.Namespace) -> int:
     ):
         print("--checkpoint-every-seconds must be positive", file=sys.stderr)
         return 2
+    conflict = _check_obs_flags(args)
+    if conflict:
+        print(conflict, file=sys.stderr)
+        return 2
+    obs = _build_obs(args)
     reader = open_adjacency_source(args.input)
     # Every backend consumes the file semi-externally: the numpy kernels
     # run over block-batched scans, the python reference streams records.
     try:
-        return _run_engine_command(
+        code = _run_engine_command(
             PIPELINES[args.pipeline],
             reader,
             args,
@@ -605,9 +725,13 @@ def _command_solve(args: argparse.Namespace) -> int:
             resume=args.resume,
             interrupt_after=args.interrupt_after,
             checkpoint_every_seconds=args.checkpoint_every_seconds,
+            obs=obs,
         )
     finally:
         reader.close()
+    if code == 0:
+        _finish_obs(args, obs)
+    return code
 
 
 def _command_watch(args: argparse.Namespace) -> int:
@@ -633,6 +757,11 @@ def _command_watch(args: argparse.Namespace) -> int:
     if args.compact_threshold is not None and args.compact_threshold < 1:
         print("--compact-threshold must be >= 1", file=sys.stderr)
         return 2
+    conflict = _check_obs_flags(args)
+    if conflict:
+        print(conflict, file=sys.stderr)
+        return 2
+    obs = _build_obs(args)
     try:
         reader = open_adjacency_source(args.input)
     except (StorageError, OSError) as exc:
@@ -656,6 +785,7 @@ def _command_watch(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             interrupt_after=args.interrupt_after,
+            obs=obs,
         )
         total = session.total_batches
         for report in session.process():
@@ -703,6 +833,7 @@ def _command_watch(args: argparse.Namespace) -> int:
         print(f"compactions     : {stats['compactions']}")
         print(f"final set size  : {summary['set_size']}")
         print(f"elapsed seconds : {summary['elapsed_seconds']:.3f}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -1038,9 +1169,41 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _follow_job(client: ServiceClient, job_id: str, timeout: float) -> int:
+    """Tail one job's event journal until its record is terminal.
+
+    Prints each journal record as a ``[event] key=value ...`` line —
+    per-stage progress for solve jobs, per-batch progress for stream
+    jobs, and the scheduler's lifecycle edges (requeues, cache hits) —
+    without polling or parsing worker logs.
+    """
+
+    path = client.store.journal_path(job_id)
+
+    def _terminal() -> bool:
+        return client.status(job_id).is_terminal()
+
+    try:
+        for event in follow_journal(path, stop=_terminal, timeout_seconds=timeout):
+            name = event.get("event", "?")
+            fields = " ".join(
+                f"{key}={value}"
+                for key, value in event.items()
+                if key not in ("v", "ts", "event", "job_id")
+            )
+            print(f"[{name}] {fields}".rstrip(), flush=True)
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _command_submit(args: argparse.Namespace) -> int:
     if args.interrupt_after is not None and args.config_dir is not None:
         print("--interrupt-after requires a single --config", file=sys.stderr)
+        return 2
+    if args.follow and args.config_dir is not None:
+        print("--follow requires a single --config", file=sys.stderr)
         return 2
     client = ServiceClient(args.service_dir)
     try:
@@ -1055,6 +1218,11 @@ def _command_submit(args: argparse.Namespace) -> int:
     except (PipelineSpecError, ServiceError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.follow:
+        code = _follow_job(client, records[0].job_id, args.timeout)
+        if code:
+            return code
+        records = [client.status(records[0].job_id)]
     if args.wait:
         try:
             records = [
@@ -1086,14 +1254,45 @@ def _command_status(args: argparse.Namespace) -> int:
     except (JobNotFoundError, ServiceError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    registry = build_service_registry(client.store) if args.metrics else None
     if args.json:
-        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+        document: object = [r.to_dict() for r in records]
+        if registry is not None:
+            document = {"jobs": document, "metrics": registry.snapshot()}
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(
             format_table(
                 _STATUS_HEADERS, [_record_row(client, r) for r in records]
             )
         )
+        if registry is not None:
+            print()
+            print(format_table(["series", "type", "value"], registry.render_rows()))
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    """Render metrics from a service directory or a saved snapshot file."""
+
+    target = args.target
+    try:
+        if os.path.isdir(target):
+            registry = build_service_registry(JobStore(target, create=False))
+        else:
+            with open(target, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            registry = MetricsRegistry.from_snapshot(snapshot)
+    except (OSError, json.JSONDecodeError, ServiceError, ValueError) as exc:
+        print(f"cannot load metrics from {target!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.prometheus:
+        text = registry.render_prometheus()
+        sys.stdout.write(text if text.endswith("\n") or not text else text + "\n")
+    elif args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(format_table(["series", "type", "value"], registry.render_rows()))
     return 0
 
 
@@ -1247,6 +1446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "submit": _command_submit,
         "status": _command_status,
+        "metrics": _command_metrics,
         "results": _command_results,
         "cancel": _command_cancel,
     }

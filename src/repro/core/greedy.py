@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence, Union
 
-from repro.core.kernels import resolve_backend
+from repro.core.kernels import observe_pass, resolve_backend
 from repro.core.result import MISResult
 from repro.graphs.graph import Graph
 from repro.storage.memory import MemoryModel
@@ -89,6 +89,7 @@ def greedy_mis(
     before = source.stats.copy()
     independent_set = kernel.greedy_pass(source)
     elapsed = time.perf_counter() - started
+    observe_pass("greedy", kernel.name, size=len(independent_set))
 
     return MISResult(
         algorithm="greedy",

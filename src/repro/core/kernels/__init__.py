@@ -11,13 +11,17 @@ from repro.core.kernels.base import (
     KernelBackend,
     WaveTelemetry,
     available_backends,
+    contribute_metrics,
     default_backend_name,
     get_backend,
+    observe_pass,
     register_backend,
     resolve_backend,
     resolve_graph_backend,
     resolve_maintainer_backend,
     set_default_backend,
+    set_metrics_sink,
+    set_pass_observer,
 )
 from repro.core.kernels.python_backend import PythonBackend
 from repro.core.kernels.sc_store import SwapCandidateStore
@@ -35,8 +39,10 @@ __all__ = [
     "SwapCandidateStore",
     "WaveTelemetry",
     "available_backends",
+    "contribute_metrics",
     "default_backend_name",
     "get_backend",
+    "observe_pass",
     "register_backend",
     "resolve_backend",
     "resolve_graph_backend",

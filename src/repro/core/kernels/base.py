@@ -38,7 +38,7 @@ from __future__ import annotations
 import abc
 import os
 from dataclasses import asdict, dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.result import RoundStats
 from repro.errors import SolverError
@@ -47,19 +47,81 @@ __all__ = [
     "KernelBackend",
     "WaveTelemetry",
     "available_backends",
+    "contribute_metrics",
     "decode_rounds",
     "default_backend_name",
     "encode_rounds",
     "get_backend",
+    "metrics_enabled",
+    "observe_pass",
     "register_backend",
     "resolve_backend",
     "resolve_graph_backend",
     "resolve_maintainer_backend",
     "set_default_backend",
+    "set_metrics_sink",
+    "set_pass_observer",
 ]
 
 #: Environment variable that overrides the auto-detected default backend.
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+# ---------------------------------------------------------------------------
+# observability hooks
+#
+# Kernels are the bottom of the stack and must not depend on the obs
+# layer, so instrumentation is inverted: an observer callable is
+# installed process-wide (``repro.obs.kernel_observation``) and each
+# pass reports through ``observe_pass``.  With no observer installed
+# the cost is a single ``None`` check per *pass* (not per vertex), so
+# the hot loops stay allocation-free.
+# ---------------------------------------------------------------------------
+
+_PASS_OBSERVER: Optional[Callable[[str, str, Mapping[str, object]], None]] = None
+_METRICS_SINK: Optional[Callable[[Mapping[str, object]], None]] = None
+
+
+def set_pass_observer(
+    observer: Optional[Callable[[str, str, Mapping[str, object]], None]],
+) -> Optional[Callable[[str, str, Mapping[str, object]], None]]:
+    """Install the kernel-pass observer; returns the previous one."""
+
+    global _PASS_OBSERVER
+    previous = _PASS_OBSERVER
+    _PASS_OBSERVER = observer
+    return previous
+
+
+def observe_pass(pass_name: str, backend: str, **fields: object) -> None:
+    """Report one completed kernel pass to the installed observer."""
+
+    if _PASS_OBSERVER is not None:
+        _PASS_OBSERVER(pass_name, backend, fields)
+
+
+def set_metrics_sink(
+    sink: Optional[Callable[[Mapping[str, object]], None]],
+) -> Optional[Callable[[Mapping[str, object]], None]]:
+    """Install the registry-snapshot sink; returns the previous one."""
+
+    global _METRICS_SINK
+    previous = _METRICS_SINK
+    _METRICS_SINK = sink
+    return previous
+
+
+def contribute_metrics(snapshot: Mapping[str, object]) -> None:
+    """Fold a child registry snapshot (e.g. a parallel worker's per-rank
+    counters) into the installed sink, if any."""
+
+    if _METRICS_SINK is not None:
+        _METRICS_SINK(snapshot)
+
+
+def metrics_enabled() -> bool:
+    """Whether a metrics sink is installed (skip fold work otherwise)."""
+
+    return _METRICS_SINK is not None
 
 
 @dataclass
@@ -92,6 +154,18 @@ class WaveTelemetry:
 
     def snapshot(self) -> Dict[str, int]:
         return asdict(self)
+
+    def record(self, registry) -> None:
+        """Mirror the wave counters into a metrics registry.
+
+        ``registry.advance`` raises each counter to the current total,
+        so calling this at every batch boundary keeps the registry the
+        canonical surface while the dataclass stays the cheap in-loop
+        accumulator.
+        """
+
+        for field_name, total in asdict(self).items():
+            registry.advance(f"repro_wave_{field_name}_total", total)
 
 
 def encode_rounds(rounds) -> List[List[int]]:

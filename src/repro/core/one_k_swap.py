@@ -38,7 +38,7 @@ import time
 from typing import FrozenSet, Iterable, Optional, Sequence, Union
 
 from repro.core.greedy import greedy_mis
-from repro.core.kernels import resolve_backend
+from repro.core.kernels import observe_pass, resolve_backend
 from repro.core.result import MISResult
 from repro.errors import SolverError
 from repro.graphs.graph import Graph
@@ -152,6 +152,9 @@ def one_k_swap(
         source, initial_set, max_rounds, resume=resume_state, on_round=on_round
     )
     elapsed = time.perf_counter() - started
+    observe_pass(
+        "one_k_swap", kernel.name, size=len(independent_set), rounds=len(rounds)
+    )
 
     return MISResult(
         algorithm="one_k_swap",

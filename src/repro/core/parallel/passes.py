@@ -355,6 +355,7 @@ class ParallelKernel(KernelBackend):
             pool.greedy_run()
             result = frozenset(np.flatnonzero(pool.state == 1).tolist())
             session.charge_scan()
+            pool.fold_metrics()
             return result
         except BaseException:
             _evict_session(session)
@@ -373,9 +374,11 @@ class ParallelKernel(KernelBackend):
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], bool]:
         session = _acquire_session(source, self.workers)
         try:
-            return self._one_k(
+            result = self._one_k(
                 session, initial_set, max_rounds, resume, on_round
             )
+            session.pool.fold_metrics()
+            return result
         except BaseException:
             _evict_session(session)
             raise
@@ -872,7 +875,7 @@ class ParallelKernel(KernelBackend):
     ) -> Tuple[FrozenSet[int], Tuple[RoundStats, ...], int, bool]:
         session = _acquire_session(source, self.workers)
         try:
-            return self._two_k(
+            result = self._two_k(
                 session,
                 initial_set,
                 max_rounds,
@@ -881,6 +884,8 @@ class ParallelKernel(KernelBackend):
                 resume,
                 on_round,
             )
+            session.pool.fold_metrics()
+            return result
         except BaseException:
             _evict_session(session)
             raise

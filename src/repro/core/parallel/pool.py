@@ -41,7 +41,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.kernels.base import contribute_metrics, metrics_enabled
 from repro.errors import SolverError
+from repro.obs.metrics import MetricsRegistry
 from repro.storage import format as fmt
 from repro.storage.io_stats import IOStats
 
@@ -160,6 +162,14 @@ class ParallelPool:
             (int(bounds[w]), int(bounds[w + 1])) for w in range(self.workers)
         ]
 
+        # Per-rank command registries: the parent mirrors each command a
+        # rank executed (broadcast is a barrier, so the mirror is exact).
+        # fold_metrics() merges all rank snapshots in one call — the
+        # order-independent fold — and contributes only the delta since
+        # the previous fold to the installed process-wide sink.
+        self.rank_metrics = [MetricsRegistry() for _ in range(self.workers)]
+        self._contributed = MetricsRegistry()
+
         self._pipes = []
         self._procs = []
         for rank in range(self.workers):
@@ -190,7 +200,36 @@ class ParallelPool:
                     f"parallel worker {rank} failed during {command!r}: {value}"
                 )
             results.append(value)
+            self.rank_metrics[rank].inc(
+                "repro_parallel_commands_total", command=command
+            )
         return results
+
+    def fold_metrics(self) -> None:
+        """Fold every rank's registry into the process-wide metrics sink.
+
+        All rank snapshots are merged in a single
+        :meth:`~repro.obs.metrics.MetricsRegistry.merge` call (the
+        permutation-invariant fold), and only the counter deltas since
+        the previous fold are contributed — the pool outlives individual
+        passes via the session cache, so cumulative totals must not be
+        double-counted.
+        """
+
+        if not metrics_enabled():
+            return
+        merged = MetricsRegistry()
+        merged.merge(*(registry.snapshot() for registry in self.rank_metrics))
+        delta = MetricsRegistry()
+        for entry in merged.snapshot()["series"]:
+            gained = self._contributed.advance(
+                entry["name"], entry["value"], **entry["labels"]
+            )
+            if gained:
+                delta.inc(entry["name"], gained, **entry["labels"])
+        snapshot = delta.snapshot()
+        if snapshot["series"]:
+            contribute_metrics(snapshot)
 
     def greedy_run(self) -> None:
         """Drive greedy waves over the shared decided array to the fixpoint."""

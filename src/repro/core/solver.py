@@ -82,6 +82,11 @@ class SemiExternalMISSolver:
         Worker processes per solver pass (``1`` = the serial path).  An
         execution property like ``backend``: results are bit-identical
         across worker counts, and checkpoints resume under any count.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle; when set, the
+        engine records stage/round metrics, kernel passes and (with a
+        tracer) Chrome trace spans into it.  ``None`` runs with the
+        no-op bundle.
     """
 
     pipeline: str = "two_k_swap"
@@ -94,6 +99,7 @@ class SemiExternalMISSolver:
     resume: bool = False
     checkpoint_every_seconds: Optional[float] = None
     workers: int = 1
+    obs: Optional[object] = None
 
     def solve(self, graph_or_source: Union[Graph, AdjacencyScanSource]) -> MISResult:
         """Run the configured pipeline and return the final result."""
@@ -129,6 +135,7 @@ class SemiExternalMISSolver:
             checkpoint_path=self.checkpoint_path,
             resume=self.resume,
             checkpoint_every_seconds=self.checkpoint_every_seconds,
+            obs=self.obs,
         )
         return engine.run(ctx)
 
@@ -144,6 +151,7 @@ def solve_mis(
     resume: bool = False,
     checkpoint_every_seconds: Optional[float] = None,
     workers: int = 1,
+    obs=None,
 ) -> MISResult:
     """One-shot convenience wrapper around :class:`SemiExternalMISSolver`."""
 
@@ -157,5 +165,6 @@ def solve_mis(
         resume=resume,
         checkpoint_every_seconds=checkpoint_every_seconds,
         workers=workers,
+        obs=obs,
     )
     return solver.solve(graph_or_source)

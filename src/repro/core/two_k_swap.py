@@ -40,7 +40,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.core.kernels import resolve_backend
+from repro.core.kernels import observe_pass, resolve_backend
 from repro.core.one_k_swap import _initial_set
 from repro.core.result import MISResult
 from repro.errors import SolverError
@@ -146,6 +146,9 @@ def two_k_swap(
         on_round=on_round,
     )
     elapsed = time.perf_counter() - started
+    observe_pass(
+        "two_k_swap", kernel.name, size=len(independent_set), rounds=len(rounds)
+    )
 
     extras = {"max_sc_vertices": float(max_sc_vertices)}
     if oscillation:

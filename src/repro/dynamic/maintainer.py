@@ -56,7 +56,7 @@ from bisect import bisect_left
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.kernels import WaveTelemetry, resolve_maintainer_backend
+from repro.core.kernels import WaveTelemetry, observe_pass, resolve_maintainer_backend
 from repro.core.kernels.python_backend import normalize_updates
 from repro.core.solver import solve_mis
 from repro.errors import DuplicateEdgeError, GraphError, SolverError, VertexError
@@ -596,6 +596,12 @@ class DynamicMISMaintainer:
                 if self._has_edge(u, v):
                     raise DuplicateEdgeError(u, v)
         backend.dynamic_apply_pass(self, insertions, deletions)
+        observe_pass(
+            "dynamic_apply",
+            backend.name,
+            insertions=len(insertions),
+            deletions=len(deletions),
+        )
         self._trim_journal()
         self._maybe_compact()
         return self.stats

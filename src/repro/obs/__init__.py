@@ -1,0 +1,124 @@
+"""Unified observability layer: metrics, spans, and event journals.
+
+:class:`Observability` bundles the three instruments every layer
+records into:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters,
+  gauges, and fixed-bucket histograms with deterministic snapshot/merge
+  fold-in (parallel workers, service children).
+* :class:`~repro.obs.trace.SpanTracer` — Chrome trace-event JSON
+  (``--trace FILE``, viewable in Perfetto) with spans for pipeline
+  stages, swap rounds, kernel passes, stream batches, checkpoint
+  writes, and service job lifecycle.
+* :class:`~repro.obs.journal.EventJournal` — versioned JSONL event
+  records written next to job records, tailed by ``submit --follow``.
+
+``NULL_OBS`` is the disabled bundle: every instrument degrades to a
+constant-time no-op, so instrumented code paths cost nothing when
+observability is off (``--no-obs``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional, Union
+
+from .journal import (
+    EventJournal,
+    NullJournal,
+    append_event,
+    follow_journal,
+    read_journal,
+)
+from .metrics import TIME_BUCKETS, MetricsRegistry, NullRegistry
+from .trace import NullTracer, SpanTracer, validate_trace
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanTracer",
+    "NullTracer",
+    "EventJournal",
+    "NullJournal",
+    "TIME_BUCKETS",
+    "append_event",
+    "follow_journal",
+    "read_journal",
+    "validate_trace",
+    "kernel_observation",
+]
+
+
+class Observability:
+    """Bundle of registry + tracer + journal threaded through a run."""
+
+    __slots__ = ("enabled", "registry", "tracer", "journal")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Union[SpanTracer, NullTracer]] = None,
+        journal: Optional[Union[EventJournal, NullJournal]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.registry = registry if registry is not None else MetricsRegistry()
+            self.tracer = tracer if tracer is not None else NullTracer()
+            self.journal = journal if journal is not None else NullJournal()
+        else:
+            self.registry = NullRegistry()
+            self.tracer = NullTracer()
+            self.journal = NullJournal()
+
+    # ------------------------------------------------------------------
+    # kernel hooks
+    # ------------------------------------------------------------------
+    def pass_observer(self, pass_name: str, backend: str, fields: Mapping[str, object]) -> None:
+        """Kernel-pass hook: count the pass and drop a trace instant."""
+
+        self.registry.inc(
+            "repro_kernel_passes_total", **{"pass": pass_name, "backend": backend}
+        )
+        if self.tracer.enabled:
+            args = {"backend": backend}
+            args.update(fields)
+            self.tracer.instant(f"pass:{pass_name}", "kernel", args=args)
+
+    def metrics_sink(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a child registry snapshot (parallel worker) into ours."""
+
+        self.registry.merge(snapshot)
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+#: Shared disabled bundle — safe to use as a default everywhere.
+NULL_OBS = Observability(enabled=False)
+
+
+@contextmanager
+def kernel_observation(obs: Observability) -> Iterator[None]:
+    """Install ``obs`` as the process-wide kernel pass observer.
+
+    Kernel backends report passes through a module-level hook in
+    ``repro.core.kernels.base`` (one ``None`` check per pass keeps the
+    hot path lean); this context manager wires that hook to ``obs`` for
+    the duration of a run and restores the previous observer after.
+    """
+
+    if not obs.enabled:
+        yield
+        return
+    from ..core.kernels import base as kernels_base
+
+    previous_pass = kernels_base.set_pass_observer(obs.pass_observer)
+    previous_sink = kernels_base.set_metrics_sink(obs.metrics_sink)
+    try:
+        yield
+    finally:
+        kernels_base.set_pass_observer(previous_pass)
+        kernels_base.set_metrics_sink(previous_sink)

@@ -1,0 +1,149 @@
+"""Structured event journal: versioned JSONL, written next to job records.
+
+Each line is one event record::
+
+    {"v": 1, "ts": 1723034112.123456, "event": "stage_end", ...}
+
+Records are append-only and flushed per event, so a concurrent reader
+(``repro-mis submit --follow``, ``repro-mis status --metrics``) can
+tail the file while a worker writes it.  Readers are tolerant: torn or
+malformed trailing lines (a worker killed mid-write) are skipped, and
+only lines terminated by a newline are consumed while following.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+JOURNAL_VERSION = 1
+
+
+class EventJournal:
+    """Append-only JSONL event writer with per-event flush."""
+
+    enabled = True
+
+    def __init__(self, path: str, clock: Callable[[], float] = time.time) -> None:
+        self.path = path
+        self._clock = clock
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "v": JOURNAL_VERSION,
+            "ts": round(self._clock(), 6),
+            "event": event,
+        }
+        record.update(fields)
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullJournal:
+    """Journaling disabled: every call is a no-op."""
+
+    enabled = False
+    path = None
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        return {}
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+def append_event(path: str, event: str, **fields: object) -> Dict[str, object]:
+    """One-shot append for infrequent writers (scheduler lifecycle)."""
+
+    with EventJournal(path) as journal:
+        return journal.emit(event, **fields)
+
+
+def read_journal(path: str) -> List[Dict[str, object]]:
+    """All parseable records in file order; ``[]`` for a missing file."""
+
+    if not os.path.exists(path):
+        return []
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def follow_journal(
+    path: str,
+    stop: Optional[Callable[[], bool]] = None,
+    poll_seconds: float = 0.2,
+    timeout_seconds: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[Dict[str, object]]:
+    """Tail a journal, yielding records as complete lines appear.
+
+    When ``stop()`` returns true the remaining complete lines are
+    drained and the generator finishes.  ``timeout_seconds`` bounds the
+    total wait and raises :class:`TimeoutError` when exceeded.
+    """
+
+    offset = 0
+    deadline = None if timeout_seconds is None else clock() + timeout_seconds
+    while True:
+        drained = True
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            consumed = chunk.rfind("\n")
+            if consumed >= 0:
+                complete, offset = chunk[: consumed + 1], offset + consumed + 1
+                for line in complete.splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict):
+                        drained = False
+                        yield record
+        if stop is not None and stop():
+            if drained:
+                return
+            continue
+        if drained:
+            if deadline is not None and clock() > deadline:
+                raise TimeoutError(f"timed out following journal {path}")
+            sleep(poll_seconds)

@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.kernels.base import decode_rounds, encode_rounds
 from repro.core.result import MISResult
 from repro.errors import CheckpointError, PipelineInterrupted, SolverError
+from repro.obs import NULL_OBS, Observability, kernel_observation
 from repro.pipeline.context import ExecutionContext
 from repro.pipeline.spec import PipelineSpec
 from repro.pipeline.stages import ARTIFACT_KEY, StageReport, get_stage
@@ -143,6 +144,7 @@ class PipelineEngine:
         checkpoint_every_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         progress: Optional[Callable[[], None]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.spec = spec
         self.max_rounds = max_rounds
@@ -150,6 +152,11 @@ class PipelineEngine:
         self.checkpoint_path = checkpoint_path
         self.resume = resume
         self.interrupt_after = interrupt_after
+        #: Observability bundle (metrics registry + span tracer + event
+        #: journal).  Defaults to the shared disabled bundle, whose
+        #: instruments are constant-time no-ops — instrumented code costs
+        #: nothing unless a caller opts in (``--trace``, service jobs).
+        self.obs = obs if obs is not None else NULL_OBS
         #: Called at every solver progress point — each completed swap
         #: round and each stage boundary — regardless of checkpoint
         #: throttling.  The service worker beats its heartbeat here, so
@@ -188,13 +195,25 @@ class PipelineEngine:
         saved_state = ctx.save_state()
         ctx.capture_artifacts = self.checkpoint_path is not None
         try:
-            return self._run(ctx)
+            with kernel_observation(self.obs):
+                return self._run(ctx)
         finally:
             ctx.capture_artifacts = False
             ctx.restore_state(saved_state)
 
     def _run(self, ctx: ExecutionContext) -> MISResult:
         started = time.perf_counter()
+        registry = self.obs.registry
+        tracer = self.obs.tracer
+        journal = self.obs.journal
+        obs_on = self.obs.enabled
+        run_mark = tracer.now()
+        journal.emit(
+            "run_start",
+            pipeline=self.spec.name,
+            stages=len(self.spec.stages),
+            resumed=bool(self.resume),
+        )
         self._checkpoint_writes = 0
         self._last_checkpoint_at = self._clock() if self.checkpoint_path else None
         self._completed_section = None
@@ -285,17 +304,39 @@ class PipelineEngine:
 
             on_round = None
             checkpoint_rounds = self.checkpoint_path is not None and stage.resumable
-            if checkpoint_rounds or self.progress is not None:
+            if checkpoint_rounds or self.progress is not None or obs_on:
                 io_before_payload = io_before.as_dict() if checkpoint_rounds else None
+                # Round spans hang off the existing per-round hook: each
+                # span stretches from the previous round boundary (or the
+                # stage start) to this one, so consecutive rounds tile the
+                # stage span in the trace.
+                round_state = [tracer.now(), 0]
 
                 def on_round(
                     loop_state,
                     _index=index,
                     _io=io_before_payload,
                     _checkpoint=checkpoint_rounds,
+                    _stage=stage.name,
+                    _round=round_state,
                 ):
                     if self.progress is not None:
                         self.progress()
+                    if obs_on:
+                        now = tracer.now()
+                        _round[1] += 1
+                        tracer.add_span(
+                            f"round:{_stage}",
+                            "round",
+                            _round[0],
+                            now,
+                            args={"round": _round[1]},
+                        )
+                        _round[0] = now
+                        registry.inc("repro_rounds_total", stage=_stage)
+                        journal.emit(
+                            "round", stage=_stage, index=_index, round=_round[1]
+                        )
                     if not _checkpoint or not self._round_checkpoint_due():
                         return
                     self._write_checkpoint(
@@ -308,6 +349,13 @@ class PipelineEngine:
                         completed=completed,
                     )
 
+            journal.emit(
+                "stage_start",
+                stage=stage.name,
+                index=index,
+                total=len(self.spec.stages),
+            )
+            stage_mark = tracer.now()
             stage_started = time.perf_counter()
             result = stage.run(
                 ctx,
@@ -342,6 +390,29 @@ class PipelineEngine:
                 memory_bytes=result.memory_bytes,
                 extras=extras,
             )
+            if obs_on:
+                report.record(registry)
+                tracer.add_span(
+                    f"stage:{stage.name}",
+                    "stage",
+                    stage_mark,
+                    tracer.now(),
+                    args={
+                        "algorithm": result.algorithm,
+                        "size": result.size,
+                        "rounds": result.num_rounds,
+                    },
+                )
+                journal.emit(
+                    "stage_end",
+                    stage=stage.name,
+                    index=index,
+                    total=len(self.spec.stages),
+                    algorithm=result.algorithm,
+                    size=result.size,
+                    rounds=result.num_rounds,
+                    seconds=round(stage_elapsed, 6),
+                )
             if self.checkpoint_path is not None:
                 # The serialized entry (sorted vertex list and all) is only
                 # needed for checkpoint payloads; skipping it keeps engine
@@ -383,6 +454,27 @@ class PipelineEngine:
         elapsed = time.perf_counter() - started
         extras = dict(last_result.extras)
         extras["stages"] = [report.summary() for report in reports]
+        if obs_on:
+            registry.observe(
+                "repro_run_seconds", elapsed, pipeline=self.spec.name
+            )
+            registry.set_gauge(
+                "repro_result_size", len(final_set), pipeline=self.spec.name
+            )
+            tracer.add_span(
+                f"pipeline:{self.spec.name}",
+                "pipeline",
+                run_mark,
+                tracer.now(),
+                args={"size": len(final_set), "stages": len(reports)},
+            )
+            journal.emit(
+                "run_end",
+                pipeline=self.spec.name,
+                algorithm=self.spec.name,
+                size=len(final_set),
+                seconds=round(elapsed, 6),
+            )
         return MISResult(
             algorithm=self.spec.name,
             independent_set=final_set,
@@ -459,11 +551,21 @@ class PipelineEngine:
             "loop_state": loop_state,
             "stage_io_before": stage_io_before,
         }
+        write_mark = self.obs.tracer.now()
         write_checkpoint(
             self.checkpoint_path,
             payload,
             sections={"completed": self._completed_section},
         )
+        if self.obs.enabled:
+            self.obs.tracer.add_span(
+                "checkpoint:write",
+                "checkpoint",
+                write_mark,
+                self.obs.tracer.now(),
+                args={"phase": phase, "stage_index": stage_index},
+            )
+            self.obs.registry.inc("repro_checkpoint_writes_total", phase=phase)
         self._last_checkpoint_at = self._clock()
         self._checkpoint_writes += 1
         if (

@@ -97,6 +97,32 @@ class StageReport:
             extras=dict(payload.get("extras", {})),
         )
 
+    def record(self, registry) -> None:
+        """Publish this report into a metrics registry.
+
+        This is the canonical projection of stage telemetry onto metric
+        series: the engine records live runs through it and the service
+        ``metrics`` verb replays persisted job-record stages through the
+        *same* method, so both views render identical series.
+        """
+
+        registry.observe(
+            "repro_stage_seconds",
+            self.elapsed_seconds,
+            stage=self.stage,
+            algorithm=self.algorithm,
+        )
+        registry.inc("repro_stage_runs_total", stage=self.stage)
+        registry.inc("repro_stage_rounds_total", self.rounds, stage=self.stage)
+        registry.set_gauge("repro_stage_size", self.size, stage=self.stage)
+        registry.set_gauge(
+            "repro_stage_memory_bytes", self.memory_bytes, stage=self.stage
+        )
+        for io_field, value in self.io.as_dict().items():
+            registry.inc(
+                "repro_stage_io_total", value, stage=self.stage, io=io_field
+            )
+
 
 class Stage(abc.ABC):
     """One composable pipeline step."""

@@ -45,6 +45,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import PipelineInterrupted, StreamError
+from repro.obs import NULL_OBS, MetricsRegistry, Observability, kernel_observation
 from repro.storage.checkpoint import (
     EncodedSection,
     encode_section,
@@ -160,8 +161,17 @@ class BatchReport:
     sub_waves: int = 0
     scalar_fallbacks: int = 0
 
+    @property
+    def conflict_density(self) -> float:
+        """Evictions per applied update, 0.0 for an empty batch."""
+
+        applied = self.insertions + self.deletions
+        return self.evictions / applied if applied else 0.0
+
     def summary(self) -> Dict[str, Any]:
-        return asdict(self)
+        payload = asdict(self)
+        payload["conflict_density"] = self.conflict_density
+        return payload
 
 
 class StreamSession:
@@ -181,9 +191,19 @@ class StreamSession:
         resume: bool = False,
         interrupt_after: Optional[int] = None,
         progress: Optional[Callable[[], None]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if batch_size < 1:
             raise StreamError("batch size must be at least 1")
+        self._obs = obs if obs is not None else NULL_OBS
+        # The registry is the session's canonical bookkeeping surface:
+        # maintainer totals are mirrored into counters after every batch
+        # and the per-batch report deltas fall out of the mirror
+        # (``advance``).  A session without observability still needs
+        # the bookkeeping, so it gets a private registry.
+        self._metrics = (
+            self._obs.registry if self._obs.enabled else MetricsRegistry()
+        )
         self._updates = load_updates(updates_path)
         self._updates_digest = updates_digest(updates_path)
         self._graph_digest = graph_digest
@@ -214,6 +234,18 @@ class StreamSession:
                 backend=backend,
                 compact_threshold=compact_threshold,
             )
+        # Seed the mirrored counters to the maintainer's (possibly
+        # checkpoint-restored) totals, so the first batch's deltas
+        # describe that batch and not the resumed history.
+        self._sync_counters()
+
+    def _sync_counters(self) -> None:
+        """Mirror maintainer totals into the registry (monotonic advance)."""
+
+        registry = self._metrics
+        for field, total in asdict(self._maintainer.stats).items():
+            registry.advance(f"repro_stream_{field}_total", total)
+        self._maintainer.wave.record(registry)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -247,11 +279,23 @@ class StreamSession:
             "pins": self._pins(),
             "state": self._maintainer.state_payload(),
         }
+        write_mark = self._obs.tracer.now()
         # "base" sorts before every array-bearing payload key ("state"),
         # so the spliced document is byte-identical to a plain write.
         write_checkpoint(
             self._checkpoint, payload, sections={"base": self._base_section}
         )
+        if self._obs.enabled:
+            self._obs.tracer.add_span(
+                "checkpoint:write",
+                "checkpoint",
+                write_mark,
+                self._obs.tracer.now(),
+                args={"cursor": self._cursor},
+            )
+            self._obs.registry.inc(
+                "repro_checkpoint_writes_total", phase="batch"
+            )
         # Everything the journal recorded up to this point is now
         # captured by the durable checkpoint (resume rebuilds selection
         # state from the payload, never by replaying the journal), so
@@ -333,20 +377,61 @@ class StreamSession:
         """
 
         maintainer = self._maintainer
+        registry = self._metrics
+        tracer = self._obs.tracer
+        journal = self._obs.journal
+        obs_on = self._obs.enabled
+        if obs_on:
+            journal.emit(
+                "stream_start",
+                pipeline=self._pipeline,
+                batches_applied=self._cursor,
+                total_batches=self.total_batches,
+                batch_size=self._batch_size,
+            )
         while self._cursor * self._batch_size < len(self._updates):
             start = self._cursor * self._batch_size
             chunk = self._updates[start : start + self._batch_size]
             insertions = [(u, v) for op, u, v in chunk if op == "+"]
             deletions = [(u, v) for op, u, v in chunk if op == "-"]
-            compactions = maintainer.stats.compactions
-            evictions = maintainer.stats.evictions
-            sub_waves = maintainer.wave.sub_waves
-            fallbacks = maintainer.wave.scalar_fallbacks
+            batch_mark = tracer.now()
             began = time.perf_counter()
-            maintainer.apply_updates(insertions, deletions)
+            # The observation scope is per batch, not per session: the
+            # generator can stay suspended between batches for a long
+            # time, and the process-wide kernel hooks must not stay
+            # pointed at a suspended session meanwhile.
+            with kernel_observation(self._obs):
+                maintainer.apply_updates(insertions, deletions)
             elapsed = time.perf_counter() - began
             self._elapsed += elapsed
-            compacted = maintainer.stats.compactions > compactions
+            # Advancing the mirrored counters to the new maintainer
+            # totals yields exactly this batch's deltas; the remaining
+            # series are synced below without double counting (advance
+            # is a no-op at or below the current value).
+            evictions = int(
+                registry.advance(
+                    "repro_stream_evictions_total", maintainer.stats.evictions
+                )
+            )
+            compacted = (
+                registry.advance(
+                    "repro_stream_compactions_total",
+                    maintainer.stats.compactions,
+                )
+                > 0
+            )
+            sub_waves = int(
+                registry.advance(
+                    "repro_wave_sub_waves_total", maintainer.wave.sub_waves
+                )
+            )
+            fallbacks = int(
+                registry.advance(
+                    "repro_wave_scalar_fallbacks_total",
+                    maintainer.wave.scalar_fallbacks,
+                )
+            )
+            self._sync_counters()
             if compacted:
                 # The base changed; re-encode it once, reuse it until the
                 # next compaction.
@@ -356,7 +441,7 @@ class StreamSession:
                 self._write_checkpoint()
             if self._progress is not None:
                 self._progress()
-            yield BatchReport(
+            report = BatchReport(
                 batch_index=self._cursor - 1,
                 insertions=len(insertions),
                 deletions=len(deletions),
@@ -364,10 +449,37 @@ class StreamSession:
                 overlay_size=maintainer.overlay_size,
                 compacted=compacted,
                 elapsed_seconds=elapsed,
-                evictions=maintainer.stats.evictions - evictions,
-                sub_waves=maintainer.wave.sub_waves - sub_waves,
-                scalar_fallbacks=maintainer.wave.scalar_fallbacks - fallbacks,
+                evictions=evictions,
+                sub_waves=sub_waves,
+                scalar_fallbacks=fallbacks,
             )
+            if obs_on:
+                registry.inc("repro_stream_batches_total")
+                registry.inc(
+                    "repro_stream_updates_total", len(insertions), op="insert"
+                )
+                registry.inc(
+                    "repro_stream_updates_total", len(deletions), op="delete"
+                )
+                registry.observe("repro_batch_seconds", elapsed)
+                registry.set_gauge("repro_stream_set_size", maintainer.size)
+                registry.set_gauge(
+                    "repro_stream_overlay_size", maintainer.overlay_size
+                )
+                tracer.add_span(
+                    f"batch:{report.batch_index}",
+                    "stream",
+                    batch_mark,
+                    tracer.now(),
+                    args={
+                        "insertions": len(insertions),
+                        "deletions": len(deletions),
+                        "evictions": evictions,
+                        "sub_waves": sub_waves,
+                    },
+                )
+                journal.emit("batch", **report.summary())
+            yield report
 
     def run(self) -> Dict[str, Any]:
         """Drain the stream and return the final :meth:`result`."""
@@ -394,10 +506,12 @@ class StreamSession:
             "overlay_size": maintainer.overlay_size,
             "independent_set": sorted(maintainer.independent_set),
             "stats": asdict(stats),
+            # Wave counters are process telemetry, not checkpointed
+            # state: they restart at zero on resume, so consumers that
+            # diff results across kill/resume must strip this key.
+            "wave": maintainer.wave.snapshot(),
             # Derived purely from the (checkpointed) stats so that the
-            # summary stays bit-identical across kill/resume; the wave
-            # telemetry is deliberately absent here because its counters
-            # restart on resume.
+            # summary stays bit-identical across kill/resume.
             "conflict_density": stats.evictions / applied if applied else 0.0,
             "elapsed_seconds": self._elapsed,
         }

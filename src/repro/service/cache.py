@@ -146,13 +146,25 @@ class ResultCache:
     refreshes the entry's mtime so hot results survive eviction sweeps.
     """
 
-    def __init__(self, directory: str, limit_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        directory: str,
+        limit_bytes: Optional[int] = None,
+        registry=None,
+    ) -> None:
         if limit_bytes is not None and limit_bytes < 0:
             raise ServiceError(
                 f"cache limit_bytes must be >= 0 or None, got {limit_bytes}"
             )
         self.directory = directory
         self.limit_bytes = limit_bytes
+        #: Optional metrics registry; when set, lookups/stores/evictions
+        #: are counted under ``repro_cache_*`` series.
+        self.registry = registry
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None and amount:
+            self.registry.inc(name, amount)
 
     def entry_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
@@ -165,6 +177,7 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
+            self._count("repro_cache_misses_total")
             return None
         except (OSError, json.JSONDecodeError) as exc:
             raise ServiceError(f"cache entry for {key!r} is unreadable: {exc}")
@@ -174,6 +187,7 @@ class ResultCache:
             os.utime(path)  # mark the entry recently used
         except OSError:  # pragma: no cover - entry raced away; still a hit
             pass
+        self._count("repro_cache_hits_total")
         return entry["result"]
 
     def put(
@@ -191,6 +205,7 @@ class ResultCache:
         path = self.entry_path(key)
         if os.path.exists(path):
             return
+        self._count("repro_cache_stores_total")
         os.makedirs(self.directory, exist_ok=True)
         document = json.dumps(
             {"key": key, "key_fields": key_fields, "result": encoded_result},
@@ -246,6 +261,7 @@ class ResultCache:
                 pass
             total -= size
             evicted.append(name[: -len(".json")])
+        self._count("repro_cache_evictions_total", len(evicted))
         return evicted
 
     def size(self) -> int:

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.result import MISResult
 from repro.errors import JobStateError, ServiceError
+from repro.obs.journal import append_event
 from repro.pipeline.engine import decode_result
 from repro.pipeline.spec import RunSpec, iter_run_specs
 from repro.service.cache import cache_key, file_digest, input_digest
@@ -80,7 +81,18 @@ class ServiceClient:
             checkpoint_every_seconds=spec.checkpoint_every_seconds,
             interrupt_after=interrupt_after,
         )
-        return self.store.write(record)
+        record = self.store.write(record)
+        try:
+            append_event(
+                self.store.journal_path(record.job_id),
+                "job_queued",
+                job_id=record.job_id,
+                pipeline=spec.pipeline.name,
+                stream=spec.updates is not None,
+            )
+        except OSError:  # pragma: no cover - journal dir unwritable
+            pass
+        return record
 
     def submit_directory(self, config_dir: str) -> List[Tuple[str, JobRecord]]:
         """Batch-submit every ``*.json`` run spec in a directory.

@@ -9,6 +9,7 @@ crash of any of its processes:
   checkpoints/<job_id>.ck   per-job pipeline-engine checkpoint files
   results/<job_id>.json     encoded MISResults of finished jobs
   cache/<cache_key>.json    digest-keyed result cache entries
+  journal/<job_id>.jsonl    structured per-job event journals (obs layer)
 ```
 
 A :class:`JobRecord` is the durable state-machine entry for one
@@ -199,6 +200,7 @@ class JobStore:
         self.results_dir = os.path.join(root, "results")
         self.cache_dir = os.path.join(root, "cache")
         self.heartbeats_dir = os.path.join(root, "heartbeats")
+        self.journal_dir = os.path.join(root, "journal")
         if create:
             for directory in (
                 self.jobs_dir,
@@ -206,6 +208,7 @@ class JobStore:
                 self.results_dir,
                 self.cache_dir,
                 self.heartbeats_dir,
+                self.journal_dir,
             ):
                 os.makedirs(directory, exist_ok=True)
         elif not os.path.isdir(self.jobs_dir):
@@ -228,6 +231,18 @@ class JobStore:
 
     def heartbeat_path(self, job_id: str) -> str:
         return os.path.join(self.heartbeats_dir, f"{job_id}.hb")
+
+    def journal_path(self, job_id: str) -> str:
+        """The job's structured event journal (JSONL, append-only).
+
+        Written by whoever observes a lifecycle edge — the client
+        (``queued``), the scheduler (requeues, cache hits, cancels) and
+        the worker (attempts, stages, batches, terminal states) all
+        append to the same file, so ``submit --follow`` and ``status
+        --metrics`` read one merged timeline without parsing logs.
+        """
+
+        return os.path.join(self.journal_dir, f"{job_id}.jsonl")
 
     def touch_heartbeat(self, job_id: str) -> None:
         """Stamp the job's progress heartbeat (file mtime is the beat).

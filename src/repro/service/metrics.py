@@ -1,0 +1,119 @@
+"""Store-derived metrics of the solver service.
+
+:func:`build_service_registry` projects one service directory onto a
+:class:`~repro.obs.metrics.MetricsRegistry`: queue depth by state, cache
+occupancy and hit-rate, worker heartbeat ages, and the per-stage
+telemetry of finished jobs replayed through the *same*
+:meth:`~repro.pipeline.stages.StageReport.record` projection the engine
+uses for live runs — so ``repro-mis metrics`` over a store renders the
+identical series a live run would have exported.
+
+Everything here is read-only over the store; it never mutates records,
+results or cache entries, so it is safe to run against a directory a
+live scheduler is working on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline.stages import StageReport
+from repro.service.cache import ResultCache
+from repro.service.jobstore import JOB_STATES, JobStore
+
+__all__ = ["build_service_registry"]
+
+
+def _load_result(store: JobStore, job_id: str) -> Optional[dict]:
+    path = store.result_path(job_id)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def build_service_registry(
+    store: JobStore, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Fold a service directory's current state into a metrics registry.
+
+    Passing an existing ``registry`` (e.g. a live scheduler's) layers the
+    store-derived gauges and replayed counters on top of its in-process
+    series; by default a fresh registry is returned.
+    """
+
+    registry = registry if registry is not None else MetricsRegistry()
+    records = store.list()
+
+    for state in JOB_STATES:
+        registry.set_gauge(
+            "repro_service_jobs",
+            sum(1 for record in records if record.state == state),
+            state=state,
+        )
+
+    for record in records:
+        registry.inc("repro_service_attempts_total", record.attempts)
+        if record.cache_hit:
+            registry.inc("repro_service_cache_hits_total")
+        if record.state == "running":
+            age = store.heartbeat_age(record.job_id)
+            if age is not None:
+                registry.set_gauge(
+                    "repro_service_heartbeat_age_seconds",
+                    round(max(age, 0.0), 3),
+                    job=record.job_id,
+                )
+        # Replay the persisted stage telemetry through the same
+        # projection the engine records live runs with.
+        for stage in record.stages:
+            try:
+                StageReport.from_summary(stage).record(registry)
+            except (KeyError, TypeError, ValueError):
+                continue  # a foreign/older stage payload never breaks the view
+        if record.state == "done" and record.updates_digest is not None:
+            _record_stream_job(registry, store, record.job_id)
+
+    cache = ResultCache(store.cache_dir)
+    registry.set_gauge("repro_cache_entries", cache.size())
+    registry.set_gauge("repro_cache_bytes", cache.total_bytes())
+    return registry
+
+
+def _record_stream_job(
+    registry: MetricsRegistry, store: JobStore, job_id: str
+) -> None:
+    """Fold one finished stream job's result into the registry.
+
+    Mirrors the counters a live :class:`~repro.pipeline.stream.StreamSession`
+    maintains (``repro_stream_<stat>_total``) and adds the derived
+    update rate, guarded against zero-duration (e.g. empty) streams.
+    """
+
+    document = _load_result(store, job_id)
+    if document is None:
+        return
+    extras = document.get("extras")
+    if not isinstance(extras, dict):
+        return
+    prefix = "stream_"
+    applied = 0
+    for key, value in sorted(extras.items()):
+        if not key.startswith(prefix) or not isinstance(value, (int, float)):
+            continue
+        stat = key[len(prefix) :]
+        registry.inc(f"repro_stream_{stat}_total", int(value))
+        if stat in ("edges_inserted", "edges_deleted"):
+            applied += int(value)
+    elapsed = document.get("elapsed_seconds")
+    if isinstance(elapsed, (int, float)) and elapsed > 0:
+        registry.set_gauge(
+            "repro_stream_updates_per_second",
+            round(applied / elapsed, 3),
+            job=job_id,
+        )

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ServiceError
+from repro.obs import MetricsRegistry
+from repro.obs.journal import append_event
 from repro.service.jobstore import JobRecord, JobStore
 from repro.service.cache import ResultCache
 from repro.service.worker import worker_main
@@ -94,8 +96,14 @@ class SolverService:
     def __init__(self, root: str, config: Optional[ServiceConfig] = None) -> None:
         self.store = JobStore(root)
         self.config = config or ServiceConfig()
+        #: Scheduler-side metrics (scheduling decisions, cache traffic).
+        #: Folded into the ``repro-mis metrics`` view alongside the
+        #: store-derived series.
+        self.metrics = MetricsRegistry()
         self.cache = ResultCache(
-            self.store.cache_dir, limit_bytes=self.config.cache_limit_bytes
+            self.store.cache_dir,
+            limit_bytes=self.config.cache_limit_bytes,
+            registry=self.metrics,
         )
         if self.config.workers < 1:
             raise ServiceError("a service needs at least one worker slot")
@@ -129,6 +137,14 @@ class SolverService:
         # budget; bring the directory under this daemon's limit.
         self.cache.evict()
 
+    def _journal(self, job_id: str, event: str, **fields) -> None:
+        """Best-effort lifecycle journaling: never fails a transition."""
+
+        try:
+            append_event(self.store.journal_path(job_id), event, **fields)
+        except OSError:  # pragma: no cover - journal dir unwritable
+            pass
+
     def _requeue(self, record: JobRecord, reason: str) -> None:
         if record.attempts > self.config.max_restarts:
             self.store.update(
@@ -141,10 +157,14 @@ class SolverService:
                     f"(max_restarts={self.config.max_restarts}); last: {reason}"
                 ),
             )
+            self.metrics.inc("repro_service_jobs_failed_total")
+            self._journal(record.job_id, "job_failed", reason=reason)
         else:
             self.store.update(
                 record.job_id, expect_states=("running",), state="queued", pid=None
             )
+            self.metrics.inc("repro_service_requeues_total")
+            self._journal(record.job_id, "job_requeued", reason=reason)
 
     # ------------------------------------------------------------------
     # One scheduling pass
@@ -152,6 +172,7 @@ class SolverService:
     def run_once(self) -> None:
         """Reap exits, watch orphans, apply cancellations, start workers."""
 
+        self.metrics.inc("repro_service_scheduler_passes_total")
         self._reap()
         self._watch_adopted()
         self._check_heartbeats()
@@ -256,12 +277,15 @@ class SolverService:
                     pass
             # The worker may have finished in the window before the
             # terminate landed; a terminal record wins over the cancel.
-            self.store.update(
+            updated = self.store.update(
                 record.job_id,
                 expect_states=("queued", "running"),
                 state="cancelled",
                 pid=None,
             )
+            if updated.state == "cancelled":
+                self.metrics.inc("repro_service_cancellations_total")
+                self._journal(record.job_id, "job_cancelled")
 
     def _schedule(self) -> None:
         free = self.config.workers - len(self._workers) - len(self._adopted)
@@ -298,7 +322,7 @@ class SolverService:
         extras = encoded.get("extras", {})
         # Guarded transition: a client cancel landing since the schedule
         # pass read the record must stand — terminal states never revert.
-        self.store.update(
+        updated = self.store.update(
             record.job_id,
             expect_states=("queued",),
             state="done",
@@ -306,6 +330,8 @@ class SolverService:
             pid=None,
             stages=list(extras.get("stages", [])) if isinstance(extras, dict) else [],
         )
+        if updated.state == "done":
+            self._journal(record.job_id, "cache_hit", cache_key=record.cache_key)
         return True
 
     def _start_worker(self, record: JobRecord) -> None:
@@ -341,6 +367,13 @@ class SolverService:
         # resurrected to "running" by this late pid write.
         self.store.update(record.job_id, expect_states=("running",), pid=process.pid)
         self._workers[record.job_id] = process
+        self.metrics.inc("repro_service_workers_started_total")
+        self._journal(
+            record.job_id,
+            "job_running",
+            attempt=record.attempts,
+            pid=process.pid,
+        )
 
     # ------------------------------------------------------------------
     # Loops

@@ -34,6 +34,7 @@ from typing import Optional
 
 from repro.core.result import MISResult
 from repro.errors import PipelineInterrupted, ReproError
+from repro.obs import EventJournal, MetricsRegistry, Observability
 from repro.pipeline.context import ExecutionContext, resolve_backend_request
 from repro.pipeline.engine import PipelineEngine, encode_result
 from repro.pipeline.stream import StreamSession
@@ -61,7 +62,7 @@ def _write_result(store: JobStore, job_id: str, encoded: dict) -> None:
     os.replace(temp_path, path)
 
 
-def _run_stream(spec, record, ctx, checkpoint, beat) -> MISResult:
+def _run_stream(spec, record, ctx, checkpoint, beat, obs) -> MISResult:
     """Execute a stream job: drain the update file over the maintained set.
 
     The session checkpoints after every batch and beats the heartbeat at
@@ -83,6 +84,7 @@ def _run_stream(spec, record, ctx, checkpoint, beat) -> MISResult:
         resume=os.path.exists(checkpoint),
         interrupt_after=record.interrupt_after,
         progress=beat,
+        obs=obs,
     )
     summary = session.run()
     extras = {
@@ -111,6 +113,22 @@ def execute_job(root: str, job_id: str) -> int:
     record = store.get(job_id)
     spec = record.run_spec()
     checkpoint = store.checkpoint_path(job_id)
+    resumed = os.path.exists(checkpoint)
+
+    # The job's structured event journal is the live telemetry channel:
+    # the engine/stream session writes stage and batch events through it
+    # and ``submit --follow`` tails them without parsing logs.  The
+    # registry stays worker-local; durable telemetry lands in the job
+    # record (stages) and the journal.
+    journal = EventJournal(store.journal_path(job_id))
+    obs = Observability(registry=MetricsRegistry(), journal=journal)
+    journal.emit(
+        "attempt_start",
+        job_id=job_id,
+        attempt=record.attempts,
+        pid=os.getpid(),
+        resumed=resumed,
+    )
 
     # Progress heartbeat: stamped now (the worker is alive and about to
     # work) and then at every engine progress point — each swap round and
@@ -155,7 +173,7 @@ def execute_job(root: str, job_id: str) -> int:
                 workers=spec.workers,
             )
             if spec.updates is not None:
-                result = _run_stream(spec, record, ctx, checkpoint, _beat)
+                result = _run_stream(spec, record, ctx, checkpoint, _beat, obs)
             else:
                 engine = PipelineEngine(
                     spec.pipeline,
@@ -163,15 +181,17 @@ def execute_job(root: str, job_id: str) -> int:
                     checkpoint_path=checkpoint,
                     # A previous attempt's checkpoint means this start
                     # resumes.
-                    resume=os.path.exists(checkpoint),
+                    resume=resumed,
                     interrupt_after=record.interrupt_after,
                     checkpoint_every_seconds=record.checkpoint_every_seconds,
                     progress=_beat,
+                    obs=obs,
                 )
                 result = engine.run(ctx)
         except PipelineInterrupted:
             # The deterministic stand-in for a kill: die without touching
             # the record, exactly as SIGKILL would.
+            journal.emit("attempt_interrupted", job_id=job_id)
             return WORKER_INTERRUPTED
         except (ReproError, OSError) as exc:
             store.update(
@@ -182,6 +202,7 @@ def execute_job(root: str, job_id: str) -> int:
                 pid=None,
             )
             store.clear_heartbeat(job_id)
+            journal.emit("job_failed", job_id=job_id, error=str(exc))
             return 0
 
         encoded = encode_result(result)
@@ -200,10 +221,17 @@ def execute_job(root: str, job_id: str) -> int:
             stages=list(result.extras.get("stages", [])),
         )
         store.clear_heartbeat(job_id)
+        journal.emit(
+            "job_done",
+            job_id=job_id,
+            size=len(result.independent_set),
+            elapsed_seconds=round(result.elapsed_seconds, 6),
+        )
         return 0
     finally:
         if reader is not None:
             reader.close()
+        journal.close()
 
 
 def worker_main(root: str, job_id: str) -> None:

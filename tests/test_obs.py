@@ -1,0 +1,560 @@
+"""Observability layer tests: metrics registry, tracer, journal, wiring.
+
+The contracts under test:
+
+* registry merge is a deterministic fold — one :meth:`merge` call gives
+  bit-identical snapshots regardless of the order its snapshot
+  arguments are passed in (integer counters add exactly, float sums go
+  through a single ``fsum``);
+* histogram bucket edges are fixed at first observation and survive
+  snapshot/merge unchanged — a mismatch is an error, never silent
+  re-bucketing;
+* instrumentation never changes results: an instrumented engine run and
+  parallel runs under ``--workers 1/2/4`` produce the same independent
+  set and the same integer solver counters;
+* the journal/trace files round-trip through their readers
+  (``validate_trace``, ``read_journal``, ``follow_journal``) including
+  torn trailing lines from a killed writer;
+* the service journals a merged per-job lifecycle timeline and
+  ``submit --follow`` tails it to completion.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.obs import (
+    EventJournal,
+    MetricsRegistry,
+    NULL_OBS,
+    Observability,
+    SpanTracer,
+    append_event,
+    follow_journal,
+    read_journal,
+    validate_trace,
+)
+from repro.core.solver import solve_mis
+from repro.pipeline.stream import StreamSession
+from repro.service import ServiceClient, ServiceConfig, SolverService
+from repro.service.metrics import build_service_registry
+from repro.storage.adjacency_file import write_adjacency_file
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs_total")
+        registry.inc("jobs_total", 2)
+        registry.inc("jobs_total", state="done")
+        assert registry.value("jobs_total") == 3
+        assert registry.value("jobs_total", state="done") == 1
+        assert registry.value("missing") == 0
+
+    def test_advance_returns_delta_and_is_monotonic(self):
+        registry = MetricsRegistry()
+        assert registry.advance("evictions_total", 5) == 5
+        assert registry.advance("evictions_total", 9) == 4
+        # At-or-below the current total is a no-op, never a decrement.
+        assert registry.advance("evictions_total", 9) == 0
+        assert registry.advance("evictions_total", 3) == 0
+        assert registry.value("evictions_total") == 9
+
+    def test_gauge_merge_takes_maximum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("depth", 4)
+        b.set_gauge("depth", 7)
+        a.merge(b.snapshot())
+        assert a.value("depth") == 7
+        b.set_gauge("depth", 1)
+        a.merge(b.snapshot())
+        assert a.value("depth") == 7
+
+    def test_histogram_bucket_placement(self):
+        registry = MetricsRegistry()
+        edges = (0.1, 1.0, 10.0)
+        for value in (0.05, 0.5, 5.0, 50.0):
+            registry.observe("seconds", value, buckets=edges)
+        [entry] = registry.snapshot()["series"]
+        assert entry["kind"] == "histogram"
+        assert entry["buckets"] == [0.1, 1.0, 10.0]
+        assert entry["counts"] == [1, 1, 1, 1]  # one overflow past +Inf edge
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(55.55)
+
+    def test_histogram_edges_fixed_at_first_observation(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 0.2, buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="bucket edges changed"):
+            registry.observe("seconds", 0.2, buckets=(0.5, 1.0))
+
+    def test_histogram_edge_mismatch_on_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("seconds", 0.2, buckets=(0.1, 1.0))
+        b.observe("seconds", 0.2, buckets=(0.5, 1.0))
+        with pytest.raises(ValueError, match="bucket edges mismatch"):
+            a.merge(b.snapshot())
+
+    def test_snapshot_from_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.describe("runs_total", "completed runs")
+        registry.inc("runs_total", 3, pipeline="greedy")
+        registry.set_gauge("size", 17)
+        registry.observe("seconds", 0.42)
+        snapshot = registry.snapshot()
+        restored = MetricsRegistry.from_snapshot(snapshot)
+        assert restored.snapshot() == snapshot
+        # The snapshot is JSON-serialisable as-is (what --metrics-out dumps).
+        assert MetricsRegistry.from_snapshot(
+            json.loads(json.dumps(snapshot))
+        ).snapshot() == snapshot
+
+    def test_merge_is_permutation_invariant(self):
+        """One merge call folds shuffled snapshots to identical bits."""
+
+        rng = random.Random(20150831)
+        snapshots = []
+        for _ in range(8):
+            child = MetricsRegistry()
+            for _ in range(40):
+                child.inc("ops_total", rng.randrange(1, 100), op="insert")
+                child.inc("bytes_total", rng.random() * 1e6)
+                child.observe("seconds", rng.random() * 3)
+            snapshots.append(child.snapshot())
+
+        def fold(order):
+            parent = MetricsRegistry()
+            parent.merge(*(snapshots[i] for i in order))
+            return parent.snapshot()
+
+        reference = fold(range(len(snapshots)))
+        for _ in range(5):
+            order = list(range(len(snapshots)))
+            rng.shuffle(order)
+            assert fold(order) == reference
+        # Integer counters stay exact integers through the fold.
+        merged = MetricsRegistry.from_snapshot(reference)
+        assert isinstance(merged.value("ops_total", op="insert"), int)
+
+    def test_render_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.describe("runs_total", "completed runs")
+        registry.inc("runs_total", 2, pipeline="greedy")
+        registry.set_gauge("size", 17)
+        registry.observe("seconds", 0.003, buckets=(0.001, 0.01))
+        registry.observe("seconds", 5.0, buckets=(0.001, 0.01))
+        text = registry.render_prometheus()
+        assert '# HELP runs_total completed runs' in text
+        assert '# TYPE runs_total counter' in text
+        assert 'runs_total{pipeline="greedy"} 2' in text
+        assert '# TYPE size gauge' in text
+        # Cumulative buckets end with the implicit +Inf edge.
+        assert 'seconds_bucket{le="0.001"} 0' in text
+        assert 'seconds_bucket{le="0.01"} 1' in text
+        assert 'seconds_bucket{le="+Inf"} 2' in text
+        assert 'seconds_count 2' in text
+        assert text.endswith("\n")
+
+    def test_render_rows_table(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", pipeline="greedy")
+        registry.observe("seconds", 0.5)
+        rows = {row[0]: row for row in registry.render_rows()}
+        assert rows["runs_total{pipeline=greedy}"][1] == "counter"
+        assert rows["seconds"][1] == "histogram"
+        assert "count=1" in rows["seconds"][2]
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestSpanTracer:
+    def test_spans_validate_and_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("stage:greedy", "stage", args={"size": 10}):
+            pass
+        tracer.instant("pass:greedy", "kernel")
+        tracer.add_span("round:two_k_swap", "round", tracer.now(), tracer.now())
+        document = tracer.to_document()
+        assert validate_trace(document) == []
+        names = [event["name"] for event in document["traceEvents"]]
+        assert names[0] == "process_name"  # metadata first
+        assert "stage:greedy" in names and "round:two_k_swap" in names
+
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == document
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_validate_trace_flags_malformed_events(self):
+        assert validate_trace({}) == ["traceEvents missing or not a list"]
+        problems = validate_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "s", "pid": 1, "tid": 0, "ts": -1, "dur": 2},
+                    {"ph": "?", "name": "s", "pid": 1, "tid": 0},
+                    "not-an-object",
+                ]
+            }
+        )
+        assert len(problems) == 3
+
+
+# ----------------------------------------------------------------------
+# Event journal
+# ----------------------------------------------------------------------
+class TestEventJournal:
+    def test_emit_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal" / "job.jsonl")
+        with EventJournal(path) as journal:
+            journal.emit("run_start", pipeline="greedy")
+            journal.emit("run_end", size=42)
+        append_event(path, "job_done", job_id="j1")
+        records = read_journal(path)
+        assert [r["event"] for r in records] == ["run_start", "run_end", "job_done"]
+        assert all(r["v"] == 1 and "ts" in r for r in records)
+        assert records[1]["size"] == 42
+
+    def test_reader_skips_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "job.jsonl"
+        append_event(str(path), "run_start")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "event": "trunc')  # killed mid-write
+        assert [r["event"] for r in read_journal(str(path))] == ["run_start"]
+
+    def test_follow_drains_after_stop(self, tmp_path):
+        path = str(tmp_path / "job.jsonl")
+        append_event(path, "first")
+        append_event(path, "second")
+        events = [
+            record["event"]
+            for record in follow_journal(path, stop=lambda: True)
+        ]
+        assert events == ["first", "second"]
+
+    def test_follow_times_out(self, tmp_path):
+        ticks = iter(float(i) for i in range(100))
+        with pytest.raises(TimeoutError):
+            list(
+                follow_journal(
+                    str(tmp_path / "absent.jsonl"),
+                    timeout_seconds=2.0,
+                    clock=lambda: next(ticks),
+                    sleep=lambda _: None,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine + kernels + parallel wiring
+# ----------------------------------------------------------------------
+def _solver_counters(registry):
+    """Integer solver-work counters that must be worker-count invariant."""
+
+    counters = {}
+    for entry in registry.snapshot()["series"]:
+        name = entry["name"]
+        if entry["kind"] != "counter":
+            continue
+        if name.startswith(("repro_stage_", "repro_rounds", "repro_kernel_")):
+            labels = tuple(sorted(entry["labels"].items()))
+            counters[(name, labels)] = entry["value"]
+    return counters
+
+
+class TestEngineObservability:
+    def test_instrumented_run_matches_plain_run(self, tmp_path):
+        graph = erdos_renyi_gnm(300, 900, seed=7)
+        plain = solve_mis(graph, pipeline="two_k_swap", backend="python")
+        journal_path = str(tmp_path / "run.jsonl")
+        obs = Observability(
+            registry=MetricsRegistry(),
+            tracer=SpanTracer(),
+            journal=EventJournal(journal_path),
+        )
+        observed = solve_mis(graph, pipeline="two_k_swap", backend="python", obs=obs)
+        obs.close()
+
+        assert observed.independent_set == plain.independent_set
+        assert observed.num_rounds == plain.num_rounds
+
+        document = obs.tracer.to_document()
+        assert validate_trace(document) == []
+        names = [event["name"] for event in document["traceEvents"]]
+        # A span per stage, at least one swap round, and the run span.
+        assert "stage:greedy" in names
+        assert "stage:two_k_swap" in names
+        assert any(name.startswith("round:") for name in names)
+        assert "pipeline:two_k_swap" in names
+        assert any(name.startswith("pass:") for name in names)
+
+        registry = obs.registry
+        assert registry.value("repro_stage_runs_total", stage="greedy") == 1
+        assert registry.value("repro_stage_runs_total", stage="two_k_swap") == 1
+        rounds = registry.value("repro_rounds_total", stage="two_k_swap")
+        assert rounds == observed.num_rounds
+        assert registry.value("repro_result_size", pipeline="two_k_swap") == len(
+            observed.independent_set
+        )
+
+        events = [record["event"] for record in read_journal(journal_path)]
+        assert events[0] == "run_start"
+        assert events[-1] == "run_end"
+        assert events.count("stage_start") == events.count("stage_end") == 2
+
+    def test_null_obs_records_nothing(self):
+        graph = erdos_renyi_gnm(120, 300, seed=3)
+        result = solve_mis(graph, pipeline="greedy", obs=NULL_OBS)
+        assert result.size > 0
+        assert NULL_OBS.registry.snapshot()["series"] == []
+        assert NULL_OBS.tracer.to_document()["traceEvents"] == []
+
+    def test_solver_counters_identical_across_worker_counts(self):
+        pytest.importorskip("numpy")
+        graph = erdos_renyi_gnm(400, 1600, seed=9)
+
+        def run(workers):
+            obs = Observability(registry=MetricsRegistry())
+            result = solve_mis(
+                graph,
+                pipeline="two_k_swap",
+                backend="numpy",
+                workers=workers,
+                obs=obs,
+            )
+            return result.independent_set, _solver_counters(obs.registry)
+
+        baseline_set, baseline_counters = run(1)
+        assert baseline_counters  # non-empty: the restriction keeps real series
+        for workers in (2, 4):
+            mis, counters = run(workers)
+            assert mis == baseline_set
+            assert counters == baseline_counters
+
+
+# ----------------------------------------------------------------------
+# Stream wiring
+# ----------------------------------------------------------------------
+class TestStreamObservability:
+    @pytest.fixture
+    def stream_inputs(self, tmp_path):
+        graph = erdos_renyi_gnm(140, 420, seed=4)
+        rng = random.Random(8)
+        lines = []
+        for _ in range(600):
+            u, v = rng.randrange(140), rng.randrange(140)
+            if u != v:
+                lines.append(f"{'+' if rng.random() < 0.6 else '-'} {u} {v}")
+        updates = tmp_path / "updates.txt"
+        updates.write_text("\n".join(lines) + "\n")
+        return graph, str(updates)
+
+    def test_session_mirrors_totals_into_registry(self, stream_inputs, tmp_path):
+        graph, updates = stream_inputs
+        journal_path = str(tmp_path / "stream.jsonl")
+        obs = Observability(
+            registry=MetricsRegistry(),
+            tracer=SpanTracer(),
+            journal=EventJournal(journal_path),
+        )
+        session = StreamSession(graph, updates, batch_size=100, obs=obs)
+        reports = list(session.process())
+        obs.close()
+
+        registry = obs.registry
+        assert registry.value("repro_stream_batches_total") == len(reports)
+        # Submitted ops are counted per batch; applied-edge totals come
+        # from the mirrored maintainer stats (dedup drops no-op updates).
+        submitted = registry.value(
+            "repro_stream_updates_total", op="insert"
+        ) + registry.value("repro_stream_updates_total", op="delete")
+        assert submitted == sum(r.insertions + r.deletions for r in reports)
+        stats = session.maintainer.stats
+        assert (
+            registry.value("repro_stream_edges_inserted_total")
+            == stats.edges_inserted
+        )
+        assert registry.value("repro_stream_evictions_total") == stats.evictions
+
+        summary = session.result()
+        assert summary["wave"] == session.maintainer.wave.snapshot()
+        assert summary["conflict_density"] == pytest.approx(
+            stats.evictions / (stats.edges_inserted + stats.edges_deleted)
+        )
+        # Per-batch report deltas fall out of the registry mirror.
+        assert sum(report.evictions for report in reports) == stats.evictions
+
+        document = obs.tracer.to_document()
+        assert validate_trace(document) == []
+        names = [event["name"] for event in document["traceEvents"]]
+        assert sum(name.startswith("batch:") for name in names) == len(reports)
+
+        events = [record["event"] for record in read_journal(journal_path)]
+        assert events[0] == "stream_start"
+        assert events.count("batch") == len(reports)
+
+    def test_empty_stream_guards_ratios(self, tmp_path):
+        graph = erdos_renyi_gnm(50, 120, seed=2)
+        updates = tmp_path / "empty.txt"
+        updates.write_text("")
+        session = StreamSession(graph, str(updates))
+        assert list(session.process()) == []
+        summary = session.result()
+        assert summary["conflict_density"] == 0.0
+        assert summary["batches_applied"] == 0
+
+
+# ----------------------------------------------------------------------
+# Service journal + store-derived metrics + submit --follow
+# ----------------------------------------------------------------------
+@pytest.fixture
+def service_inputs(tmp_path):
+    graph = erdos_renyi_gnm(250, 700, seed=11)
+    path = str(tmp_path / "g.adj")
+    write_adjacency_file(graph, path).close()
+    return path
+
+
+def _fast_config():
+    return ServiceConfig(
+        workers=2, poll_interval_seconds=0.02, checkpoint_every_seconds=None
+    )
+
+
+class TestServiceObservability:
+    def test_job_lifecycle_journal_and_store_metrics(self, service_inputs, tmp_path):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        spec_payload = {
+            "pipeline": "two_k_swap",
+            "input": service_inputs,
+            "max_rounds": 2,
+        }
+        from repro.pipeline.spec import RunSpec
+
+        record = client.submit(RunSpec.from_dict(spec_payload))
+        service = SolverService(root, _fast_config())
+        try:
+            service.drain(timeout_seconds=120.0)
+        finally:
+            service.stop()
+
+        events = [
+            entry["event"]
+            for entry in read_journal(client.store.journal_path(record.job_id))
+        ]
+        # Client, scheduler, and worker all append to one merged timeline.
+        for expected in (
+            "job_queued",
+            "job_running",
+            "attempt_start",
+            "run_start",
+            "stage_start",
+            "stage_end",
+            "run_end",
+            "job_done",
+        ):
+            assert expected in events, f"missing {expected} in {events}"
+        assert events[0] == "job_queued"
+        assert events.index("job_queued") < events.index("attempt_start")
+
+        # Scheduler counters on the live service registry.
+        assert service.metrics.value("repro_service_workers_started_total") == 1
+        assert service.metrics.value("repro_service_scheduler_passes_total") >= 1
+
+        # The store-derived registry replays persisted stage summaries
+        # through the same StageReport projection the engine uses live.
+        registry = build_service_registry(client.store)
+        assert registry.value("repro_service_jobs", state="done") == 1
+        assert registry.value("repro_service_jobs", state="queued") == 0
+        assert registry.value("repro_stage_runs_total", stage="greedy") == 1
+        assert registry.value("repro_cache_entries") == 1
+        text = registry.render_prometheus()
+        assert "repro_service_jobs" in text
+        assert 'repro_stage_seconds_bucket' in text
+        assert "repro_cache_entries" in text
+
+    def test_submit_follow_streams_to_terminal_state(
+        self, service_inputs, tmp_path, capsys
+    ):
+        root = str(tmp_path / "svc")
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {"pipeline": "greedy", "input": service_inputs}
+            )
+        )
+
+        stop = threading.Event()
+
+        def pump():
+            service = SolverService(root, _fast_config())
+            try:
+                deadline = time.monotonic() + 120.0
+                while time.monotonic() < deadline and not stop.is_set():
+                    service.run_once()
+                    records = service.store.list()
+                    if records and all(r.is_terminal() for r in records):
+                        return
+                    time.sleep(0.02)
+            finally:
+                service.stop()
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+        try:
+            code = main(
+                ["submit", root, "--config", str(spec_path), "--follow"]
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=120.0)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[job_queued]" in out
+        assert "[job_done]" in out
+        assert "done" in out  # final status table reflects the terminal state
+
+    def test_metrics_cli_over_directory_and_snapshot(
+        self, service_inputs, tmp_path, capsys
+    ):
+        root = str(tmp_path / "svc")
+        client = ServiceClient(root)
+        from repro.pipeline.spec import RunSpec
+
+        client.submit(
+            RunSpec.from_dict({"pipeline": "greedy", "input": service_inputs})
+        )
+        service = SolverService(root, _fast_config())
+        try:
+            service.drain(timeout_seconds=120.0)
+        finally:
+            service.stop()
+
+        assert main(["metrics", root, "--prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_service_jobs gauge" in text
+        assert 'repro_service_jobs{state="done"} 1' in text
+
+        assert main(["metrics", root, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        restored = MetricsRegistry.from_snapshot(snapshot)
+        assert restored.value("repro_service_jobs", state="done") == 1
+
+        snap_path = tmp_path / "metrics.json"
+        snap_path.write_text(json.dumps(snapshot))
+        assert main(["metrics", str(snap_path)]) == 0
+        assert "repro_service_jobs{state=done}" in capsys.readouterr().out
+
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
